@@ -1,0 +1,97 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are not paper artifacts; they isolate Omni's individual design
+decisions so their contribution can be inspected independently.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.ablations import (
+    ablate_context_technology,
+    ablate_selection_policy,
+    sweep_beacon_interval,
+    sweep_secondary_listen,
+)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_beacon_interval_sweep(benchmark):
+    points = run_once(benchmark, sweep_beacon_interval)
+    print("\nbeacon interval sweep (interval_s, discovery_s, idle mA):")
+    for point in points:
+        print(f"  {point.interval_s:5.2f}  {point.discovery_latency_s!s:>8}"
+              f"  {point.idle_energy_avg_ma:7.2f}")
+    # Faster beaconing finds peers sooner but costs more energy.
+    assert all(point.discovery_latency_s is not None for point in points)
+    latencies = [point.discovery_latency_s for point in points]
+    energies = [point.idle_energy_avg_ma for point in points]
+    assert latencies == sorted(latencies)
+    assert energies == sorted(energies, reverse=True)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_secondary_listen_sweep(benchmark):
+    points = run_once(benchmark, sweep_secondary_listen)
+    print("\nsecondary listen sweep (period_s, engagement_s, idle mA):")
+    for point in points:
+        print(f"  {point.period_s:5.1f}  {point.engagement_latency_s!s:>8}"
+              f"  {point.idle_energy_avg_ma:7.2f}")
+    engaged = [point for point in points if point.engagement_latency_s is not None]
+    assert engaged, "no probing period ever engaged the multicast peer"
+    # Probing more often cannot slow engagement down (same seed, same peer).
+    fastest = min(engaged, key=lambda point: point.period_s)
+    slowest = max(engaged, key=lambda point: point.period_s)
+    assert fastest.engagement_latency_s <= slowest.engagement_latency_s * 1.5
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_context_bifurcation_ablation(benchmark):
+    results = run_once(benchmark, ablate_context_technology)
+    print("\ncontext tech ablation (tech, avg mA, latency ms):")
+    for result in results:
+        print(f"  {result.context_tech:4s}  {result.energy_avg_ma:7.2f}"
+              f"  {result.latency_ms:9.1f}")
+    by_tech = {result.context_tech: result for result in results}
+    # Moving context off the low-energy discovery technology costs both
+    # energy and (dramatically) interaction latency.
+    assert by_tech["BLE"].energy_avg_ma < by_tech["WiFi"].energy_avg_ma
+    assert by_tech["BLE"].latency_ms * 20 < by_tech["WiFi"].latency_ms
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_selection_policy_ablation(benchmark):
+    results = run_once(benchmark, ablate_selection_policy)
+    print("\nselection policy ablation (policy, latency ms, avg mA):")
+    for result in results:
+        print(f"  {result.policy:14s}  {result.latency_ms!s:>9}"
+              f"  {result.energy_avg_ma:7.2f}")
+    by_policy = {result.policy: result for result in results}
+    assert all(result.latency_ms is not None for result in results)
+    # Expected-time matches the best static policy here (WiFi wins at 200B)
+    # and strictly beats always-BLE-equivalent (lowest energy) on latency.
+    assert (
+        by_policy["expected_time"].latency_ms
+        <= by_policy["always_wifi"].latency_ms * 1.05
+    )
+    assert by_policy["expected_time"].latency_ms < by_policy["lowest_energy"].latency_ms
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_adaptive_beacon_ablation(benchmark):
+    from repro.experiments.ablations import ablate_adaptive_beacon
+
+    results = run_once(benchmark, ablate_adaptive_beacon)
+    print("\nadaptive beacon ablation (mode, idle mA, newcomer discovery s):")
+    for result in results:
+        print(f"  {result.mode:9s}  {result.idle_energy_avg_ma:7.2f}"
+              f"  {result.newcomer_discovery_s!s:>8}")
+    by_mode = {result.mode: result for result in results}
+    assert all(result.newcomer_discovery_s is not None for result in results)
+    # The future-work trade: adaptive pacing spends less while idle and
+    # pays (bounded) first-contact latency for it.
+    assert (by_mode["adaptive"].idle_energy_avg_ma
+            < by_mode["fixed"].idle_energy_avg_ma)
+    assert (by_mode["adaptive"].newcomer_discovery_s
+            >= by_mode["fixed"].newcomer_discovery_s)
+    assert by_mode["adaptive"].newcomer_discovery_s < 5.0

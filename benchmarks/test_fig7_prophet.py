@@ -1,0 +1,67 @@
+"""Figure 7: PRoPHET store-carry-forward over a data ferry.
+
+Paper shape to reproduce:
+
+- "aside from the flexibility ... there is negligible improvement in energy
+  and latency" from SP to SA — both pay per-hop WiFi network discovery;
+- "the vast majority of the latency when using Omni is inherent to the
+  delayed nature of the application scenario (i.e., the five seconds it
+  takes to encounter Device C)";
+- "the lack of need for periodic transmission of multicast packets
+  substantially reduces the energy consumption for Omni".
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.prophet_exp import FERRY_TRAVEL_S, run_fig7
+from repro.experiments.reporting import render_fig7
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {result.variant: result for result in run_fig7()}
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_runs(benchmark):
+    rows = run_once(benchmark, run_fig7)
+    print("\n" + render_fig7(rows))
+    assert len(rows) == 3
+    assert all(row.delivery_latency_s is not None for row in rows)
+    by_variant = {row.variant: row for row in rows}
+    # Headline shapes (full coverage in the tests below):
+    assert by_variant["Omni"].delivery_latency_s - FERRY_TRAVEL_S < 1.5
+    assert (
+        by_variant["Omni"].relay_energy_avg_ma * 3
+        < by_variant["SA"].relay_energy_avg_ma
+    )
+
+
+def test_all_variants_deliver(results):
+    for variant in ("SP", "SA", "Omni"):
+        assert results[variant].delivery_latency_s is not None, variant
+
+
+def test_omni_latency_dominated_by_ferry_delay(results):
+    omni = results["Omni"].delivery_latency_s
+    # The inherent ferry travel is FERRY_TRAVEL_S; Omni adds little on top.
+    assert omni - FERRY_TRAVEL_S < 1.5
+
+
+def test_baselines_pay_per_hop_discovery(results):
+    for variant in ("SP", "SA"):
+        latency = results[variant].delivery_latency_s
+        assert latency - results["Omni"].delivery_latency_s > 2.0, variant
+
+
+def test_sp_and_sa_comparable(results):
+    sp = results["SP"].delivery_latency_s
+    sa = results["SA"].delivery_latency_s
+    assert abs(sp - sa) / max(sp, sa) < 0.25
+
+
+def test_omni_relay_energy_substantially_lower(results):
+    omni = results["Omni"].relay_energy_avg_ma
+    for variant in ("SP", "SA"):
+        assert omni * 3 < results[variant].relay_energy_avg_ma, variant

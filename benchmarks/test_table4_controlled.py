@@ -1,0 +1,117 @@
+"""Table 4 / Figures 4 & 5: the controlled two-device comparison.
+
+Paper shape to reproduce (energy in avg mA relative to WiFi standby,
+latency in ms):
+
+- BLE/BLE: SP strongly negative (WiFi off); Omni ~7.5 far below SA ~23;
+  all three share the identical 82 ms BLE interaction latency.
+- BLE/WiFi 30B: Omni's latency is ~two orders of magnitude below SA
+  (16 ms vs ~2800 ms) — the address-beacon fast-peering win.
+- BLE/WiFi 25MB: Omni's latency is roughly half of SA's.
+- WiFi/WiFi: without a low-energy discovery technology, Omni has no
+  advantage — all three systems land within a tight band.
+- WiFi context + BLE data is N/A, and SP has no mixed-technology rows.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.controlled import run_table4
+from repro.experiments.reporting import render_table4
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return {
+        (cell.context_tech, cell.data_tech, cell.response_bytes, cell.system): cell
+        for cell in run_table4()
+    }
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_grid(benchmark):
+    results = run_once(benchmark, run_table4)
+    print("\n" + render_table4(results))
+    assert len(results) == 18
+    cells = {
+        (cell.context_tech, cell.data_tech, cell.response_bytes, cell.system): cell
+        for cell in results
+    }
+    # Headline shapes (full coverage in the Test* classes below, which run
+    # under a plain `pytest benchmarks/` invocation):
+    assert cells[("BLE", "BLE", 30, "SP")].energy_avg_ma < -50
+    assert cells[("BLE", "BLE", 30, "Omni")].energy_avg_ma * 2.5 < cells[
+        ("BLE", "BLE", 30, "SA")
+    ].energy_avg_ma
+    assert cells[("BLE", "WiFi", 30, "Omni")].latency_ms * 50 < cells[
+        ("BLE", "WiFi", 30, "SA")
+    ].latency_ms
+    assert cells[("WiFi", "BLE", 30, "Omni")].latency_ms is None
+
+
+class TestBleBleRow:
+    def test_identical_latency_across_systems(self, grid):
+        latencies = [grid[("BLE", "BLE", 30, system)].latency_ms
+                     for system in ("SP", "SA", "Omni")]
+        assert latencies[0] == pytest.approx(82, rel=0.05)
+        assert latencies[0] == latencies[1] == latencies[2]
+
+    def test_sp_energy_is_negative(self, grid):
+        # SP turns the WiFi radio off entirely.
+        assert grid[("BLE", "BLE", 30, "SP")].energy_avg_ma < -50
+
+    def test_omni_far_below_sa(self, grid):
+        omni = grid[("BLE", "BLE", 30, "Omni")].energy_avg_ma
+        sa = grid[("BLE", "BLE", 30, "SA")].energy_avg_ma
+        assert omni == pytest.approx(7.5, rel=0.25)
+        assert omni * 2.5 < sa
+
+
+class TestBleWifiRows:
+    def test_sp_rows_not_applicable(self, grid):
+        for size in (30, 25_000_000):
+            cell = grid[("BLE", "WiFi", size, "SP")]
+            assert cell.energy_avg_ma is None and cell.latency_ms is None
+
+    def test_omni_small_data_latency_is_milliseconds(self, grid):
+        omni = grid[("BLE", "WiFi", 30, "Omni")].latency_ms
+        sa = grid[("BLE", "WiFi", 30, "SA")].latency_ms
+        assert omni == pytest.approx(16, rel=0.35)
+        assert sa > 2000  # full scan + connect
+        assert omni * 50 < sa  # ~two orders of magnitude
+
+    def test_omni_bulk_latency_roughly_half_of_sa(self, grid):
+        omni = grid[("BLE", "WiFi", 25_000_000, "Omni")].latency_ms
+        sa = grid[("BLE", "WiFi", 25_000_000, "SA")].latency_ms
+        assert omni == pytest.approx(3100, rel=0.15)
+        assert 0.4 < omni / sa < 0.65
+
+    def test_omni_energy_below_sa(self, grid):
+        for size in (30, 25_000_000):
+            omni = grid[("BLE", "WiFi", size, "Omni")].energy_avg_ma
+            sa = grid[("BLE", "WiFi", size, "SA")].energy_avg_ma
+            assert omni < sa
+
+
+class TestWifiRows:
+    def test_wifi_context_ble_data_not_applicable(self, grid):
+        for system in ("SP", "SA", "Omni"):
+            cell = grid[("WiFi", "BLE", 30, system)]
+            assert cell.energy_avg_ma is None and cell.latency_ms is None
+
+    def test_no_omni_advantage_without_low_energy_discovery(self, grid):
+        latencies = [grid[("WiFi", "WiFi", 30, system)].latency_ms
+                     for system in ("SP", "SA", "Omni")]
+        assert min(latencies) > 2500
+        assert max(latencies) / min(latencies) < 1.25
+
+    def test_bulk_latencies_in_band(self, grid):
+        latencies = [grid[("WiFi", "WiFi", 25_000_000, system)].latency_ms
+                     for system in ("SP", "SA", "Omni")]
+        for latency in latencies:
+            assert latency == pytest.approx(6300, rel=0.2)
+
+    def test_energies_in_tight_band(self, grid):
+        energies = [grid[("WiFi", "WiFi", 30, system)].energy_avg_ma
+                    for system in ("SP", "SA", "Omni")]
+        assert max(energies) - min(energies) < 6

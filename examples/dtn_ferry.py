@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Store-carry-forward over a data ferry (PRoPHET, paper Fig 7).
+
+Device A wants to deliver a 1 KB file to device C, 400 m away — beyond any
+radio.  Device B has history with C (high delivery predictability), so
+PRoPHET hands it the bundle; B then physically carries it across and
+delivers on arrival.
+
+The same router runs over all three systems.  The baselines pay a WiFi
+network-discovery sequence at each hop; Omni's BLE neighbor discovery plus
+fast peering make its delivery latency almost purely the ferry travel time,
+at a fraction of the relay energy.
+
+Run:  python examples/dtn_ferry.py
+"""
+
+from repro.experiments.prophet_exp import FERRY_TRAVEL_S, run_fig7
+
+
+def main() -> None:
+    print(f"A --{400:.0f} m (out of range)--> C; ferry travel time "
+          f"{FERRY_TRAVEL_S:.0f} s once B holds the bundle\n")
+    print(f"{'system':<8s} {'delivery latency':>18s} {'relay B avg draw':>18s}")
+    for result in run_fig7():
+        latency = (f"{result.delivery_latency_s:10.2f} s"
+                   if result.delivery_latency_s is not None else "  undelivered")
+        print(f"{result.variant:<8s} {latency:>18s} "
+              f"{result.relay_energy_avg_ma:15.1f} mA")
+    print(
+        "\nWhat to look for (paper Fig 7):\n"
+        "- SP ≈ SA: both need WiFi network discovery before each hop;\n"
+        "- Omni's latency is dominated by the unavoidable ferry delay;\n"
+        "- Omni's relay never multicasts periodically, cutting its energy\n"
+        "  several-fold."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Collaborative media download (Disseminate, paper Sec 4.3 / Table 5).
+
+Three co-located devices each need the same 30 MB file.  Alone, each would
+spend ``size / rate`` on the infrastructure link; collaborating, each
+downloads a third and swaps the rest device-to-device.  The example runs
+the same application over the State of the Practice (multicast-only WiFi),
+the State of the Art middleware, and Omni, and prints the Table 5 metrics.
+
+Run:  python examples/media_sharing.py [rate_kbps]
+"""
+
+import sys
+
+from repro.experiments.disseminate_exp import (
+    FILE_BYTES,
+    run_collaborative,
+    run_direct,
+)
+
+
+def main() -> None:
+    rate_kbps = float(sys.argv[1]) if len(sys.argv) > 1 else 1000.0
+    print(f"file: {FILE_BYTES / 1e6:.0f} MB, infrastructure rate: "
+          f"{rate_kbps:.0f} KB/s per device\n")
+
+    direct = run_direct(rate_kbps)
+    print(f"{'direct (no collaboration)':<28s} "
+          f"{direct.time_to_complete_s:7.1f} s")
+
+    for variant in ("SP", "SA", "Omni"):
+        result = run_collaborative(variant, rate_kbps)
+        charge = result.charge_mas
+        print(f"{variant + ' collaboration':<28s} "
+              f"{result.time_to_complete_s:7.1f} s   "
+              f"avg {result.energy_avg_ma:6.1f} mA   "
+              f"total {charge:7.0f} mAs")
+
+    print(
+        "\nWhat to look for (paper Table 5):\n"
+        "- collaboration beats direct whenever D2D outruns the backhaul;\n"
+        "- SP's multicast sharing crawls at the 802.11 basic rate — at high\n"
+        "  backhaul rates it adds nothing over direct download;\n"
+        "- Omni edges out SA because SA's periodic discovery multicast\n"
+        "  steals airtime from the very transfers it enabled."
+    )
+
+
+if __name__ == "__main__":
+    main()

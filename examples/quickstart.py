@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: two Omni devices discover each other and exchange content.
+
+Walks the Developer API of the paper's Table 1 end to end:
+
+1. build a simulated testbed with two devices 10 m apart;
+2. ``add_context`` — one device advertises a service as lightweight context
+   (carried by BLE beacons, 500 ms period);
+3. ``request_context`` — the other device hears it, with the sender's
+   omni_address attached;
+4. ``send_data`` — a small sensor reading, then a 25 MB media file; Omni
+   picks the technology per payload (watch the latencies);
+5. status callbacks report every outcome asynchronously.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import OMNI_TECHS_BLE_WIFI, Testbed
+from repro.net.payload import VirtualPayload
+from repro.phy.geometry import Position
+from repro.util.units import MB, to_ms
+
+
+def main() -> None:
+    testbed = Testbed(seed=1)
+    kernel = testbed.kernel
+
+    alice_device = testbed.add_device("alice", position=Position(0, 0))
+    bob_device = testbed.add_device("bob", position=Position(10, 0))
+    alice = testbed.omni_manager(alice_device, OMNI_TECHS_BLE_WIFI)
+    bob = testbed.omni_manager(bob_device, OMNI_TECHS_BLE_WIFI)
+    alice.enable()
+    bob.enable()
+    print(f"alice is {alice.omni_address}")
+    print(f"bob   is {bob.omni_address}")
+
+    # -- context: lightweight, periodic, broadcast ---------------------------
+
+    def on_status(code, info):
+        print(f"[{kernel.now:7.3f}s] alice status: {code.value} -> {info}")
+
+    alice.add_context({"interval_s": 0.5}, b"svc:thermometer", on_status)
+
+    heard = []
+
+    def on_context(source, context):
+        if not heard:
+            print(f"[{kernel.now:7.3f}s] bob heard context {context!r} "
+                  f"from {source}")
+        heard.append(source)
+
+    bob.request_context(on_context)
+    kernel.run_until(2.0)
+    print(f"[{kernel.now:7.3f}s] bob's neighbor table: "
+          f"{[str(address) for address in bob.neighbors()]}")
+
+    # -- data: heavyweight, directed ------------------------------------------
+
+    def on_data(source, data):
+        size = data.size if isinstance(data, VirtualPayload) else len(data)
+        print(f"[{kernel.now:7.3f}s] alice received {size:>10,} B from {source}")
+
+    alice.request_data(on_data)
+
+    # Small reading: Omni fast-peers over WiFi thanks to the address beacon.
+    start = kernel.now
+    bob.send_data([alice.omni_address], b"21.5C",
+                  lambda code, info: print(
+                      f"[{kernel.now:7.3f}s] bob send status: {code.value} "
+                      f"(latency {to_ms(kernel.now - start):.1f} ms)"))
+    kernel.run_until(kernel.now + 1.0)
+
+    # Bulk media: same API call, the middleware handles everything.
+    start = kernel.now
+    bob.send_data([alice.omni_address], VirtualPayload(25 * MB, tag="holiday.mp4"),
+                  lambda code, info: print(
+                      f"[{kernel.now:7.3f}s] bob send status: {code.value} "
+                      f"(latency {kernel.now - start:.2f} s)"))
+    kernel.run_until(kernel.now + 10.0)
+
+    # -- energy: what did discovery + transfers cost? --------------------------
+
+    average = bob_device.meter.total_charge_mas() / kernel.now
+    print(f"bob average draw over {kernel.now:.0f}s: {average:.1f} mA "
+          f"(incl. {92.1:.1f} mA WiFi standby)")
+    print("note: no WiFi scan ever ran — "
+          f"scans performed: {bob_device.radio('wifi').scans_performed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Encrypted context beacons (paper Sec 3.4).
+
+A tour group shares a symmetric key provisioned out of band (e.g. when
+registering for the tour).  Group members exchange rich context freely; a
+bystander running the same Omni stack sees that *devices exist* (address
+beacons are plain addressing) but cannot read any group context — sealed
+payloads fail authentication and are dropped inside the middleware.
+
+Run:  python examples/secure_group.py
+"""
+
+from repro.core.manager import OmniConfig
+from repro.core.security import SymmetricContextCipher
+from repro.experiments import OMNI_TECHS_BLE_WIFI, Testbed
+from repro.phy.geometry import Position
+
+GROUP_KEY = b"tour-group-2026-07-07"
+
+
+def main() -> None:
+    testbed = Testbed(seed=3)
+    kernel = testbed.kernel
+
+    def member(name, x, key):
+        config = OmniConfig(
+            context_cipher=SymmetricContextCipher(
+                key, kernel.rng.child("cipher", name)
+            ) if key else None
+        )
+        device = testbed.add_device(name, position=Position(x, 0))
+        manager = testbed.omni_manager(device, OMNI_TECHS_BLE_WIFI, config)
+        manager.enable()
+        return manager
+
+    guide = member("guide", 0.0, GROUP_KEY)
+    tourist = member("tourist", 8.0, GROUP_KEY)
+    rival = member("rival", 12.0, b"some-other-group")  # wrong key: drops
+    bystander = member("bystander", 14.0, None)  # no key: sees ciphertext
+
+    reads = {"tourist": 0, "rival": 0, "bystander": 0}
+    for listener, label in ((tourist, "tourist"), (rival, "rival"),
+                            (bystander, "bystander")):
+        def on_context(source, ctx, label=label):
+            reads[label] += 1
+            print(f"[{kernel.now:5.2f}s] {label} read context: {ctx!r}")
+
+        listener.request_context(on_context)
+
+    guide.add_context({"interval_s": 1.0}, b"meet@plaza", None)
+    kernel.run_until(4.0)
+
+    print("\nafter 4 s:")
+    print(f"  tourist read {reads['tourist']} context payloads in the clear;")
+    print(f"  rival (wrong key) read {reads['rival']} — sealed beacons fail "
+          "its authentication and are dropped in the middleware;")
+    print(f"  bystander (no key) read {reads['bystander']} blobs of opaque "
+          "ciphertext — content protected, presence visible:")
+    print(f"  rival still sees {len(rival.neighbors())} neighbors via plain "
+          "address beacons.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Omni reproduction: seamless device-to-device interaction, in simulation.
+
+A faithful, simulation-backed reproduction of *Omni: An Application
+Framework for Seamless Device-to-Device Interaction in the Wild*
+(Kalbarczyk & Julien, Middleware '18).
+
+Quick start::
+
+    from repro.experiments import Testbed
+    from repro.phy import Position
+
+    testbed = Testbed(seed=1)
+    device = testbed.add_device("tourist", position=Position(0, 0))
+    omni = testbed.omni_manager(device)
+    omni.enable()
+    omni.add_context({"interval_s": 0.5}, b"hello", print)
+    testbed.kernel.run_for(5.0)
+
+Layering (bottom up): :mod:`repro.sim` (event kernel) → :mod:`repro.phy` /
+:mod:`repro.energy` (world, power) → :mod:`repro.radio` / :mod:`repro.net`
+(BLE, WiFi-Mesh, NFC, channels) → :mod:`repro.core` (the Omni middleware)
+→ :mod:`repro.comm` (technology adapters) → :mod:`repro.apps` /
+:mod:`repro.baselines` / :mod:`repro.experiments`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "baselines",
+    "comm",
+    "core",
+    "energy",
+    "experiments",
+    "net",
+    "phy",
+    "radio",
+    "sim",
+    "trace",
+    "util",
+]

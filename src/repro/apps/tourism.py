@@ -1,0 +1,193 @@
+"""The smart-city tourism application (paper Secs 2.2 and 3).
+
+The paper's running example: tourists walk a digitally-enabled city where
+landmark beacons offer interactive visualizations, and a tour guide streams
+audio to the group.  This module implements the scenario directly against
+the Omni Developer API — context advertisements for service discovery,
+``send_data`` for the heavyweight media — demonstrating that "at no point
+must either side manually perform neighbor discovery, manage connections,
+or select the communication technology to use."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.address import OmniAddress
+from repro.core.codes import StatusCode
+from repro.core.manager import OmniManager
+from repro.net.payload import Payload, VirtualPayload
+
+#: Context advertisement prefixes (application-level protocol).
+VIZ_SERVICE_PREFIX = b"viz!"
+AUDIO_SERVICE_PREFIX = b"aud!"
+#: Data request sent by tourists to a landmark.
+VIZ_REQUEST = b"GETVIZ"
+AUDIO_SUBSCRIBE = b"SUBAUD"
+
+
+class LandmarkBeacon:
+    """A landmark device offering an interactive visualization service.
+
+    Uses the status callback the way a real application must: a send can
+    fail while a passer-by is still at the discovery edge (their request
+    arrived over BLE before their WiFi mapping did), so failed deliveries
+    are retried a few times as the peer mapping fills in.
+    """
+
+    RETRY_DELAY_S = 1.0
+    MAX_ATTEMPTS = 4
+
+    def __init__(self, manager: OmniManager, name: str,
+                 visualization_bytes: int = 5_000_000) -> None:
+        if len(VIZ_SERVICE_PREFIX) + len(name.encode()) > 18:
+            raise ValueError("landmark name too long for a BLE context")
+        self.manager = manager
+        self.name = name
+        self.visualization_bytes = visualization_bytes
+        self.requests_served = 0
+        self.deliveries_failed = 0
+        self.context_id: Optional[str] = None
+
+    def start(self) -> None:
+        """Advertise the service and answer visualization requests."""
+        if not self.manager.enabled:
+            self.manager.enable()
+
+        def on_status(code: StatusCode, info) -> None:
+            if code is StatusCode.ADD_CONTEXT_SUCCESS:
+                self.context_id = info
+
+        self.manager.add_context(
+            {"interval_s": 0.5},
+            VIZ_SERVICE_PREFIX + self.name.encode(),
+            on_status,
+        )
+        self.manager.request_data(self._on_data)
+
+    def _on_data(self, source: OmniAddress, data: Payload) -> None:
+        if data != VIZ_REQUEST:
+            return
+        self.requests_served += 1
+        self._deliver(source, attempt=1)
+
+    def _deliver(self, source: OmniAddress, attempt: int) -> None:
+        visualization = VirtualPayload(
+            size=self.visualization_bytes,
+            tag=f"viz/{self.name}",
+            meta=(("landmark", self.name),),
+        )
+
+        def on_status(code: StatusCode, info) -> None:
+            if code is not StatusCode.SEND_DATA_FAILURE:
+                return
+            if attempt >= self.MAX_ATTEMPTS:
+                self.deliveries_failed += 1
+                return
+            self.manager.kernel.call_in(
+                self.RETRY_DELAY_S, lambda: self._deliver(source, attempt + 1)
+            )
+
+        self.manager.send_data([source], visualization, on_status)
+
+
+class TourGuide:
+    """The guide's device, streaming audio chunks to subscribed tourists."""
+
+    def __init__(self, manager: OmniManager, chunk_bytes: int = 40_000,
+                 chunk_interval_s: float = 2.0) -> None:
+        self.manager = manager
+        self.chunk_bytes = chunk_bytes
+        self.chunk_interval_s = chunk_interval_s
+        self.subscribers: List[OmniAddress] = []
+        self.chunks_streamed = 0
+        self._task = None
+
+    def start(self) -> None:
+        """Advertise the audio service and stream to subscribers."""
+        if not self.manager.enabled:
+            self.manager.enable()
+        self.manager.add_context({"interval_s": 0.5}, AUDIO_SERVICE_PREFIX + b"tour", None)
+        self.manager.request_data(self._on_data)
+        self._task = self.manager.kernel.every(
+            self.chunk_interval_s, self._stream_chunk
+        )
+
+    def stop(self) -> None:
+        """Stop streaming."""
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _on_data(self, source: OmniAddress, data: Payload) -> None:
+        if data == AUDIO_SUBSCRIBE and source not in self.subscribers:
+            self.subscribers.append(source)
+
+    def _stream_chunk(self) -> None:
+        if not self.subscribers:
+            return
+        self.chunks_streamed += 1
+        chunk = VirtualPayload(
+            size=self.chunk_bytes,
+            tag=f"audio-{self.chunks_streamed}",
+            meta=(("audio", self.chunks_streamed),),
+        )
+        self.manager.send_data(list(self.subscribers), chunk, None)
+
+
+@dataclass
+class Visualization:
+    """A visualization a tourist received, with arrival timing."""
+
+    landmark: str
+    size: int
+    received_at: float
+
+
+class TouristApp:
+    """A tourist's device: discovers services, fetches media, hears audio."""
+
+    def __init__(self, manager: OmniManager) -> None:
+        self.manager = manager
+        self.visualizations: List[Visualization] = []
+        self.audio_chunks: int = 0
+        self.requested: Dict[OmniAddress, str] = {}
+        self.subscribed_to: Optional[OmniAddress] = None
+        self.on_visualization: Optional[Callable[[Visualization], None]] = None
+
+    def start(self) -> None:
+        """Register interest in nearby services."""
+        if not self.manager.enabled:
+            self.manager.enable()
+        self.manager.request_context(self._on_context)
+        self.manager.request_data(self._on_data)
+
+    # -- service discovery via context -----------------------------------------
+
+    def _on_context(self, source: OmniAddress, context: bytes) -> None:
+        if context.startswith(VIZ_SERVICE_PREFIX) and source not in self.requested:
+            landmark = context[len(VIZ_SERVICE_PREFIX):].decode(errors="replace")
+            self.requested[source] = landmark
+            self.manager.send_data([source], VIZ_REQUEST, None)
+        elif context.startswith(AUDIO_SERVICE_PREFIX) and self.subscribed_to is None:
+            self.subscribed_to = source
+            self.manager.send_data([source], AUDIO_SUBSCRIBE, None)
+
+    # -- media arrival -----------------------------------------------------------
+
+    def _on_data(self, source: OmniAddress, data: Payload) -> None:
+        if not isinstance(data, VirtualPayload):
+            return
+        for item in data.meta:
+            if isinstance(item, tuple) and item and item[0] == "landmark":
+                visualization = Visualization(
+                    landmark=item[1],
+                    size=data.size,
+                    received_at=self.manager.kernel.now,
+                )
+                self.visualizations.append(visualization)
+                if self.on_visualization is not None:
+                    self.on_visualization(visualization)
+            elif isinstance(item, tuple) and item and item[0] == "audio":
+                self.audio_chunks += 1

@@ -1,0 +1,33 @@
+"""Baseline systems: State of the Practice and State of the Art (Sec 4)."""
+
+from repro.baselines.art import SMALL_PAYLOAD_BYTES, SaSystem
+from repro.baselines.common import (
+    BaselineDirectory,
+    BleDiscovery,
+    DataEnvelope,
+    DirectoryEntry,
+    WifiUnicastPath,
+    decode_data,
+    decode_discovery,
+    derive_device_id,
+    encode_data,
+    encode_discovery,
+)
+from repro.baselines.practice import SpBleSystem, SpWifiSystem
+
+__all__ = [
+    "BaselineDirectory",
+    "BleDiscovery",
+    "DataEnvelope",
+    "DirectoryEntry",
+    "SMALL_PAYLOAD_BYTES",
+    "SaSystem",
+    "SpBleSystem",
+    "SpWifiSystem",
+    "WifiUnicastPath",
+    "decode_data",
+    "decode_discovery",
+    "derive_device_id",
+    "encode_data",
+    "encode_discovery",
+]

@@ -1,0 +1,18 @@
+"""Concrete technology adapters implementing the Communication Technology API."""
+
+from repro.comm.ble_tech import BleBeaconTech
+from repro.comm.nfc_tech import NfcTapTech
+from repro.comm.stack import StackConfig, build_device, build_omni
+from repro.comm.wifi_multicast_tech import WifiMulticastTech
+from repro.comm.wifi_tcp_tech import RESOLUTION_WAIT_S, WifiTcpTech
+
+__all__ = [
+    "BleBeaconTech",
+    "NfcTapTech",
+    "RESOLUTION_WAIT_S",
+    "StackConfig",
+    "WifiMulticastTech",
+    "WifiTcpTech",
+    "build_device",
+    "build_omni",
+]

@@ -1,0 +1,219 @@
+"""NFC technology adapter (context and tiny data at contact range).
+
+NFC fills out the architecture of paper Fig 3, where tourist devices share
+context over both BLE and NFC.  Exchanges are tap-triggered: the adapter
+only transmits a periodic context when something is actually in contact
+range, so an idle device pays nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.codes import StatusCode
+from repro.core.messages import Operation, SendRequest
+from repro.core.packed import OmniPacked, PackedStructError
+from repro.core.tech import TechType, TechnologyAdapter
+from repro.net.addresses import NfcAddress
+from repro.radio.frame import RadioKind
+from repro.radio.nfc import NFC_EXCHANGE_DURATION_S, NfcRadio
+from repro.sim.kernel import Kernel, PeriodicTask
+
+
+@dataclass
+class _ActiveContext:
+    request: SendRequest
+    task: PeriodicTask
+
+
+class NfcTapTech(TechnologyAdapter):
+    """Omni adapter for NFC tap exchanges."""
+
+    tech_type = TechType.NFC_TAP
+
+    def __init__(self, kernel: Kernel, radio: NfcRadio) -> None:
+        super().__init__(kernel)
+        self.radio = radio
+        self._contexts: Dict[str, _ActiveContext] = {}
+        self._listening = False
+        self._window_open = False
+
+    # -- contract ------------------------------------------------------------
+
+    def low_level_address(self) -> NfcAddress:
+        return self.radio.address
+
+    @property
+    def available(self) -> bool:
+        return self.enabled and self.radio.enabled
+
+    def _on_enable(self) -> None:
+        if not self.radio.enabled:
+            self.radio.enable()
+        self._attach_radio_watch(self.radio)
+
+    def _on_disable(self) -> None:
+        for active in self._contexts.values():
+            active.task.cancel()
+        self._contexts.clear()
+        self.stop_listening()
+
+    # -- context listening -----------------------------------------------------
+
+    def start_listening(self) -> None:
+        if self._listening:
+            return
+        self._listening = True
+        if not self.radio.polling:
+            self.radio.start_polling(self._on_exchange)
+
+    def stop_listening(self) -> None:
+        if not self._listening:
+            return
+        self._listening = False
+        if not self._window_open:
+            self.radio.stop_polling()
+
+    def listen_window(self, duration_s: float) -> None:
+        if self._listening or self._window_open:
+            return
+        self._window_open = True
+        self.radio.start_polling(self._on_exchange)
+
+        def close() -> None:
+            self._window_open = False
+            if not self._listening and self.radio.polling:
+                self.radio.stop_polling()
+
+        self.kernel.call_in(duration_s, close)
+
+    # -- requests ----------------------------------------------------------
+
+    def _handle_request(self, request: SendRequest) -> None:
+        handlers = {
+            Operation.ADD_CONTEXT: self._handle_add_context,
+            Operation.UPDATE_CONTEXT: self._handle_update_context,
+            Operation.REMOVE_CONTEXT: self._handle_remove_context,
+            Operation.SEND_DATA: self._handle_send_data,
+        }
+        handlers[request.operation](request)
+
+    def _encode(self, request: SendRequest) -> Optional[bytes]:
+        assert request.packed is not None
+        try:
+            raw = request.packed.encode()
+        except PackedStructError as error:
+            self._respond(
+                request, request.failure_code, (str(error), request.failure_subject)
+            )
+            return None
+        limit = self.traits.context_payload_limit
+        if limit is not None and len(raw) > limit:
+            self._respond(
+                request,
+                request.failure_code,
+                (f"{len(raw)}B exceeds NFC limit of {limit}B", request.failure_subject),
+            )
+            return None
+        return raw
+
+    def _handle_add_context(self, request: SendRequest) -> None:
+        raw = self._encode(request)
+        if raw is None:
+            return
+        interval = float(request.params.get("interval_s", 1.0))
+        task = self.kernel.every(
+            interval,
+            lambda: self._announce(request.context_id),
+            start_after=0.0,
+        )
+        self._contexts[request.context_id] = _ActiveContext(request, task)
+        self._respond(request, StatusCode.ADD_CONTEXT_SUCCESS, request.context_id)
+
+    def _announce(self, context_id: str) -> None:
+        active = self._contexts.get(context_id)
+        if active is None or not self.radio.enabled:
+            return
+        # Tap-triggered: transmit only when something is in contact range.
+        if not self.radio.medium.reachable_from(self.radio):
+            return
+        assert active.request.packed is not None
+        try:
+            self.radio.exchange(active.request.packed.encode())
+        except (PackedStructError, ValueError):
+            pass
+
+    def _handle_update_context(self, request: SendRequest) -> None:
+        active = self._contexts.get(request.context_id)
+        if active is None:
+            self._handle_add_context(request)
+            return
+        raw = self._encode(request)
+        if raw is None:
+            return
+        active.request = request
+        active.task.set_period(float(request.params.get("interval_s", 1.0)))
+        self._respond(request, StatusCode.UPDATE_CONTEXT_SUCCESS, request.context_id)
+
+    def _handle_remove_context(self, request: SendRequest) -> None:
+        active = self._contexts.pop(request.context_id, None)
+        if active is None:
+            self._respond(
+                request,
+                StatusCode.REMOVE_CONTEXT_FAILURE,
+                (f"context {request.context_id!r} not on NFC", request.context_id),
+            )
+            return
+        active.task.cancel()
+        self._respond(request, StatusCode.REMOVE_CONTEXT_SUCCESS, request.context_id)
+
+    def _handle_send_data(self, request: SendRequest) -> None:
+        raw = self._encode(request)
+        if raw is None:
+            return
+        peer = self._find_peer_radio(request.destination)
+        if peer is None:
+            self._respond(
+                request,
+                StatusCode.SEND_DATA_FAILURE,
+                ("NFC peer not in contact range", request.destination_omni),
+            )
+            return
+        self.radio.exchange(raw)
+        self.kernel.call_in(
+            NFC_EXCHANGE_DURATION_S,
+            lambda: self._respond(
+                request, StatusCode.SEND_DATA_SUCCESS, request.destination_omni
+            ),
+        )
+
+    def _find_peer_radio(self, address: NfcAddress) -> Optional[NfcRadio]:
+        for radio in self.radio.medium.radios(RadioKind.NFC):
+            if (
+                radio is not self.radio
+                and getattr(radio, "address", None) == address
+                and radio.enabled
+                and radio.polling
+                and self.radio.medium.in_range(self.radio, radio)
+            ):
+                return radio
+        return None
+
+    # -- estimation --------------------------------------------------------
+
+    def estimate_data_seconds(self, size: int, fast_hint: bool,
+                              destination=None) -> Optional[float]:
+        limit = self.traits.max_data_bytes
+        if limit is not None and size > limit:
+            return None
+        return NFC_EXCHANGE_DURATION_S
+
+    # -- reception ------------------------------------------------------------
+
+    def _on_exchange(self, payload: bytes, sender: NfcAddress, distance: float) -> None:
+        try:
+            packed = OmniPacked.decode(payload)
+        except PackedStructError:
+            return
+        self._received(packed, sender, fast_peer_capable=True)

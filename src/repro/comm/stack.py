@@ -1,0 +1,78 @@
+"""Convenience builders wiring devices, radios, adapters, and managers.
+
+These functions assemble the standard Omni stack the way the paper's
+testbed did: a BLE radio and a WiFi radio per Raspberry Pi, with the
+adapter set chosen per experiment configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.comm.ble_tech import BleBeaconTech
+from repro.comm.nfc_tech import NfcTapTech
+from repro.comm.wifi_multicast_tech import WifiMulticastTech
+from repro.comm.wifi_tcp_tech import WifiTcpTech
+from repro.core.manager import OmniConfig, OmniManager
+from repro.core.tech import TechType
+from repro.net.mesh import MeshNetwork
+from repro.phy.world import WorldNode
+from repro.radio.base import Device
+from repro.radio.ble import BleRadio
+from repro.radio.medium import Medium
+from repro.radio.nfc import NfcRadio
+from repro.radio.wifi import WifiRadio
+from repro.sim.kernel import Kernel
+
+
+@dataclass
+class StackConfig:
+    """Which technologies a device carries and which Omni drives.
+
+    ``radio_kinds`` are the radios physically present (and powered, hence
+    paying standby); ``omni_techs`` are the adapters registered with Omni.
+    A radio can be present but unused by Omni — the Table 4 BLE/BLE rows
+    keep the WiFi radio in standby without giving Omni a WiFi adapter.
+    """
+
+    radio_kinds: Set[str] = field(default_factory=lambda: {"ble", "wifi"})
+    omni_techs: Set[TechType] = field(
+        default_factory=lambda: {
+            TechType.BLE_BEACON,
+            TechType.WIFI_TCP,
+            TechType.WIFI_MULTICAST,
+        }
+    )
+    omni_config: Optional[OmniConfig] = None
+
+
+def build_device(kernel: Kernel, node: WorldNode, medium: Medium,
+                 config: Optional[StackConfig] = None) -> Device:
+    """Create a device with the configured radios, all enabled."""
+    config = config or StackConfig()
+    device = Device(kernel, node)
+    if "ble" in config.radio_kinds:
+        device.add_radio(BleRadio(device, medium)).enable()
+    if "wifi" in config.radio_kinds:
+        device.add_radio(WifiRadio(device, medium)).enable()
+    if "nfc" in config.radio_kinds:
+        device.add_radio(NfcRadio(device, medium)).enable()
+    return device
+
+
+def build_omni(device: Device, mesh: MeshNetwork,
+               config: Optional[StackConfig] = None) -> OmniManager:
+    """Create (but do not enable) an OmniManager with the configured adapters."""
+    config = config or StackConfig()
+    manager = OmniManager(device, config=config.omni_config)
+    kernel = device.kernel
+    if TechType.BLE_BEACON in config.omni_techs:
+        manager.register_adapter(BleBeaconTech(kernel, device.radio("ble")))
+    if TechType.WIFI_TCP in config.omni_techs:
+        manager.register_adapter(WifiTcpTech(kernel, device.radio("wifi")))
+    if TechType.WIFI_MULTICAST in config.omni_techs:
+        manager.register_adapter(WifiMulticastTech(kernel, device.radio("wifi"), mesh))
+    if TechType.NFC_TAP in config.omni_techs:
+        manager.register_adapter(NfcTapTech(kernel, device.radio("nfc")))
+    return manager

@@ -1,0 +1,212 @@
+"""WiFi-Mesh unicast TCP technology adapter (data only).
+
+The latency of a data send depends on what the device already knows:
+
+- peer already in our mesh and in range → TCP handshake + transfer;
+- peer's address learned from a connection-less address beacon
+  (``fast_hint``) → fast peering (~8 ms) + handshake + transfer — Omni's
+  headline win;
+- otherwise → full network scan (~1.8 s) + connect (~1 s) + a resolution
+  wait for the peer's soft state (~0.25 s) + transfer — what the State of
+  the Practice/Art pay on every interaction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.codes import StatusCode
+from repro.core.messages import Operation, SendRequest
+from repro.core.packed import OmniPacked, PackedStructError
+from repro.core.tech import TechType, TechnologyAdapter
+from repro.net.addresses import MeshAddress
+from repro.net.mesh import MeshNetwork
+from repro.net.payload import VirtualPayload
+from repro.radio.frame import RadioKind
+from repro.radio.wifi import (
+    FULL_CONNECT_S,
+    FAST_PEERING_S,
+    SCAN_DURATION_S,
+    TCP_HANDSHAKE_S,
+    WifiRadio,
+)
+from repro.sim.kernel import Kernel
+
+#: Expected wait to refresh a peer's soft state (address/route announcement)
+#: after joining a network found by scanning.  Applies when the peer's
+#: address was *not* learned from a connection-less address beacon.
+RESOLUTION_WAIT_S = 0.25
+
+
+class WifiTcpTech(TechnologyAdapter):
+    """Omni adapter for unicast TCP over WiFi-Mesh."""
+
+    tech_type = TechType.WIFI_TCP
+
+    def __init__(self, kernel: Kernel, radio: WifiRadio) -> None:
+        super().__init__(kernel)
+        self.radio = radio
+        # Stations this radio holds a live pairwise peering with.  802.11s
+        # peering is per neighbor station, not per network: association with
+        # a mesh for one peer does not shortcut a transfer to another.
+        self._peered: set = set()
+
+    # -- contract ------------------------------------------------------------
+
+    def low_level_address(self) -> MeshAddress:
+        return self.radio.address
+
+    @property
+    def available(self) -> bool:
+        return self.enabled and self.radio.enabled
+
+    def _on_enable(self) -> None:
+        if not self.radio.enabled:
+            self.radio.enable()
+        self._attach_radio_watch(self.radio)
+        self.radio.on_unicast(self._on_unicast)
+
+    def _on_disable(self) -> None:
+        self.radio.on_unicast(None)
+
+    # -- requests ------------------------------------------------------------
+
+    def _handle_request(self, request: SendRequest) -> None:
+        if request.operation is not Operation.SEND_DATA:
+            self._respond(
+                request,
+                request.failure_code,
+                ("WiFi TCP does not carry context", request.failure_subject),
+            )
+            return
+        self.kernel.spawn(self._send_process(request), name="wifi-tcp-send")
+
+    def _send_process(self, request: SendRequest):
+        destination: MeshAddress = request.destination
+        peer = self._find_peer_radio(destination)
+        if peer is None:
+            self._fail(request, "destination WiFi radio not present or off")
+            return
+        # Step 1: obtain peered mesh connectivity with this peer.  A
+        # multicast-only attachment does not qualify, and peering is per
+        # station — a live session with one neighbor does not cover another.
+        if not (
+            self.radio.mesh is not None
+            and self.radio.peer_mode
+            and destination in self._peered
+            and peer in self.radio.mesh
+        ):
+            if request.fast_hint:
+                # Prefer an existing attachment on either side so repeated
+                # peerings converge on one mesh instead of thrashing; fresh
+                # peerings land on the medium's shared ad-hoc mesh.
+                mesh = (
+                    peer.mesh
+                    or (self.radio.mesh if self.radio.peer_mode else None)
+                    or self.radio.medium.adhoc_mesh()
+                )
+                if peer.mesh is None:
+                    # 802.11s peering is mutual: the responder accepts the
+                    # peering our radio initiates (responder side is free).
+                    peer.mesh = mesh
+                    mesh._join(peer)
+                try:
+                    yield self.radio.join(mesh, fast=True)
+                except Exception as error:  # noqa: BLE001 - reported via queue
+                    self._fail(request, f"fast peering failed: {error}")
+                    return
+            else:
+                try:
+                    meshes = yield self.radio.scan(SCAN_DURATION_S)
+                except Exception as error:  # noqa: BLE001
+                    self._fail(request, f"scan failed: {error}")
+                    return
+                target = next(
+                    (mesh for mesh in meshes if mesh.member_by_address(destination)),
+                    None,
+                )
+                if target is None:
+                    self._fail(request, "no visible network contains the destination")
+                    return
+                try:
+                    yield self.radio.join(target, fast=False)
+                except Exception as error:  # noqa: BLE001
+                    self._fail(request, f"connect failed: {error}")
+                    return
+                yield self.kernel.timeout(RESOLUTION_WAIT_S)
+        # Step 2: transfer.
+        payload = self._wrap(request.packed)
+        transfer = self.radio.send_unicast(destination, payload, label="omni-data")
+        try:
+            yield transfer.completion
+        except Exception as error:  # noqa: BLE001
+            self._fail(request, str(error))
+            return
+        self._peered.add(destination)
+        self._respond(request, StatusCode.SEND_DATA_SUCCESS, request.destination_omni)
+
+    def _fail(self, request: SendRequest, reason: str) -> None:
+        self._respond(
+            request, StatusCode.SEND_DATA_FAILURE, (reason, request.destination_omni)
+        )
+
+    def _find_peer_radio(self, address: MeshAddress) -> Optional[WifiRadio]:
+        for radio in self.radio.medium.radios(RadioKind.WIFI):
+            if (
+                radio is not self.radio
+                and getattr(radio, "address", None) == address
+                and radio.enabled
+            ):
+                return radio
+        return None
+
+    # -- payload wrapping --------------------------------------------------
+
+    @staticmethod
+    def _wrap(packed: OmniPacked) -> VirtualPayload:
+        """Carry the packed struct by wire size; bytes never materialize."""
+        return VirtualPayload(size=packed.wire_size, tag="omni", meta=(packed,))
+
+    @staticmethod
+    def _unwrap(payload) -> Optional[OmniPacked]:
+        if isinstance(payload, VirtualPayload):
+            for item in payload.meta:
+                if isinstance(item, OmniPacked):
+                    return item
+            return None
+        try:
+            return OmniPacked.decode(payload)
+        except PackedStructError:
+            return None
+
+    # -- estimation -----------------------------------------------------------
+
+    def estimate_data_seconds(self, size: int, fast_hint: bool,
+                              destination=None) -> Optional[float]:
+        if self.radio.mesh is not None:
+            rate = self.radio.mesh.channel.effective_capacity
+        else:
+            from repro.net.mesh import UNICAST_CAPACITY_BPS
+
+            rate = UNICAST_CAPACITY_BPS
+        transfer = TCP_HANDSHAKE_S + size / rate
+        if (
+            self.radio.mesh is not None
+            and self.radio.peer_mode
+            and destination in self._peered
+        ):
+            return transfer
+        if fast_hint:
+            return FAST_PEERING_S + transfer
+        return SCAN_DURATION_S + FULL_CONNECT_S + RESOLUTION_WAIT_S + transfer
+
+    # -- reception ------------------------------------------------------------
+
+    def _on_unicast(self, payload, source: MeshAddress) -> None:
+        packed = self._unwrap(payload)
+        if packed is None:
+            return
+        # An inbound TCP connection implies a live pairwise peering; the
+        # reply direction needs no setup of its own.
+        self._peered.add(source)
+        self._received(packed, source, fast_peer_capable=False)

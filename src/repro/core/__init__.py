@@ -1,0 +1,102 @@
+"""Omni core: the paper's primary contribution.
+
+Public surface:
+
+- :class:`OmniManager` — the per-device middleware instance exposing the
+  Developer API of paper Table 1 (``add_context``, ``update_context``,
+  ``remove_context``, ``send_data``, ``request_context``, ``request_data``).
+- :class:`StatusCode` — the status callback codes of Table 2.
+- :class:`OmniAddress`, :class:`OmniPacked` — addressing and wire format.
+- :class:`TechnologyAdapter` — the Communication Technology API contract.
+"""
+
+from repro.core.adaptive import AdaptiveBeaconConfig, AdaptiveBeaconController
+from repro.core.address import OmniAddress
+from repro.core.beacon import BeaconService
+from repro.core.security import (
+    ContextCipher,
+    NullCipher,
+    SymmetricContextCipher,
+)
+from repro.core.codes import (
+    ContextCallback,
+    DataCallback,
+    StatusCallback,
+    StatusCode,
+    null_status_callback,
+)
+from repro.core.context import ContextParams, ContextRegistration, ContextRegistry
+from repro.core.manager import OmniConfig, OmniManager
+from repro.core.messages import (
+    Operation,
+    ReceivedContent,
+    SendRequest,
+    TechResponse,
+    TechStatusChange,
+)
+from repro.core.packed import (
+    ADDRESS_BEACON_PAYLOAD_BYTES,
+    AddressBeacon,
+    ContentKind,
+    OmniPacked,
+    PackedStructError,
+)
+from repro.core.peers import PeerRecord, PeerTable, PeerTechEntry
+from repro.core.relay import (
+    RelayCache,
+    RelayConfig,
+    decode_relay,
+    encode_relay,
+)
+from repro.core.selection import DataPlan, DataTechSelector
+from repro.core.tech import (
+    TRAITS,
+    TechQueues,
+    TechTraits,
+    TechType,
+    TechnologyAdapter,
+)
+
+__all__ = [
+    "ADDRESS_BEACON_PAYLOAD_BYTES",
+    "AdaptiveBeaconConfig",
+    "AdaptiveBeaconController",
+    "AddressBeacon",
+    "BeaconService",
+    "ContextCipher",
+    "NullCipher",
+    "SymmetricContextCipher",
+    "ContentKind",
+    "ContextCallback",
+    "ContextParams",
+    "ContextRegistration",
+    "ContextRegistry",
+    "DataCallback",
+    "DataPlan",
+    "DataTechSelector",
+    "OmniAddress",
+    "OmniConfig",
+    "OmniManager",
+    "OmniPacked",
+    "Operation",
+    "PackedStructError",
+    "PeerRecord",
+    "RelayCache",
+    "RelayConfig",
+    "PeerTable",
+    "PeerTechEntry",
+    "ReceivedContent",
+    "SendRequest",
+    "StatusCallback",
+    "StatusCode",
+    "TRAITS",
+    "TechQueues",
+    "TechResponse",
+    "TechStatusChange",
+    "TechTraits",
+    "TechType",
+    "TechnologyAdapter",
+    "decode_relay",
+    "encode_relay",
+    "null_status_callback",
+]

@@ -1,0 +1,79 @@
+"""Adaptive address-beacon pacing (paper "Future Considerations").
+
+The paper fixes the address beacon at 500 ms and notes: "In the future, we
+plan to allow a developer to omit this parameter in favor of plugging in
+existing neighbor discovery protocols that use adaptive transmission
+frequencies based on physical network conditions [eDiscovery]."
+
+This module is that plug-in point.  :class:`AdaptiveBeaconController`
+implements an eDiscovery-style rule driven by the discovered-neighbor set:
+
+- while the neighborhood is **changing** (devices arriving or leaving),
+  beacon faster — churn means undiscovered peers are likely nearby;
+- while it is **stable**, back off multiplicatively toward a ceiling —
+  every beacon to an already-known neighborhood is wasted energy.
+
+Enable by passing an :class:`AdaptiveBeaconConfig` as
+``OmniConfig.adaptive_beacon``; the manager re-paces the hidden beacon
+registration live through the normal update path, so the adaptation is
+visible to (and exercised by) every technology adapter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class AdaptiveBeaconConfig:
+    """Tunables for the adaptive pacing rule."""
+
+    min_interval_s: float = 0.1
+    max_interval_s: float = 2.0
+    evaluate_period_s: float = 2.0
+    speedup_factor: float = 0.5  # applied on churn
+    backoff_factor: float = 1.4  # applied on stability
+
+    def __post_init__(self) -> None:
+        check_positive("min_interval_s", self.min_interval_s)
+        if self.max_interval_s < self.min_interval_s:
+            raise ValueError("max_interval_s must be >= min_interval_s")
+        check_positive("evaluate_period_s", self.evaluate_period_s)
+        if not 0 < self.speedup_factor < 1:
+            raise ValueError("speedup_factor must be in (0, 1)")
+        if self.backoff_factor <= 1:
+            raise ValueError("backoff_factor must be > 1")
+
+
+class AdaptiveBeaconController:
+    """Stateful interval policy: feed it neighbor sets, get intervals."""
+
+    def __init__(self, config: AdaptiveBeaconConfig,
+                 initial_interval_s: float) -> None:
+        self.config = config
+        self.interval_s = min(
+            config.max_interval_s, max(config.min_interval_s, initial_interval_s)
+        )
+        self._last_neighbors: Optional[FrozenSet] = None
+        self.evaluations = 0
+        self.churn_events = 0
+
+    def evaluate(self, neighbors: FrozenSet) -> float:
+        """Update and return the beacon interval for the current neighborhood."""
+        self.evaluations += 1
+        config = self.config
+        if self._last_neighbors is None or neighbors != self._last_neighbors:
+            if self._last_neighbors is not None:
+                self.churn_events += 1
+            self.interval_s = max(
+                config.min_interval_s, self.interval_s * config.speedup_factor
+            )
+        else:
+            self.interval_s = min(
+                config.max_interval_s, self.interval_s * config.backoff_factor
+            )
+        self._last_neighbors = frozenset(neighbors)
+        return self.interval_s

@@ -1,0 +1,55 @@
+"""The omni_address: one technology-agnostic identity per device.
+
+Paper Sec 3.3: "the Omni Manager generates a unique 64-bit id for a device,
+known as the omni_address, using a hash of the hardware MAC addresses for
+the interfaces available on that device."
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable
+
+WIRE_BYTES = 8
+
+
+@dataclass(frozen=True, order=True)
+class OmniAddress:
+    """A 64-bit device identity, stable across communication technologies."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << 64):
+            raise ValueError(f"omni_address out of 64-bit range: {self.value:#x}")
+
+    @classmethod
+    def from_interface_addresses(cls, addresses: Iterable[bytes]) -> "OmniAddress":
+        """Derive the address from the device's hardware interface addresses.
+
+        The inputs are sorted before hashing so the result does not depend on
+        radio enumeration order.
+        """
+        hasher = hashlib.sha256()
+        materialized = sorted(bytes(address) for address in addresses)
+        if not materialized:
+            raise ValueError("need at least one interface address")
+        for address in materialized:
+            hasher.update(len(address).to_bytes(1, "big"))
+            hasher.update(address)
+        return cls(int.from_bytes(hasher.digest()[:WIRE_BYTES], "big"))
+
+    def to_bytes(self) -> bytes:
+        """Canonical 8-byte big-endian encoding."""
+        return self.value.to_bytes(WIRE_BYTES, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "OmniAddress":
+        """Decode the canonical 8-byte encoding."""
+        if len(data) != WIRE_BYTES:
+            raise ValueError(f"omni_address needs {WIRE_BYTES} bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def __str__(self) -> str:
+        return f"omni:{self.value:016x}"

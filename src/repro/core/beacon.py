@@ -1,0 +1,146 @@
+"""The Omni address beacon and secondary-technology engagement (Sec 3.3).
+
+Every Omni device periodically transmits an ``address_beacon`` (every 500 ms
+in the paper) carrying its WiFi-Mesh and BLE addresses, using the accessible
+context technology with the lowest energy cost.  To discover peers that
+cannot hear that technology, the manager additionally:
+
+- listens briefly on each other context technology at a much lower
+  frequency (every ~5 s);
+- if a beacon arrives on technology A from a peer not reachable over a
+  cheaper technology, engages A — beaconing and listening on it
+  continuously — and keeps A engaged for as long as some peer needs it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.core.tech import TechType, TechnologyAdapter
+
+if TYPE_CHECKING:
+    from repro.core.manager import OmniManager
+
+
+class BeaconService:
+    """Drives address beaconing and the engagement algorithm for a manager."""
+
+    def __init__(self, manager: "OmniManager") -> None:
+        self.manager = manager
+        self._engaged: Set[TechType] = set()
+        self._probe_task = None
+        # When application context last arrived per technology.  A peer may
+        # be reachable on a cheaper technology for *beacons* yet publish a
+        # context only here (e.g. one too large for BLE); such arrivals
+        # keep the technology engaged.
+        self._last_context_arrival: Dict[TechType, float] = {}
+
+    # -- derived views --------------------------------------------------------
+
+    def context_adapters(self) -> Dict[TechType, TechnologyAdapter]:
+        """Available, context-capable adapters by type."""
+        return {
+            tech: adapter
+            for tech, adapter in self.manager.adapters.items()
+            if adapter.traits.supports_context and adapter.available
+        }
+
+    @property
+    def primary_tech(self) -> Optional[TechType]:
+        """The cheapest context technology currently available."""
+        adapters = self.context_adapters()
+        if not adapters:
+            return None
+        return min(adapters, key=lambda tech: adapters[tech].traits.energy_rank)
+
+    @property
+    def engaged_techs(self) -> List[TechType]:
+        """Technologies currently carrying context, cheapest first."""
+        adapters = self.context_adapters()
+        engaged = {self.primary_tech} | (self._engaged & set(adapters))
+        engaged.discard(None)
+        return sorted(engaged, key=lambda tech: adapters[tech].traits.energy_rank)
+
+    def is_engaged(self, tech: TechType) -> bool:
+        """True if ``tech`` currently carries context transmissions."""
+        return tech in self.engaged_techs
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin beaconing, continuous listening on primary, and probing."""
+        config = self.manager.config
+        primary = self.primary_tech
+        adapters = self.context_adapters()
+        if primary is not None:
+            adapters[primary].start_listening()
+        self._probe_task = self.manager.kernel.every(
+            config.secondary_listen_period_s,
+            self._probe_and_review,
+            start_after=config.secondary_listen_period_s,
+        )
+
+    def stop(self) -> None:
+        """Stop probing; adapters are shut down by the manager."""
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            self._probe_task = None
+
+    # -- the engagement algorithm ---------------------------------------------
+
+    def _probe_and_review(self) -> None:
+        config = self.manager.config
+        engaged = set(self.engaged_techs)
+        for tech, adapter in sorted(
+            self.context_adapters().items(), key=lambda item: item[0].value
+        ):
+            if tech not in engaged:
+                adapter.listen_window(config.secondary_listen_window_s)
+        self._review_engagements()
+
+    def note_content_received(self, tech: TechType,
+                              is_app_context: bool = False) -> None:
+        """Called by the manager for every context/beacon arrival.
+
+        The peer table has already been updated.  Engage ``tech`` when the
+        sending peer is reachable over nothing cheaper, or when application
+        context is being published on it (content can live on a technology
+        even when its publisher's *presence* is visible on a cheaper one).
+        """
+        if is_app_context:
+            self._last_context_arrival[tech] = self.manager.kernel.now
+        adapters = self.context_adapters()
+        if tech not in adapters or tech in self.engaged_techs:
+            return
+        if is_app_context or self.manager.peer_table.peers_needing(tech):
+            self._engage(tech)
+
+    def _engage(self, tech: TechType) -> None:
+        self._engaged.add(tech)
+        self.context_adapters()[tech].start_listening()
+        self.manager._sync_context_assignments()
+
+    def _review_engagements(self) -> None:
+        """Disengage secondaries no peer (and no published context) needs."""
+        primary = self.primary_tech
+        adapters = self.context_adapters()
+        staleness = self.manager.config.peer_staleness_s
+        now = self.manager.kernel.now
+        for tech in sorted(self._engaged, key=lambda item: item.value):
+            if tech is primary or tech not in adapters:
+                continue
+            context_fresh = (
+                now - self._last_context_arrival.get(tech, float("-inf"))
+                <= staleness
+            )
+            if not context_fresh and not self.manager.peer_table.peers_needing(tech):
+                self._engaged.discard(tech)
+                adapters[tech].stop_listening()
+                self.manager._sync_context_assignments()
+
+    def on_primary_changed(self) -> None:
+        """Re-arm listening when the set of adapters changes."""
+        primary = self.primary_tech
+        if primary is not None:
+            adapter = self.context_adapters()[primary]
+            adapter.start_listening()

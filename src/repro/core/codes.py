@@ -1,0 +1,50 @@
+"""Status callback codes (paper Table 2) and the callback signatures.
+
+Applications receive asynchronous responses through a ``status_callback``
+with the signature ``status_callback(code, response_info)``.  For successes,
+``response_info`` carries the context id or destination; for failures it
+carries ``(failure_description, ...)`` tuples exactly as Table 2 specifies.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+
+class StatusCode(enum.Enum):
+    """Response codes delivered to application status callbacks."""
+
+    ADD_CONTEXT_SUCCESS = "ADD_CONTEXT_SUCCESS"
+    ADD_CONTEXT_FAILURE = "ADD_CONTEXT_FAILURE"
+    UPDATE_CONTEXT_SUCCESS = "UPDATE_CONTEXT_SUCCESS"
+    UPDATE_CONTEXT_FAILURE = "UPDATE_CONTEXT_FAILURE"
+    REMOVE_CONTEXT_SUCCESS = "REMOVE_CONTEXT_SUCCESS"
+    REMOVE_CONTEXT_FAILURE = "REMOVE_CONTEXT_FAILURE"
+    SEND_DATA_SUCCESS = "SEND_DATA_SUCCESS"
+    SEND_DATA_FAILURE = "SEND_DATA_FAILURE"
+
+    @property
+    def is_success(self) -> bool:
+        """True for the ``*_SUCCESS`` codes."""
+        return self.value.endswith("SUCCESS")
+
+    @property
+    def is_failure(self) -> bool:
+        """True for the ``*_FAILURE`` codes."""
+        return self.value.endswith("FAILURE")
+
+
+#: ``status_callback(code, response_info)`` — see Table 2 for the
+#: response_info carried by each code.
+StatusCallback = Callable[[StatusCode, Any], None]
+
+#: ``receive_context_callback(source, context)`` — source is an OmniAddress.
+ContextCallback = Callable[[Any, bytes], None]
+
+#: ``receive_data_callback(source, data)`` — source is an OmniAddress.
+DataCallback = Callable[[Any, Any], None]
+
+
+def null_status_callback(code: StatusCode, response_info: Any) -> None:
+    """A no-op status callback for applications that ignore responses."""

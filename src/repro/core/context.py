@@ -1,0 +1,103 @@
+"""Context registrations (the context mapping, paper Sec 3.3).
+
+The Omni Manager tracks every active context transmission: the application's
+payload, the sharing frequency, the status callback, and which technologies
+are currently carrying it — so updates and removals can be forwarded to the
+right adapters, and assignments can follow engagement changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.codes import StatusCallback
+from repro.core.tech import TechType
+from repro.util.validation import check_positive
+
+
+@dataclass
+class ContextParams:
+    """Parameters of a context transmission.
+
+    The paper's ``params`` argument carries "the frequency with which the
+    application wants to advertise the specified context"; we use the period
+    in seconds.  ``from_params`` also accepts plain dicts with either an
+    ``interval_s`` or a ``frequency_hz`` key, mirroring a loosely-typed API.
+    """
+
+    interval_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("interval_s", self.interval_s)
+
+    @classmethod
+    def from_params(cls, params) -> "ContextParams":
+        """Coerce an application-supplied params value."""
+        if isinstance(params, ContextParams):
+            return params
+        if params is None:
+            return cls()
+        if isinstance(params, dict):
+            if "interval_s" in params:
+                return cls(interval_s=float(params["interval_s"]))
+            if "frequency_hz" in params:
+                frequency = float(params["frequency_hz"])
+                check_positive("frequency_hz", frequency)
+                return cls(interval_s=1.0 / frequency)
+            return cls()
+        raise TypeError(f"unsupported context params: {params!r}")
+
+
+@dataclass
+class ContextRegistration:
+    """One active context transmission."""
+
+    context_id: str
+    params: ContextParams
+    payload: bytes
+    status_callback: Optional[StatusCallback]
+    assigned_techs: Set[TechType] = field(default_factory=set)
+    is_system: bool = False  # address beacons are hidden from applications
+
+    def __repr__(self) -> str:
+        techs = ",".join(sorted(tech.value for tech in self.assigned_techs)) or "-"
+        return (
+            f"ContextRegistration({self.context_id}, every {self.params.interval_s}s,"
+            f" {len(self.payload)}B, on [{techs}])"
+        )
+
+
+class ContextRegistry:
+    """All active context registrations, keyed by context id."""
+
+    def __init__(self) -> None:
+        self._registrations: Dict[str, ContextRegistration] = {}
+
+    def __len__(self) -> int:
+        return len(self._registrations)
+
+    def __contains__(self, context_id: str) -> bool:
+        return context_id in self._registrations
+
+    def add(self, registration: ContextRegistration) -> None:
+        """Register; context ids are unique."""
+        if registration.context_id in self._registrations:
+            raise ValueError(f"duplicate context id {registration.context_id!r}")
+        self._registrations[registration.context_id] = registration
+
+    def get(self, context_id: str) -> Optional[ContextRegistration]:
+        """Look up by id, or None."""
+        return self._registrations.get(context_id)
+
+    def remove(self, context_id: str) -> Optional[ContextRegistration]:
+        """Remove and return the registration, or None if absent."""
+        return self._registrations.pop(context_id, None)
+
+    def all(self, include_system: bool = True) -> List[ContextRegistration]:
+        """All registrations in insertion order."""
+        return [
+            registration
+            for registration in self._registrations.values()
+            if include_system or not registration.is_system
+        ]

@@ -1,0 +1,113 @@
+"""Messages that travel on the three Omni queues (paper Sec 3.2)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.core.codes import StatusCallback, StatusCode
+from repro.core.packed import OmniPacked
+
+if TYPE_CHECKING:
+    from repro.core.tech import TechType
+
+
+class Operation(enum.Enum):
+    """The operation a send-queue request asks a technology to perform."""
+
+    ADD_CONTEXT = "add_context"
+    UPDATE_CONTEXT = "update_context"
+    REMOVE_CONTEXT = "remove_context"
+    SEND_DATA = "send_data"
+    # One-shot re-advertisement of another device's context (BLE-Mesh-style
+    # relay, repro.core.relay); fire-and-forget from the manager's side.
+    RELAY_CONTEXT = "relay_context"
+
+
+@dataclass
+class SendRequest:
+    """One item on a technology's send queue.
+
+    Carries everything the paper lists: the packed content, the parameters
+    map (frequency for context; destination for data), and the application's
+    ``status_callback`` to be forwarded at response time.  The full request
+    rides along in the response so the Omni Manager can re-issue it on an
+    alternative technology after a failure (paper Sec 3.3).
+    """
+
+    operation: Operation
+    request_id: str
+    packed: Optional[OmniPacked]
+    params: Dict[str, Any] = field(default_factory=dict)
+    status_callback: Optional[StatusCallback] = None
+    context_id: Optional[str] = None  # context operations
+    destination: Any = None  # low-level address, data operations
+    destination_omni: Any = None  # OmniAddress, for response_info
+    fast_hint: bool = False  # peer address learned via address beacon
+    attempt: int = 0  # how many technologies have tried this request
+
+    @property
+    def failure_code(self) -> StatusCode:
+        """The Table 2 failure code matching this operation."""
+        return {
+            Operation.ADD_CONTEXT: StatusCode.ADD_CONTEXT_FAILURE,
+            Operation.UPDATE_CONTEXT: StatusCode.UPDATE_CONTEXT_FAILURE,
+            Operation.REMOVE_CONTEXT: StatusCode.REMOVE_CONTEXT_FAILURE,
+            Operation.SEND_DATA: StatusCode.SEND_DATA_FAILURE,
+            Operation.RELAY_CONTEXT: StatusCode.SEND_DATA_FAILURE,
+        }[self.operation]
+
+    @property
+    def success_code(self) -> StatusCode:
+        """The Table 2 success code matching this operation."""
+        return {
+            Operation.ADD_CONTEXT: StatusCode.ADD_CONTEXT_SUCCESS,
+            Operation.UPDATE_CONTEXT: StatusCode.UPDATE_CONTEXT_SUCCESS,
+            Operation.REMOVE_CONTEXT: StatusCode.REMOVE_CONTEXT_SUCCESS,
+            Operation.SEND_DATA: StatusCode.SEND_DATA_SUCCESS,
+            Operation.RELAY_CONTEXT: StatusCode.SEND_DATA_SUCCESS,
+        }[self.operation]
+
+    @property
+    def failure_subject(self) -> Any:
+        """The id/destination paired with a failure description (Table 2)."""
+        if self.operation is Operation.SEND_DATA:
+            return self.destination_omni
+        return self.context_id
+
+
+@dataclass
+class TechResponse:
+    """One item on the shared response queue reporting a request outcome."""
+
+    request: SendRequest
+    code: StatusCode
+    response_info: Any
+    tech_type: "TechType"
+    detail: str = ""
+
+
+@dataclass
+class TechStatusChange:
+    """Response-queue item: a technology's own availability changed."""
+
+    tech_type: "TechType"
+    available: bool
+    low_level_address: Any
+    detail: str = ""
+
+
+@dataclass
+class ReceivedContent:
+    """One item on the shared receive queue.
+
+    ``fast_peer_capable`` records whether this arrival proves a mapping that
+    supports fast connection setup (true for connection-less address
+    beacons heard directly over the air).
+    """
+
+    tech_type: "TechType"
+    packed: OmniPacked
+    low_level_sender: Any
+    fast_peer_capable: bool = False

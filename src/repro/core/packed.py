@@ -1,0 +1,142 @@
+"""The omni_packed_struct wire format (paper Sec 3.3).
+
+Layout::
+
+    byte 0      content kind: 0x01 context, 0x02 data, 0x03 address beacon
+    bytes 1-8   omni_address of the sender (big-endian, 8 bytes)
+    bytes 9..   payload (variable length)
+
+The address beacon payload is exactly 14 bytes: the 8-byte WiFi-Mesh address
+followed by the 6-byte BLE address (all-zero fields mean "no such radio").
+Context and data payloads are application-defined bytes; bulk data payloads
+may be :class:`~repro.net.payload.VirtualPayload` stand-ins, in which case
+only sizes (never bytes) travel through the simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.address import OmniAddress
+from repro.net.addresses import MacAddress, MeshAddress
+from repro.net.payload import Payload, VirtualPayload, payload_size
+
+HEADER_BYTES = 1 + 8
+
+#: Wire size of the address-beacon payload (8B mesh + 6B BLE).
+ADDRESS_BEACON_PAYLOAD_BYTES = MeshAddress.WIRE_BYTES + MacAddress.WIRE_BYTES
+
+
+class ContentKind(enum.IntEnum):
+    """The first byte of every Omni transmission.
+
+    ``RELAYED_CONTEXT`` is the future-work BLE-Mesh extension (see
+    :mod:`repro.core.relay`): a context re-advertised on behalf of another
+    device, with the relayer in the header and the origin in the payload.
+    """
+
+    CONTEXT = 0x01
+    DATA = 0x02
+    ADDRESS_BEACON = 0x03
+    RELAYED_CONTEXT = 0x04
+
+
+class PackedStructError(Exception):
+    """Raised when encoding or decoding an omni_packed_struct fails."""
+
+
+@dataclass(frozen=True)
+class AddressBeacon:
+    """The decoded payload of an address-beacon packed struct."""
+
+    mesh_address: Optional[MeshAddress]
+    ble_address: Optional[MacAddress]
+
+    def encode(self) -> bytes:
+        """The 14-byte beacon payload; absent radios encode as zeros."""
+        mesh = self.mesh_address.to_bytes() if self.mesh_address else bytes(MeshAddress.WIRE_BYTES)
+        ble = self.ble_address.to_bytes() if self.ble_address else bytes(MacAddress.WIRE_BYTES)
+        return mesh + ble
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "AddressBeacon":
+        """Parse the 14-byte beacon payload."""
+        if len(payload) != ADDRESS_BEACON_PAYLOAD_BYTES:
+            raise PackedStructError(
+                f"address beacon payload must be {ADDRESS_BEACON_PAYLOAD_BYTES}B, "
+                f"got {len(payload)}B"
+            )
+        mesh_raw = payload[:MeshAddress.WIRE_BYTES]
+        ble_raw = payload[MeshAddress.WIRE_BYTES:]
+        mesh = None if mesh_raw == bytes(MeshAddress.WIRE_BYTES) else MeshAddress.from_bytes(mesh_raw)
+        ble = None if ble_raw == bytes(MacAddress.WIRE_BYTES) else MacAddress.from_bytes(ble_raw)
+        return cls(mesh_address=mesh, ble_address=ble)
+
+
+@dataclass(frozen=True)
+class OmniPacked:
+    """One omni_packed_struct: kind + sender omni_address + payload."""
+
+    kind: ContentKind
+    omni_address: OmniAddress
+    payload: Payload
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the wire, header included."""
+        return HEADER_BYTES + payload_size(self.payload)
+
+    def encode(self) -> bytes:
+        """Serialize to bytes; requires a real (non-virtual) payload."""
+        if isinstance(self.payload, VirtualPayload):
+            raise PackedStructError(
+                "cannot byte-encode a virtual payload; transports carry the "
+                "OmniPacked object and account for wire_size instead"
+            )
+        return (
+            bytes([self.kind.value])
+            + self.omni_address.to_bytes()
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "OmniPacked":
+        """Parse bytes into an :class:`OmniPacked`."""
+        if len(data) < HEADER_BYTES:
+            raise PackedStructError(f"packed struct too short: {len(data)}B")
+        try:
+            kind = ContentKind(data[0])
+        except ValueError as error:
+            raise PackedStructError(f"unknown content kind byte {data[0]:#04x}") from error
+        address = OmniAddress.from_bytes(data[1:HEADER_BYTES])
+        packed = cls(kind=kind, omni_address=address, payload=data[HEADER_BYTES:])
+        if kind is ContentKind.ADDRESS_BEACON:
+            AddressBeacon.decode(packed.payload)  # validate eagerly
+        return packed
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def context(cls, sender: OmniAddress, payload: bytes) -> "OmniPacked":
+        """A context transmission."""
+        return cls(ContentKind.CONTEXT, sender, payload)
+
+    @classmethod
+    def data(cls, sender: OmniAddress, payload: Payload) -> "OmniPacked":
+        """A data transmission (payload may be virtual for bulk content)."""
+        return cls(ContentKind.DATA, sender, payload)
+
+    @classmethod
+    def address_beacon(cls, sender: OmniAddress, beacon: AddressBeacon) -> "OmniPacked":
+        """An address beacon (hidden from applications)."""
+        return cls(ContentKind.ADDRESS_BEACON, sender, beacon.encode())
+
+    def decode_beacon(self) -> AddressBeacon:
+        """The beacon payload; only valid for ADDRESS_BEACON structs."""
+        if self.kind is not ContentKind.ADDRESS_BEACON:
+            raise PackedStructError(f"not an address beacon: {self.kind}")
+        if isinstance(self.payload, VirtualPayload):
+            raise PackedStructError("address beacons never carry virtual payloads")
+        return AddressBeacon.decode(self.payload)

@@ -1,0 +1,177 @@
+"""The peer mapping (paper Sec 3.3).
+
+The Omni Manager maintains "a dynamic, real-time mapping of a peer's
+omni_address to the D2D technologies available at that peer", including the
+concrete addressing information needed to reach the peer over each
+technology.  Entries age out after a staleness window so departed peers
+disappear from routing decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.address import OmniAddress
+from repro.core.tech import TechType
+from repro.sim.kernel import Kernel
+
+#: Entries older than this are treated as gone (the peer left or moved).
+DEFAULT_STALENESS_S = 10.0
+
+
+@dataclass
+class PeerTechEntry:
+    """How to reach one peer over one technology."""
+
+    address: Any
+    last_seen: float
+    fast_peer: bool = False  # learned from a connection-less address beacon
+
+
+@dataclass
+class PeerRecord:
+    """Everything known about one neighboring Omni device."""
+
+    omni_address: OmniAddress
+    first_seen: float
+    entries: Dict[TechType, PeerTechEntry] = field(default_factory=dict)
+
+    def last_seen(self) -> float:
+        """Most recent sighting over any technology."""
+        if not self.entries:
+            return self.first_seen
+        return max(entry.last_seen for entry in self.entries.values())
+
+    def fresh_techs(self, now: float, staleness_s: float) -> List[TechType]:
+        """Technologies with a non-stale entry, cheapest-rank first."""
+        from repro.core.tech import TRAITS
+
+        fresh = [
+            tech
+            for tech, entry in self.entries.items()
+            if now - entry.last_seen <= staleness_s
+        ]
+        fresh.sort(key=lambda tech: TRAITS[tech].energy_rank)
+        return fresh
+
+
+class PeerTable:
+    """Mapping omni_address ↔ per-technology low-level addresses."""
+
+    def __init__(self, kernel: Kernel, staleness_s: float = DEFAULT_STALENESS_S) -> None:
+        self.kernel = kernel
+        self.staleness_s = staleness_s
+        self._records: Dict[OmniAddress, PeerRecord] = {}
+        self._reverse: Dict[Tuple[TechType, Any], OmniAddress] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, omni_address: OmniAddress) -> bool:
+        return omni_address in self._records
+
+    # -- updates --------------------------------------------------------------
+
+    def observe(
+        self,
+        omni_address: OmniAddress,
+        tech_type: TechType,
+        low_level_address: Any,
+        fast_peer: bool = False,
+    ) -> PeerRecord:
+        """Record a sighting of a peer over a technology.
+
+        ``fast_peer`` marks entries learned from connection-less address
+        beacons; once set it sticks for as long as the entry stays fresh
+        (refreshed sightings carry the stronger of the two claims).
+        """
+        now = self.kernel.now
+        record = self._records.get(omni_address)
+        if record is None:
+            record = PeerRecord(omni_address=omni_address, first_seen=now)
+            self._records[omni_address] = record
+        entry = record.entries.get(tech_type)
+        if entry is not None and entry.address != low_level_address:
+            self._reverse.pop((tech_type, entry.address), None)
+            entry = None
+        if entry is None:
+            entry = PeerTechEntry(address=low_level_address, last_seen=now,
+                                  fast_peer=fast_peer)
+            record.entries[tech_type] = entry
+        else:
+            entry.last_seen = now
+            entry.fast_peer = entry.fast_peer or fast_peer
+        self._reverse[(tech_type, low_level_address)] = omni_address
+        return record
+
+    def forget(self, omni_address: OmniAddress) -> None:
+        """Drop a peer entirely."""
+        record = self._records.pop(omni_address, None)
+        if record is None:
+            return
+        for tech, entry in record.entries.items():
+            self._reverse.pop((tech, entry.address), None)
+
+    def expire(self) -> List[OmniAddress]:
+        """Drop peers with no fresh entry; returns the dropped addresses."""
+        now = self.kernel.now
+        dropped = [
+            address
+            for address, record in self._records.items()
+            if now - record.last_seen() > self.staleness_s
+        ]
+        for address in dropped:
+            self.forget(address)
+        return dropped
+
+    # -- queries -----------------------------------------------------------
+
+    def record(self, omni_address: OmniAddress) -> Optional[PeerRecord]:
+        """The record for a peer, or None."""
+        return self._records.get(omni_address)
+
+    def entry(self, omni_address: OmniAddress,
+              tech_type: TechType) -> Optional[PeerTechEntry]:
+        """The fresh entry for (peer, tech), or None if absent/stale."""
+        record = self._records.get(omni_address)
+        if record is None:
+            return None
+        item = record.entries.get(tech_type)
+        if item is None or self.kernel.now - item.last_seen > self.staleness_s:
+            return None
+        return item
+
+    def omni_for(self, tech_type: TechType, low_level_address: Any) -> Optional[OmniAddress]:
+        """Reverse lookup: which peer owns this low-level address?"""
+        return self._reverse.get((tech_type, low_level_address))
+
+    def neighbors(self) -> List[PeerRecord]:
+        """Records with at least one fresh entry, in address order."""
+        now = self.kernel.now
+        return [
+            record
+            for address, record in sorted(self._records.items())
+            if record.fresh_techs(now, self.staleness_s)
+        ]
+
+    def peers_needing(self, tech_type: TechType) -> List[PeerRecord]:
+        """Peers reachable over ``tech_type`` but over nothing cheaper.
+
+        This drives the secondary-technology engagement rule: "as long as
+        beacons continue to arrive from at least one peer that is not also
+        transmitting on a lower energy technology, Omni will continue
+        employing technology A" (paper Sec 3.3).
+        """
+        from repro.core.tech import TRAITS
+
+        now = self.kernel.now
+        rank = TRAITS[tech_type].energy_rank
+        needing = []
+        for record in self.neighbors():
+            fresh = record.fresh_techs(now, self.staleness_s)
+            if tech_type in fresh and all(
+                TRAITS[tech].energy_rank >= rank for tech in fresh
+            ):
+                needing.append(record)
+        return needing

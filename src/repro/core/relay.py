@@ -1,0 +1,102 @@
+"""Multi-hop context relay (paper "Future Work": BLE Mesh).
+
+"In the future, sharing context (and data) with more than just one-hop
+neighbors could extend the range of a device's knowledge about the
+environment.  BLE Mesh offers a promising solution for low-energy context
+sharing across longer ranges; future work will integrate BLE Mesh with
+Omni."
+
+This module is that integration, in the managed-flooding style of BLE
+Mesh: a device that hears an application context over BLE re-advertises it
+once with a decremented TTL, so context ripples across devices that are
+not in mutual radio range.  Two standard flooding controls bound the cost:
+
+- **TTL** — each relayed frame carries a hop budget;
+- **message cache** — a (origin, payload) signature cache suppresses
+  re-relaying the same periodic context every beacon period.
+
+Wire framing (inside a `RELAYED_CONTEXT` packed struct, whose header
+sender is the *relayer*): ``ttl (1B) | origin omni_address (8B) | original
+context payload``.  Within a 31-byte BLE advertisement that leaves ≤9 B of
+application context per relayed frame — the paper's own observation that
+legacy "BLE beacons ... are limited in size" and that Bluetooth 5's larger
+beacons would enrich this.
+
+Enable via ``OmniConfig.context_relay`` with a :class:`RelayConfig`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.address import OmniAddress
+from repro.util.validation import check_non_negative, check_positive
+
+#: Relay framing overhead inside the packed payload.
+RELAY_HEADER_BYTES = 1 + 8
+
+
+@dataclass(frozen=True)
+class RelayConfig:
+    """Flood-control parameters for the context relay."""
+
+    ttl: int = 2  # hop budget for contexts this device *originates*
+    dedup_window_s: float = 10.0  # suppress re-relaying within this window
+    rebroadcast_delay_s: float = 0.02  # small stagger before re-advertising
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.ttl <= 15:
+            raise ValueError(f"ttl must be in [1, 15], got {self.ttl}")
+        check_positive("dedup_window_s", self.dedup_window_s)
+        check_non_negative("rebroadcast_delay_s", self.rebroadcast_delay_s)
+
+
+def encode_relay(ttl: int, origin: OmniAddress, payload: bytes) -> bytes:
+    """Frame a relayed context payload."""
+    if not 0 <= ttl <= 255:
+        raise ValueError(f"ttl out of range: {ttl}")
+    return bytes([ttl]) + origin.to_bytes() + payload
+
+
+def decode_relay(raw: bytes) -> Optional[Tuple[int, OmniAddress, bytes]]:
+    """Parse a relayed frame → (ttl, origin, payload); None if malformed."""
+    if len(raw) < RELAY_HEADER_BYTES:
+        return None
+    ttl = raw[0]
+    origin = OmniAddress.from_bytes(raw[1:RELAY_HEADER_BYTES])
+    return ttl, origin, raw[RELAY_HEADER_BYTES:]
+
+
+class RelayCache:
+    """The message cache: have we relayed this (origin, payload) recently?"""
+
+    def __init__(self, window_s: float) -> None:
+        self.window_s = window_s
+        self._seen: Dict[bytes, float] = {}
+
+    @staticmethod
+    def signature(origin: OmniAddress, payload: bytes) -> bytes:
+        hasher = hashlib.sha256()
+        hasher.update(origin.to_bytes())
+        hasher.update(payload)
+        return hasher.digest()[:8]
+
+    def should_relay(self, origin: OmniAddress, payload: bytes, now: float) -> bool:
+        """True (and records the sighting) if this content is fresh."""
+        self._prune(now)
+        key = self.signature(origin, payload)
+        if key in self._seen:
+            return False
+        self._seen[key] = now
+        return True
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.window_s
+        stale = [key for key, seen in self._seen.items() if seen < cutoff]
+        for key in stale:
+            del self._seen[key]
+
+    def __len__(self) -> int:
+        return len(self._seen)

@@ -1,0 +1,123 @@
+"""Context confidentiality (paper Sec 3.4).
+
+"Omni allows applications to interact with unknown devices, which presents
+potential security vulnerabilities ... beacons for sharing context can be
+encrypted using symmetric encryption.  The key to decrypt the beacon could
+be shared out of band."
+
+This module provides that optional layer: a :class:`ContextCipher` sealed
+around every application context payload before packing, and opened on
+reception — payloads from devices without the shared key fail
+authentication and are dropped before they ever reach an application
+callback.  Address beacons stay in the clear (they carry only addressing,
+which the radio layer exposes anyway).
+
+The cipher is a compact stream construction built on :mod:`hashlib`
+(keystream = SHA-256 blocks over key‖nonce‖counter, plus a truncated
+keyed-hash tag).  It is *size-frugal* — 6 bytes of overhead — because every
+byte competes with application payload inside a 31-byte BLE advertisement.
+It is deliberately simple: the reproduction needs the architectural seam
+and its costs, not a production AEAD.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Optional
+
+from repro.util.rng import SeededRng
+
+NONCE_BYTES = 4
+TAG_BYTES = 2
+OVERHEAD_BYTES = NONCE_BYTES + TAG_BYTES
+
+
+class ContextCipher:
+    """Interface: seal/open application context payloads."""
+
+    #: Bytes added to every sealed payload.
+    overhead = 0
+
+    def seal(self, payload: bytes) -> bytes:
+        """Protect ``payload`` for transmission."""
+        raise NotImplementedError
+
+    def open(self, blob: bytes) -> Optional[bytes]:
+        """Recover a payload, or None if the blob fails authentication."""
+        raise NotImplementedError
+
+
+class NullCipher(ContextCipher):
+    """Pass-through: the default, key-less operation."""
+
+    def seal(self, payload: bytes) -> bytes:
+        return payload
+
+    def open(self, blob: bytes) -> Optional[bytes]:
+        return blob
+
+
+class SymmetricContextCipher(ContextCipher):
+    """Shared-key confidentiality + integrity for context payloads.
+
+    Layout: ``nonce (4B) | ciphertext | tag (2B)``.  The tag is a truncated
+    HMAC over nonce‖plaintext; two bytes are enough to make foreign or
+    corrupted beacons overwhelmingly likely to be dropped (1/65536 escape
+    rate), which is a filtering property, not an anti-forgery bound —
+    matching the paper's threat model of *unknown* (not actively malicious)
+    devices.
+    """
+
+    overhead = OVERHEAD_BYTES
+
+    def __init__(self, key: bytes, rng: Optional[SeededRng] = None) -> None:
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._key = bytes(key)
+        self._rng = rng or SeededRng(0)
+        self._counter = 0
+
+    # -- keystream ------------------------------------------------------------
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        blocks = []
+        block_index = 0
+        while sum(len(block) for block in blocks) < length:
+            hasher = hashlib.sha256()
+            hasher.update(self._key)
+            hasher.update(nonce)
+            hasher.update(block_index.to_bytes(4, "big"))
+            blocks.append(hasher.digest())
+            block_index += 1
+        return b"".join(blocks)[:length]
+
+    def _tag(self, nonce: bytes, plaintext: bytes) -> bytes:
+        mac = hmac.new(self._key, nonce + plaintext, hashlib.sha256)
+        return mac.digest()[:TAG_BYTES]
+
+    def _next_nonce(self) -> bytes:
+        # Mix a counter with seeded randomness: unique per sender lifetime,
+        # deterministic per simulation seed.
+        self._counter = (self._counter + 1) % (1 << 16)
+        return self._rng.bytes(2) + self._counter.to_bytes(2, "big")
+
+    # -- interface ------------------------------------------------------------
+
+    def seal(self, payload: bytes) -> bytes:
+        nonce = self._next_nonce()
+        keystream = self._keystream(nonce, len(payload))
+        ciphertext = bytes(a ^ b for a, b in zip(payload, keystream))
+        return nonce + ciphertext + self._tag(nonce, payload)
+
+    def open(self, blob: bytes) -> Optional[bytes]:
+        if len(blob) < OVERHEAD_BYTES:
+            return None
+        nonce = blob[:NONCE_BYTES]
+        tag = blob[-TAG_BYTES:]
+        ciphertext = blob[NONCE_BYTES:-TAG_BYTES]
+        keystream = self._keystream(nonce, len(ciphertext))
+        plaintext = bytes(a ^ b for a, b in zip(ciphertext, keystream))
+        if not hmac.compare_digest(tag, self._tag(nonce, plaintext)):
+            return None
+        return plaintext

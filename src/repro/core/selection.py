@@ -1,0 +1,105 @@
+"""Data technology selection (paper Sec 3.3, "Sending Content").
+
+For data, "Omni determines which D2D technologies are available at a
+designated peer and selects the technology that minimizes the expected time
+to deliver the data", considering radio throughput, data size, and the time
+needed to form a connection.  The selector produces an ordered list of
+plans so the manager can fail over to the next technology when one fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.address import OmniAddress
+from repro.core.peers import PeerTable
+from repro.core.tech import TechType, TechnologyAdapter
+
+
+@dataclass(frozen=True)
+class DataPlan:
+    """One candidate way to deliver a data payload to a peer."""
+
+    tech_type: TechType
+    expected_seconds: float
+    low_level_address: object
+    fast_hint: bool
+
+
+#: Selection policies.  The paper's Omni uses ``expected_time``; the other
+#: two exist for the ablation benches (DESIGN.md Sec 5).
+POLICIES = ("expected_time", "always_wifi", "lowest_energy")
+
+
+class DataTechSelector:
+    """Ranks data-capable technologies for a destination and payload size.
+
+    The default policy minimizes expected delivery time (paper Sec 3.3);
+    ``always_wifi`` mimics middleware that statically prefers the
+    high-throughput radio, and ``lowest_energy`` always picks the cheapest
+    radio that can carry the payload.
+    """
+
+    def __init__(self, peer_table: PeerTable, policy: str = "expected_time") -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown selection policy {policy!r}")
+        self.peer_table = peer_table
+        self.policy = policy
+
+    def plans(
+        self,
+        adapters: Dict[TechType, TechnologyAdapter],
+        destination: OmniAddress,
+        size: int,
+        exclude: Optional[set] = None,
+    ) -> List[DataPlan]:
+        """Candidate plans for ``size`` bytes to ``destination``, best first.
+
+        Only technologies with a fresh peer-table entry for the destination
+        are considered — Omni never guesses addresses.  ``exclude`` removes
+        technologies that already failed for this request (failover).
+        """
+        excluded = exclude or set()
+        plans: List[DataPlan] = []
+        for tech_type, adapter in adapters.items():
+            if tech_type in excluded or not adapter.traits.supports_data:
+                continue
+            if not adapter.available:
+                continue
+            limit = adapter.traits.max_data_bytes
+            if limit is not None and size > limit:
+                continue
+            entry = self.peer_table.entry(destination, tech_type)
+            if entry is None:
+                continue
+            estimate = adapter.estimate_data_seconds(
+                size, fast_hint=entry.fast_peer, destination=entry.address
+            )
+            if estimate is None:
+                continue
+            plans.append(
+                DataPlan(
+                    tech_type=tech_type,
+                    expected_seconds=estimate,
+                    low_level_address=entry.address,
+                    fast_hint=entry.fast_peer,
+                )
+            )
+        if self.policy == "always_wifi":
+            wifi_first = {
+                TechType.WIFI_TCP: 0,
+                TechType.WIFI_MULTICAST: 1,
+                TechType.BLE_BEACON: 2,
+                TechType.NFC_TAP: 3,
+            }
+            plans.sort(key=lambda plan: (wifi_first[plan.tech_type], plan.expected_seconds))
+        elif self.policy == "lowest_energy":
+            from repro.core.tech import TRAITS
+
+            plans.sort(
+                key=lambda plan: (TRAITS[plan.tech_type].energy_rank, plan.expected_seconds)
+            )
+        else:
+            plans.sort(key=lambda plan: (plan.expected_seconds, plan.tech_type.value))
+        return plans

@@ -1,0 +1,272 @@
+"""The Communication Technology API (paper Sec 3.2).
+
+Each D2D technology integrates with Omni through a minimal contract:
+
+- ``enable(queues)`` receives the three shared queues and returns the
+  technology's type and low-level address;
+- ``disable()`` gracefully shuts the technology down, draining its send
+  queue;
+- thereafter the technology monitors its private ``send_queue`` for
+  requests, deposits everything it hears into the shared ``receive_queue``,
+  and reports request outcomes and its own status changes on the shared
+  ``response_queue``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.core.messages import (
+    Operation,
+    ReceivedContent,
+    SendRequest,
+    TechResponse,
+    TechStatusChange,
+)
+from repro.core.codes import StatusCode
+from repro.core.packed import OmniPacked
+from repro.sim.kernel import Kernel
+from repro.sim.queues import SimQueue
+
+
+class TechType(enum.Enum):
+    """The D2D technologies known to this Omni implementation."""
+
+    BLE_BEACON = "ble_beacon"
+    NFC_TAP = "nfc_tap"
+    WIFI_MULTICAST = "wifi_multicast"
+    WIFI_TCP = "wifi_tcp"
+
+
+@dataclass(frozen=True)
+class TechTraits:
+    """Static capabilities Omni uses for routing decisions.
+
+    ``energy_rank`` orders technologies by the cost of *continuous context
+    distribution* (lower = cheaper); it is a policy input, not a measured
+    current.  NFC ranks above BLE despite its negligible idle draw because
+    its contact range makes per-discovery cost enormous.
+    """
+
+    supports_context: bool
+    supports_data: bool
+    energy_rank: int
+    context_payload_limit: Optional[int]  # None = unlimited
+    max_data_bytes: Optional[int]  # None = unlimited
+
+
+TRAITS = {
+    TechType.BLE_BEACON: TechTraits(
+        supports_context=True,
+        supports_data=True,
+        energy_rank=1,
+        # One advertisement is 31B; 4B of fragment framing leaves 27B for the
+        # packed struct (9B header + ≤18B context payload).
+        context_payload_limit=27,
+        max_data_bytes=27 * 255,  # BLE burst limit; no bulk data
+    ),
+    TechType.NFC_TAP: TechTraits(
+        supports_context=True,
+        supports_data=True,
+        energy_rank=2,
+        context_payload_limit=255,
+        max_data_bytes=255,
+    ),
+    TechType.WIFI_MULTICAST: TechTraits(
+        supports_context=True,
+        supports_data=True,
+        energy_rank=3,
+        context_payload_limit=1400,
+        max_data_bytes=None,
+    ),
+    TechType.WIFI_TCP: TechTraits(
+        supports_context=False,
+        supports_data=True,
+        energy_rank=4,
+        context_payload_limit=None,
+        max_data_bytes=None,
+    ),
+}
+
+
+@dataclass
+class TechQueues:
+    """The three queues of the queue-sharing contract."""
+
+    send_queue: SimQueue  # unique to this technology
+    receive_queue: SimQueue  # shared across all technologies
+    response_queue: SimQueue  # shared across all technologies
+
+
+class TechnologyAdapter:
+    """Base class for D2D technology integrations.
+
+    Subclasses implement :meth:`_handle_request` (dispatch one send-queue
+    item; must not block — use callbacks/completions for async work) plus
+    the context-listening hooks when ``traits.supports_context``.
+    """
+
+    tech_type: TechType
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.queues: Optional[TechQueues] = None
+        self.enabled = False
+        self._pump = None
+
+    @property
+    def traits(self) -> TechTraits:
+        """Static capabilities of this technology."""
+        return TRAITS[self.tech_type]
+
+    @property
+    def available(self) -> bool:
+        """Whether this technology can operate right now.
+
+        Radio-backed adapters narrow this to "enabled AND the radio is
+        powered"; the manager and beacon service route around unavailable
+        technologies.
+        """
+        return self.enabled
+
+    def _attach_radio_watch(self, radio) -> None:
+        """Report TechStatusChange when ``radio`` is powered on/off."""
+
+        def on_state(radio_enabled: bool) -> None:
+            if self.enabled and self.queues is not None:
+                self._status_change(
+                    available=radio_enabled,
+                    detail="radio power state changed",
+                )
+
+        radio.add_state_listener(on_state)
+
+    # -- contract ------------------------------------------------------------
+
+    def enable(self, queues: TechQueues) -> Tuple[TechType, Any]:
+        """Begin operating; returns (tech type, low-level address)."""
+        if self.enabled:
+            raise RuntimeError(f"{self.tech_type.value} adapter already enabled")
+        self.queues = queues
+        self.enabled = True
+        self._pump = self.kernel.spawn(
+            self._send_queue_pump(), name=f"{self.tech_type.value}-pump"
+        )
+        self._on_enable()
+        return self.tech_type, self.low_level_address()
+
+    def disable(self) -> None:
+        """Gracefully shut down: drain pending requests, then stop."""
+        if not self.enabled:
+            return
+        # Drain remaining requests synchronously with failure responses; the
+        # technology is going away and cannot service them.
+        if self.queues is not None:
+            for request in self.queues.send_queue.drain():
+                self._respond(
+                    request,
+                    request.failure_code,
+                    (f"{self.tech_type.value} disabled", request.failure_subject),
+                )
+        self.enabled = False
+        self._on_disable()
+        if self._pump is not None and self._pump.alive:
+            self._pump.interrupt("adapter disabled")
+            self._pump = None
+        self._status_change(available=False)
+
+    # -- hooks for subclasses ----------------------------------------------
+
+    def low_level_address(self) -> Any:
+        """The address where this technology is reachable."""
+        raise NotImplementedError
+
+    def _on_enable(self) -> None:
+        """Technology-specific startup (radios on, listeners armed)."""
+
+    def _on_disable(self) -> None:
+        """Technology-specific teardown."""
+
+    def _handle_request(self, request: SendRequest) -> None:
+        """Service one request from the send queue (non-blocking)."""
+        raise NotImplementedError
+
+    # -- context listening hooks (context-capable adapters override) --------
+
+    def start_listening(self) -> None:
+        """Begin continuous reception of context/beacons on this tech."""
+        raise NotImplementedError(f"{self.tech_type.value} does not carry context")
+
+    def stop_listening(self) -> None:
+        """Stop continuous reception."""
+        raise NotImplementedError(f"{self.tech_type.value} does not carry context")
+
+    def listen_window(self, duration_s: float) -> None:
+        """Open a brief receive window (the secondary-tech probe, Sec 3.3)."""
+        raise NotImplementedError(f"{self.tech_type.value} does not carry context")
+
+    # -- data estimation -----------------------------------------------------
+
+    def estimate_data_seconds(self, size: int, fast_hint: bool,
+                              destination: Any = None) -> Optional[float]:
+        """Expected delivery time for ``size`` bytes, or None if impossible.
+
+        ``fast_hint`` is True when the peer's low-level address was learned
+        via a connection-less address beacon, enabling fast connection
+        paths.  ``destination`` is the peer's low-level address, letting
+        stateful adapters account for existing pairwise sessions.
+        """
+        return None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send_queue_pump(self):
+        assert self.queues is not None
+        while self.enabled:
+            request = yield self.queues.send_queue.get()
+            if not self.enabled:
+                break
+            self._handle_request(request)
+
+    def _respond(self, request: SendRequest, code: StatusCode, response_info: Any,
+                 detail: str = "") -> None:
+        assert self.queues is not None
+        self.queues.response_queue.put(
+            TechResponse(
+                request=request,
+                code=code,
+                response_info=response_info,
+                tech_type=self.tech_type,
+                detail=detail,
+            )
+        )
+
+    def _received(self, packed: OmniPacked, low_level_sender: Any,
+                  fast_peer_capable: bool) -> None:
+        assert self.queues is not None
+        self.queues.receive_queue.put(
+            ReceivedContent(
+                tech_type=self.tech_type,
+                packed=packed,
+                low_level_sender=low_level_sender,
+                fast_peer_capable=fast_peer_capable,
+            )
+        )
+
+    def _status_change(self, available: bool, detail: str = "") -> None:
+        if self.queues is None:
+            return
+        self.queues.response_queue.put(
+            TechStatusChange(
+                tech_type=self.tech_type,
+                available=available,
+                low_level_address=self.low_level_address(),
+                detail=detail,
+            )
+        )
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"{type(self).__name__}({self.tech_type.value}, {state})"

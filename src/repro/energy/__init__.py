@@ -1,0 +1,38 @@
+"""Energy accounting substrate (replaces the paper's USB power meter)."""
+
+from repro.energy.constants import (
+    BLE_ADVERTISE_MA,
+    BLE_SCAN_MA,
+    BLE_STANDBY_MA,
+    NFC_EXCHANGE_MA,
+    NFC_IDLE_MA,
+    NFC_POLL_MA,
+    TABLE3_OPERATIONS,
+    WIFI_CONNECT_MA,
+    WIFI_RECEIVE_MA,
+    WIFI_SCAN_MA,
+    WIFI_SEND_MA,
+    WIFI_STANDBY_MA,
+)
+from repro.energy.meter import DrawToken, EnergyMeter, EnergySnapshot
+from repro.energy.report import EnergyReport, EnergyWindow
+
+__all__ = [
+    "BLE_ADVERTISE_MA",
+    "BLE_SCAN_MA",
+    "BLE_STANDBY_MA",
+    "DrawToken",
+    "EnergyMeter",
+    "EnergyReport",
+    "EnergySnapshot",
+    "EnergyWindow",
+    "NFC_EXCHANGE_MA",
+    "NFC_IDLE_MA",
+    "NFC_POLL_MA",
+    "TABLE3_OPERATIONS",
+    "WIFI_CONNECT_MA",
+    "WIFI_RECEIVE_MA",
+    "WIFI_SCAN_MA",
+    "WIFI_SEND_MA",
+    "WIFI_STANDBY_MA",
+]

@@ -1,0 +1,41 @@
+"""Device current-draw constants, taken from the paper's Table 3.
+
+The paper measured these on a Raspberry Pi 3 with an AVHzY CT-2 USB power
+meter.  All *operation* values are peak current draws **relative to the
+WiFi-standby floor** (92.1 mA), exactly as the paper reports them; the meter
+in :mod:`repro.energy.meter` works in absolute component draws, so adapters
+add :data:`WIFI_STANDBY_MA` when the radio is merely on.
+
+BLE standby was below the paper's measurement resolution and is taken as 0.
+"""
+
+from __future__ import annotations
+
+# Floors (absolute mA above the device's radio-silent steady state).
+WIFI_STANDBY_MA = 92.1
+BLE_STANDBY_MA = 0.0
+
+# Per-operation peak draws, relative to the WiFi-standby floor (Table 3).
+WIFI_RECEIVE_MA = 162.4
+WIFI_SEND_MA = 183.3
+WIFI_SCAN_MA = 129.2
+WIFI_CONNECT_MA = 169.0
+BLE_SCAN_MA = 7.0
+BLE_ADVERTISE_MA = 8.2
+
+# NFC is in the paper's architecture diagrams (Fig 3) but not in Table 3;
+# values are representative of NFC controller datasheets: negligible while
+# idle (it is a passive-polling technology), small while actively polling.
+NFC_IDLE_MA = 0.0
+NFC_POLL_MA = 15.0
+NFC_EXCHANGE_MA = 25.0
+
+#: Mapping used by the Table 3 reproduction bench: operation name -> mA.
+TABLE3_OPERATIONS = {
+    "WiFi-receive": WIFI_RECEIVE_MA,
+    "WiFi-send": WIFI_SEND_MA,
+    "WiFi-scan for networks": WIFI_SCAN_MA,
+    "WiFi-connect to network": WIFI_CONNECT_MA,
+    "BLE-scan": BLE_SCAN_MA,
+    "BLE-advertise": BLE_ADVERTISE_MA,
+}

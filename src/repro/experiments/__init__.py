@@ -1,0 +1,58 @@
+"""Experiment drivers reproducing every table and figure of the paper."""
+
+from repro.experiments.ablations import (
+    ablate_adaptive_beacon,
+    ablate_context_technology,
+    ablate_selection_policy,
+    sweep_beacon_interval,
+    sweep_secondary_listen,
+)
+from repro.experiments.baseline_current import OperationResult, run_table3
+from repro.experiments.controlled import CellResult, run_cell, run_table4
+from repro.experiments.disseminate_exp import (
+    DisseminateResult,
+    run_collaborative,
+    run_direct,
+    run_table5,
+)
+from repro.experiments.prophet_exp import ProphetResult, run_fig7, run_variant
+from repro.experiments.reporting import (
+    render_fig7,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+from repro.experiments.scenario import (
+    OMNI_TECHS_BLE_ONLY,
+    OMNI_TECHS_BLE_WIFI,
+    OMNI_TECHS_WIFI_ONLY,
+    Testbed,
+)
+
+__all__ = [
+    "CellResult",
+    "DisseminateResult",
+    "OMNI_TECHS_BLE_ONLY",
+    "OMNI_TECHS_BLE_WIFI",
+    "OMNI_TECHS_WIFI_ONLY",
+    "OperationResult",
+    "ProphetResult",
+    "Testbed",
+    "ablate_adaptive_beacon",
+    "ablate_context_technology",
+    "ablate_selection_policy",
+    "render_fig7",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "run_cell",
+    "run_collaborative",
+    "run_direct",
+    "run_fig7",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_variant",
+    "sweep_beacon_interval",
+    "sweep_secondary_listen",
+]

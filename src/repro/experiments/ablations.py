@@ -1,0 +1,281 @@
+"""Ablation studies for the design decisions DESIGN.md calls out.
+
+Not in the paper's evaluation, but each isolates one Omni design choice:
+
+- :func:`sweep_beacon_interval` — the fixed 500 ms address beacon: idle
+  energy vs neighbor-discovery latency trade-off.
+- :func:`sweep_secondary_listen` — the 5 s secondary-technology probe: how
+  long a multicast-only peer stays invisible vs the probing energy.
+- :func:`ablate_context_technology` — the context/data bifurcation itself:
+  the same interaction with context forced onto WiFi multicast.
+- :func:`ablate_selection_policy` — expected-time data-tech selection vs
+  static policies.
+- :func:`ablate_adaptive_beacon` — the paper's future-work adaptive
+  discovery pacing vs the fixed 500 ms beacon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.adaptive import AdaptiveBeaconConfig
+from repro.core.manager import OmniConfig
+from repro.core.tech import TechType
+from repro.energy.report import EnergyWindow
+from repro.experiments.controlled import run_cell
+from repro.experiments.scenario import (
+    OMNI_TECHS_BLE_ONLY,
+    OMNI_TECHS_BLE_WIFI,
+    Testbed,
+)
+from repro.phy.geometry import Position
+
+
+@dataclass
+class BeaconSweepPoint:
+    """One beacon interval's idle energy and discovery latency."""
+
+    interval_s: float
+    discovery_latency_s: Optional[float]
+    idle_energy_avg_ma: float
+
+
+def sweep_beacon_interval(
+    intervals: Sequence[float] = (0.1, 0.25, 0.5, 1.0, 2.0),
+    idle_window_s: float = 30.0,
+    seed: int = 31,
+) -> List[BeaconSweepPoint]:
+    """Two idle Omni devices; vary the address beacon interval."""
+    points = []
+    for interval in intervals:
+        testbed = Testbed(seed=seed)
+        config = OmniConfig(beacon_interval_s=interval)
+        device_a = testbed.add_device("a", position=Position(0, 0))
+        device_b = testbed.add_device("b", position=Position(10, 0))
+        omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_ONLY, config)
+        omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_ONLY, config)
+        window = EnergyWindow(device_a.meter)
+        omni_a.enable()
+        omni_b.enable()
+        window.start()
+        discovered_at: Optional[float] = None
+        deadline = idle_window_s
+        time = 0.0
+        while time < deadline:
+            time = min(deadline, time + interval / 4)
+            testbed.kernel.run_until(time)
+            if discovered_at is None and omni_b.omni_address in omni_a.peer_table:
+                discovered_at = testbed.kernel.now
+        report = window.report()
+        points.append(
+            BeaconSweepPoint(
+                interval_s=interval,
+                discovery_latency_s=discovered_at,
+                idle_energy_avg_ma=report.average_ma_relative,
+            )
+        )
+    return points
+
+
+@dataclass
+class ListenSweepPoint:
+    """One secondary-listen period's engagement latency and probe energy."""
+
+    period_s: float
+    engagement_latency_s: Optional[float]
+    idle_energy_avg_ma: float
+
+
+def sweep_secondary_listen(
+    periods: Sequence[float] = (1.0, 2.5, 5.0, 10.0),
+    deadline_s: float = 120.0,
+    seed: int = 32,
+) -> List[ListenSweepPoint]:
+    """How fast Omni engages WiFi multicast for a multicast-only peer.
+
+    Device A runs the full Omni stack (BLE primary); device B is a
+    WiFi-multicast-only Omni device (no BLE).  A can only discover B through
+    its low-frequency monitor windows, so the engagement latency scales with
+    the probe period and the window's chance of catching a 500 ms beacon.
+    """
+    points = []
+    for period in periods:
+        testbed = Testbed(seed=seed)
+        config = OmniConfig(secondary_listen_period_s=period)
+        device_a = testbed.add_device("a", position=Position(0, 0))
+        device_b = testbed.add_device("b", position=Position(10, 0),
+                                      radio_kinds={"wifi"})
+        omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_WIFI, config)
+        omni_b = testbed.omni_manager(
+            device_b, {TechType.WIFI_MULTICAST, TechType.WIFI_TCP}, config
+        )
+        window = EnergyWindow(device_a.meter)
+        omni_a.enable()
+        omni_b.enable()
+        window.start()
+        engaged_at: Optional[float] = None
+        time = 0.0
+        while time < deadline_s:
+            time = min(deadline_s, time + period / 2)
+            testbed.kernel.run_until(time)
+            if engaged_at is None and omni_a.beacon_service.is_engaged(
+                TechType.WIFI_MULTICAST
+            ):
+                engaged_at = testbed.kernel.now
+                break
+        report = window.report()
+        points.append(
+            ListenSweepPoint(
+                period_s=period,
+                engagement_latency_s=engaged_at,
+                idle_energy_avg_ma=report.average_ma_relative,
+            )
+        )
+    return points
+
+
+@dataclass
+class BifurcationResult:
+    """Context technology ablation: the same interaction, context moved."""
+
+    context_tech: str
+    energy_avg_ma: Optional[float]
+    latency_ms: Optional[float]
+
+
+def ablate_context_technology(seed: int = 33) -> List[BifurcationResult]:
+    """Omni with BLE context vs Omni forced onto multicast context.
+
+    Both run the identical 30-byte service interaction over WiFi data; the
+    difference isolates the energy and latency value of carrying context on
+    a low-energy neighbor-discovery technology.
+    """
+    results = []
+    for context_tech in ("BLE", "WiFi"):
+        cell = run_cell("Omni", context_tech, "WiFi", 30, seed=seed)
+        results.append(
+            BifurcationResult(
+                context_tech=context_tech,
+                energy_avg_ma=cell.energy_avg_ma,
+                latency_ms=cell.latency_ms,
+            )
+        )
+    return results
+
+
+@dataclass
+class PolicyResult:
+    """One selection policy's small-payload interaction latency."""
+
+    policy: str
+    latency_ms: Optional[float]
+    energy_avg_ma: Optional[float]
+
+
+def ablate_selection_policy(seed: int = 34) -> List[PolicyResult]:
+    """Expected-time selection vs static policies on a 200-byte send.
+
+    200 bytes is where the policies genuinely diverge: BLE needs a ~8-frame
+    burst (~160 ms) while a beacon-primed WiFi fast-peer finishes in ~12 ms,
+    yet the lowest-energy policy still picks BLE.
+    """
+    from repro.experiments.controlled import _ServiceInteraction, WARMUP_S, _meter_of
+
+    results = []
+    for policy in ("expected_time", "always_wifi", "lowest_energy"):
+        testbed = Testbed(seed=seed)
+        config = OmniConfig(selection_policy=policy)
+        device_a = testbed.add_device("initiator", position=Position(0, 0))
+        device_b = testbed.add_device("responder", position=Position(10, 0))
+        from repro.apps.transport import OmniTransport
+
+        initiator = OmniTransport(
+            testbed.omni_manager(device_a, OMNI_TECHS_BLE_WIFI, config)
+        )
+        responder = OmniTransport(
+            testbed.omni_manager(device_b, OMNI_TECHS_BLE_WIFI, config)
+        )
+        interaction = _ServiceInteraction(testbed, initiator, responder, 200)
+        window = EnergyWindow(_meter_of(initiator))
+        window.start()
+        interaction.arm()
+        testbed.kernel.call_at(WARMUP_S, interaction.interact)
+        time = WARMUP_S
+        while time < WARMUP_S + 30 and interaction.response_received_at is None:
+            time += 0.25
+            testbed.kernel.run_until(time)
+        report = window.report()
+        results.append(
+            PolicyResult(
+                policy=policy,
+                latency_ms=interaction.latency_ms,
+                energy_avg_ma=report.average_ma_relative,
+            )
+        )
+    return results
+
+
+@dataclass
+class AdaptiveBeaconResult:
+    """Fixed vs adaptive beaconing: idle energy and newcomer discovery."""
+
+    mode: str
+    idle_energy_avg_ma: float
+    newcomer_discovery_s: Optional[float]
+
+
+def ablate_adaptive_beacon(seed: int = 35,
+                           stable_window_s: float = 60.0) -> List[AdaptiveBeaconResult]:
+    """The future-work extension, quantified.
+
+    Two BLE-only devices idle together for a long stable window (adaptive
+    pacing backs off), then a third device appears; we report the idle
+    energy over the stable window and how long the newcomer needs to hear
+    the incumbent — the direction that depends on the incumbent's (possibly
+    backed-off) beacon rate.  Adaptive pacing buys idle energy at the cost
+    of first-contact latency, then recovers by speeding up on churn.
+    """
+    results = []
+    for mode in ("fixed", "adaptive"):
+        testbed = Testbed(seed=seed)
+        config = OmniConfig(
+            adaptive_beacon=AdaptiveBeaconConfig(
+                min_interval_s=0.1, max_interval_s=2.0, evaluate_period_s=1.0
+            )
+            if mode == "adaptive"
+            else None
+        )
+        device_a = testbed.add_device("a", position=Position(0, 0))
+        device_b = testbed.add_device("b", position=Position(10, 0))
+        omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_ONLY, config)
+        omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_ONLY, config)
+        omni_a.enable()
+        omni_b.enable()
+        testbed.kernel.run_until(10.0)  # settle
+        window = EnergyWindow(device_a.meter)
+        window.start()
+        testbed.kernel.run_until(10.0 + stable_window_s)
+        idle = window.report().average_ma_relative
+
+        newcomer_device = testbed.add_device("new", position=Position(5, 5))
+        omni_new = testbed.omni_manager(newcomer_device, OMNI_TECHS_BLE_ONLY, config)
+        omni_new.enable()
+        appeared_at = testbed.kernel.now
+        discovered: Optional[float] = None
+        deadline = appeared_at + 30.0
+        time = appeared_at
+        while time < deadline:
+            time += 0.1
+            testbed.kernel.run_until(time)
+            if omni_a.omni_address in omni_new.peer_table:
+                discovered = testbed.kernel.now - appeared_at
+                break
+        results.append(
+            AdaptiveBeaconResult(
+                mode=mode,
+                idle_energy_avg_ma=idle,
+                newcomer_discovery_s=discovered,
+            )
+        )
+    return results

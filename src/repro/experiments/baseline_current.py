@@ -1,0 +1,121 @@
+"""Baseline current draws: paper Table 3.
+
+Exercises each D2D radio operation in isolation on a single device and
+reports the peak current draw relative to the WiFi-standby floor — the
+paper's measurement protocol with the AVHzY power meter, replayed against
+the energy model.  The bench asserts the model reproduces the constants it
+was built from, guarding the calibration against regressions elsewhere in
+the radio code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.energy.constants import WIFI_STANDBY_MA
+from repro.experiments.scenario import Testbed
+from repro.phy.geometry import Position
+from repro.radio.frame import RadioKind
+
+
+@dataclass
+class OperationResult:
+    """Peak draw of one radio operation, relative to WiFi standby."""
+
+    operation: str
+    peak_ma: float
+
+
+def _two_device_testbed(seed: int = 3) -> Testbed:
+    testbed = Testbed(seed=seed)
+    testbed.add_device("probe", position=Position(0.0, 0.0))
+    testbed.add_device("peer", position=Position(5.0, 0.0))
+    return testbed
+
+
+def _device(testbed: Testbed, name: str):
+    # Devices are found through their radios on the medium.
+    for radio in testbed.medium.radios(RadioKind.WIFI) + testbed.medium.radios(RadioKind.BLE):
+        if radio.device.name == name:
+            return radio.device
+    raise KeyError(name)
+
+
+def run_table3(seed: int = 3) -> List[OperationResult]:
+    """Measure every Table 3 operation; rows in the paper's order."""
+    results: List[OperationResult] = []
+
+    # WiFi-receive: a multicast reception pulse on the probe.
+    testbed = _two_device_testbed(seed)
+    probe = _device(testbed, "probe")
+    peer = _device(testbed, "peer")
+    probe_wifi = probe.radio(RadioKind.WIFI)
+    peer_wifi = peer.radio(RadioKind.WIFI)
+
+    # Join both radios to the mesh first, then measure only the receive.
+    probe_wifi.join(testbed.mesh, peer_mode=False)
+    peer_wifi.join(testbed.mesh, peer_mode=False)
+    testbed.kernel.run_for(2.0)
+    probe_wifi.on_multicast(lambda payload, src: None)
+    probe.meter.reset_peak()
+    baseline = probe.meter.current_ma
+    peer_wifi.send_multicast(b"probe-packet")
+    testbed.kernel.run_for(1.0)
+    results.append(OperationResult("WiFi-receive", probe.meter.peak_ma - baseline))
+
+    # WiFi-send: one multicast transmission.
+    testbed = _two_device_testbed(seed + 1)
+    probe = _device(testbed, "probe")
+    wifi = probe.radio(RadioKind.WIFI)
+    join = wifi.join(testbed.mesh, peer_mode=False)
+    testbed.kernel.run_for(2.0)
+    probe.meter.reset_peak()
+    baseline = probe.meter.current_ma
+    wifi.send_multicast(b"probe-packet")
+    testbed.kernel.run_for(1.0)
+    results.append(OperationResult("WiFi-send", probe.meter.peak_ma - baseline))
+
+    # WiFi-scan for networks.
+    testbed = _two_device_testbed(seed + 2)
+    probe = _device(testbed, "probe")
+    wifi = probe.radio(RadioKind.WIFI)
+    probe.meter.reset_peak()
+    baseline = probe.meter.current_ma
+    wifi.scan()
+    testbed.kernel.run_for(3.0)
+    results.append(OperationResult("WiFi-scan for networks", probe.meter.peak_ma - baseline))
+
+    # WiFi-connect to network.
+    testbed = _two_device_testbed(seed + 3)
+    probe = _device(testbed, "probe")
+    wifi = probe.radio(RadioKind.WIFI)
+    probe.meter.reset_peak()
+    baseline = probe.meter.current_ma
+    wifi.join(testbed.mesh)
+    testbed.kernel.run_for(2.0)
+    results.append(
+        OperationResult("WiFi-connect to network", probe.meter.peak_ma - baseline)
+    )
+
+    # BLE-scan.
+    testbed = _two_device_testbed(seed + 4)
+    probe = _device(testbed, "probe")
+    ble = probe.radio(RadioKind.BLE)
+    probe.meter.reset_peak()
+    baseline = probe.meter.current_ma
+    ble.start_scanning(lambda payload, mac, distance: None)
+    testbed.kernel.run_for(1.0)
+    results.append(OperationResult("BLE-scan", probe.meter.peak_ma - baseline))
+
+    # BLE-advertise.
+    testbed = _two_device_testbed(seed + 5)
+    probe = _device(testbed, "probe")
+    ble = probe.radio(RadioKind.BLE)
+    probe.meter.reset_peak()
+    baseline = probe.meter.current_ma
+    ble.advertise_once(b"probe-advert")
+    testbed.kernel.run_for(1.0)
+    results.append(OperationResult("BLE-advertise", probe.meter.peak_ma - baseline))
+
+    return results

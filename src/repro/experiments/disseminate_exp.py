@@ -1,0 +1,153 @@
+"""The Disseminate experiment: paper Table 5 and Figure 6.
+
+"Three devices initiate a download of pieces of a single 30 MB file from a
+mock infrastructure network using two different data rates (100 KBps and
+1000 KBps)", then collaborate D2D.  We report, for an arbitrary device
+(device 0), the time from first transmission until it holds the whole file
+and its average current draw over that window, for:
+
+- **Direct**: no collaboration, the device downloads everything itself;
+- **SP**: collaboration over WiFi multicast only;
+- **SA**: the multi-radio middleware (BLE + WiFi, unicast data);
+- **Omni**: BLE context + WiFi-TCP data.
+
+The derived total charge (avg mA × time) is what the paper uses to argue
+that SP's lower average draw still costs more energy overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.disseminate import DisseminateNode, FilePlan
+from repro.energy.report import EnergyWindow
+from repro.experiments.scenario import OMNI_TECHS_BLE_WIFI, Testbed
+from repro.phy.geometry import Position
+from repro.util.units import KBPS, MB
+
+FILE_BYTES = 30 * MB
+CHUNK_COUNT = 30
+DEVICE_COUNT = 3
+RATES_KBPS = (100.0, 1000.0)
+VARIANTS = ("direct", "SP", "SA", "Omni")
+
+
+@dataclass
+class DisseminateResult:
+    """One (variant, rate) cell of Table 5, measured on device 0."""
+
+    variant: str
+    rate_kbps: float
+    time_to_complete_s: Optional[float]
+    energy_avg_ma: Optional[float]  # relative to WiFi standby; None for direct
+
+    @property
+    def charge_mas(self) -> Optional[float]:
+        """Total dissipated charge over the run (paper Sec 4.3 derivation)."""
+        if self.time_to_complete_s is None or self.energy_avg_ma is None:
+            return None
+        return self.energy_avg_ma * self.time_to_complete_s
+
+
+def _assignments() -> List[List[int]]:
+    """Chunk responsibility: 10 consecutive chunks per device."""
+    per_device = CHUNK_COUNT // DEVICE_COUNT
+    return [
+        list(range(index * per_device, (index + 1) * per_device))
+        for index in range(DEVICE_COUNT)
+    ]
+
+
+def run_direct(rate_kbps: float, seed: int = 11) -> DisseminateResult:
+    """The no-collaboration bound: download the whole file alone."""
+    testbed = Testbed(seed=seed)
+    device = testbed.add_device("solo", position=Position(0.0, 0.0))
+    done = testbed.infra.download(device.meter, FILE_BYTES, rate_kbps * KBPS)
+    testbed.kernel.run_until_complete(done, timeout=FILE_BYTES / (rate_kbps * KBPS) + 10)
+    return DisseminateResult(
+        variant="direct",
+        rate_kbps=rate_kbps,
+        time_to_complete_s=testbed.kernel.now,
+        energy_avg_ma=None,  # the paper reports N/A for direct download
+    )
+
+
+def run_collaborative(variant: str, rate_kbps: float, seed: int = 11,
+                      measure_all: bool = False):
+    """Run SP/SA/Omni collaboration; returns the device-0 result.
+
+    With ``measure_all`` the per-device results are returned as a list
+    (used by tests asserting symmetry).
+    """
+    testbed = Testbed(seed=seed)
+    plan = FilePlan(FILE_BYTES, CHUNK_COUNT)
+    rate_bps = rate_kbps * KBPS
+    positions = [Position(0.0, 0.0), Position(8.0, 0.0), Position(4.0, 6.0)]
+    devices = [
+        testbed.add_device(f"dev{index}", position=positions[index])
+        for index in range(DEVICE_COUNT)
+    ]
+    transports = []
+    for device in devices:
+        if variant == "Omni":
+            transports.append(testbed.omni(device, OMNI_TECHS_BLE_WIFI))
+        elif variant == "SA":
+            transports.append(testbed.sa(device, data_tech="wifi"))
+        elif variant == "SP":
+            transports.append(testbed.sp_wifi(device, multicast_data=True))
+        else:
+            raise ValueError(f"unknown variant {variant!r}")
+    nodes = [
+        DisseminateNode(
+            testbed.kernel,
+            transport,
+            testbed.infra,
+            plan,
+            assigned,
+            rate_bps,
+            device.meter,
+        )
+        for transport, assigned, device in zip(transports, _assignments(), devices)
+    ]
+    windows = [EnergyWindow(device.meter) for device in devices]
+    reports: List[Optional[object]] = [None] * DEVICE_COUNT
+
+    def capture(index: int):
+        # Snapshot each device's energy at its own completion instant.
+        def on_done(_waitable) -> None:
+            reports[index] = windows[index].report()
+
+        return on_done
+
+    for index, (node, window) in enumerate(zip(nodes, windows)):
+        window.start()
+        node.completed.add_done_callback(capture(index))
+        node.start()
+    # Generous ceiling: the slowest variant (SP at 100 KBps) needs ~240 s.
+    deadline = FILE_BYTES / rate_bps * 12 + 60
+    time = 0.0
+    while time < deadline and not all(node.completed.done for node in nodes):
+        time += 1.0
+        testbed.kernel.run_until(time)
+    results = []
+    for node, report in zip(nodes, reports):
+        if node.completed_at is None or report is None:
+            results.append(DisseminateResult(variant, rate_kbps, None, None))
+            continue
+        results.append(
+            DisseminateResult(
+                variant, rate_kbps, node.completed_at, report.average_ma_relative
+            )
+        )
+    return results if measure_all else results[0]
+
+
+def run_table5(seed: int = 11) -> List[DisseminateResult]:
+    """The full Table 5 grid: 2 rates × 4 implementation options."""
+    results = []
+    for rate in RATES_KBPS:
+        results.append(run_direct(rate, seed=seed))
+        for variant in ("SP", "SA", "Omni"):
+            results.append(run_collaborative(variant, rate, seed=seed))
+    return results

@@ -1,0 +1,82 @@
+"""Fixed-width table rendering for the benchmark harness.
+
+Each experiment driver returns structured results; these helpers print them
+in rows shaped like the paper's tables so a run can be eyeballed against
+the original side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.experiments.baseline_current import OperationResult
+from repro.experiments.controlled import CellResult, SYSTEMS
+from repro.experiments.disseminate_exp import DisseminateResult
+from repro.experiments.prophet_exp import ProphetResult
+
+
+def _fmt(value: Optional[float], width: int = 9, digits: int = 2) -> str:
+    if value is None:
+        return "N/A".rjust(width)
+    return f"{value:>{width}.{digits}f}"
+
+
+def render_table3(results: Sequence[OperationResult]) -> str:
+    """Table 3: baseline current draw per operation."""
+    lines = ["Operation                      Current (mA)"]
+    for result in results:
+        lines.append(f"{result.operation:<30s} {result.peak_ma:>11.1f}")
+    return "\n".join(lines)
+
+
+def render_table4(results: Sequence[CellResult]) -> str:
+    """Table 4: energy and latency grid, rows in the paper's order."""
+    lines = [
+        "Context Data         | Total Energy (avg. mA)      | Service Latency (ms)",
+        "Tech.   Tech.        |     SP       SA      Omni   |     SP        SA       Omni",
+    ]
+    by_row = {}
+    for cell in results:
+        key = (cell.context_tech, cell.data_tech, cell.response_bytes)
+        by_row.setdefault(key, {})[cell.system] = cell
+    for (context, data, size), row in by_row.items():
+        size_label = "" if data == "BLE" else ("/30B" if size == 30 else "/25MB")
+        label = f"{context:<7s} {data + size_label:<12s}"
+        energies = " ".join(
+            _fmt(row[system].energy_avg_ma, 8) if system in row else "     N/A"
+            for system in SYSTEMS
+        )
+        latencies = " ".join(
+            _fmt(row[system].latency_ms, 9, 1) if system in row else "      N/A"
+            for system in SYSTEMS
+        )
+        lines.append(f"{label}| {energies}  | {latencies}")
+    return "\n".join(lines)
+
+
+def render_table5(results: Sequence[DisseminateResult]) -> str:
+    """Table 5: Disseminate energy and completion time."""
+    lines = [
+        "Rate     Variant   Avg energy (mA)   Time to complete (s)   Charge (mAs)"
+    ]
+    for result in results:
+        charge = result.charge_mas
+        lines.append(
+            f"{result.rate_kbps:>5.0f}KBps {result.variant:<8s}"
+            f" {_fmt(result.energy_avg_ma, 12)}"
+            f" {_fmt(result.time_to_complete_s, 17)}"
+            f" {_fmt(charge, 17, 0)}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig7(results: Sequence[ProphetResult]) -> str:
+    """Fig 7: PRoPHET delivery latency and relay energy."""
+    lines = ["Variant  Delivery latency (s)   Relay energy (mA)   Source energy (mA)"]
+    for result in results:
+        lines.append(
+            f"{result.variant:<8s} {_fmt(result.delivery_latency_s, 14)}"
+            f" {_fmt(result.relay_energy_avg_ma, 19)}"
+            f" {_fmt(result.source_energy_avg_ma, 19)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Scenario construction: one object wiring the whole simulated testbed."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.apps.transport import D2DTransport, OmniTransport
+from repro.baselines.art import SaSystem
+from repro.baselines.practice import SpBleSystem, SpWifiSystem
+from repro.comm.stack import StackConfig, build_device, build_omni
+from repro.core.manager import OmniConfig, OmniManager
+from repro.core.tech import TechType
+from repro.net.infra import InfrastructureServer
+from repro.net.mesh import MeshNetwork
+from repro.phy.geometry import Position
+from repro.phy.mobility import MobilityModel
+from repro.phy.world import World
+from repro.radio.base import Device
+from repro.radio.medium import Medium
+from repro.sim.kernel import Kernel
+
+
+class Testbed:
+    """The simulated equivalent of the paper's Raspberry Pi testbed."""
+
+    __test__ = False  # not a pytest collection target despite the name
+
+    def __init__(self, seed: int = 0) -> None:
+        self.kernel = Kernel(seed=seed)
+        self.world = World(self.kernel)
+        self.medium = Medium(self.kernel, self.world)
+        self.mesh = MeshNetwork(self.kernel, "area-mesh")
+        self.infra = InfrastructureServer(self.kernel)
+
+    def add_device(
+        self,
+        name: str,
+        position: Optional[Position] = None,
+        mobility: Optional[MobilityModel] = None,
+        radio_kinds: Optional[Set[str]] = None,
+    ) -> Device:
+        """Place a device with the given radios (default: BLE + WiFi)."""
+        node = self.world.add_node(name, position=position, mobility=mobility)
+        config = StackConfig(radio_kinds=radio_kinds or {"ble", "wifi"})
+        return build_device(self.kernel, node, self.medium, config)
+
+    # -- system factories, one per column of the paper's comparisons ----------
+
+    def omni(self, device: Device, techs: Optional[Set[TechType]] = None,
+             omni_config: Optional[OmniConfig] = None) -> OmniTransport:
+        """An Omni stack on ``device`` with the given adapter set."""
+        config = StackConfig(omni_config=omni_config)
+        if techs is not None:
+            config.omni_techs = set(techs)
+        manager = build_omni(device, self.mesh, config)
+        return OmniTransport(manager)
+
+    def omni_manager(self, device: Device, techs: Optional[Set[TechType]] = None,
+                     omni_config: Optional[OmniConfig] = None) -> OmniManager:
+        """A bare OmniManager (for API-level examples and tests)."""
+        config = StackConfig(omni_config=omni_config)
+        if techs is not None:
+            config.omni_techs = set(techs)
+        return build_omni(device, self.mesh, config)
+
+    def sp_ble(self, device: Device) -> SpBleSystem:
+        """State of the Practice, BLE-only (WiFi radio powered off)."""
+        return SpBleSystem(device)
+
+    def sp_wifi(self, device: Device, multicast_data: bool = False) -> SpWifiSystem:
+        """State of the Practice, WiFi-only."""
+        return SpWifiSystem(device, self.mesh, multicast_data=multicast_data)
+
+    def sa(self, device: Device, data_tech: str = "auto") -> SaSystem:
+        """State of the Art multi-radio middleware."""
+        return SaSystem(device, self.mesh, data_tech=data_tech)
+
+
+#: Adapter sets matching the Table 4 configuration rows.
+OMNI_TECHS_BLE_ONLY = {TechType.BLE_BEACON}
+OMNI_TECHS_BLE_WIFI = {
+    TechType.BLE_BEACON,
+    TechType.WIFI_TCP,
+    TechType.WIFI_MULTICAST,
+}
+OMNI_TECHS_WIFI_ONLY = {TechType.WIFI_TCP, TechType.WIFI_MULTICAST}

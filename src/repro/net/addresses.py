@@ -1,0 +1,115 @@
+"""Low-level addresses for the simulated radio technologies.
+
+The Omni address beacon (paper Sec 3.3) carries exactly an 8-byte WiFi-Mesh
+address and a 6-byte BLE address, so both types here know their canonical
+wire width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import SeededRng
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """A 48-bit address, used for BLE radios. Wire width: 6 bytes."""
+
+    value: int
+    WIRE_BYTES = 6
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << 48):
+            raise ValueError(f"MAC address out of 48-bit range: {self.value:#x}")
+
+    @classmethod
+    def random(cls, rng: SeededRng) -> "MacAddress":
+        """A locally-administered unicast MAC drawn from ``rng``."""
+        value = rng.getrandbits(48)
+        value &= ~(1 << 40)  # clear multicast bit
+        value |= 1 << 41  # set locally-administered bit
+        return cls(value)
+
+    def to_bytes(self) -> bytes:
+        """Canonical 6-byte big-endian encoding."""
+        return self.value.to_bytes(self.WIRE_BYTES, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MacAddress":
+        """Decode the canonical 6-byte encoding."""
+        if len(data) != cls.WIRE_BYTES:
+            raise ValueError(f"MAC address needs {cls.WIRE_BYTES} bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def __str__(self) -> str:
+        raw = self.to_bytes()
+        return ":".join(f"{byte:02x}" for byte in raw)
+
+
+@dataclass(frozen=True, order=True)
+class MeshAddress:
+    """A 64-bit WiFi-Mesh station address. Wire width: 8 bytes.
+
+    Modeled after an EUI-64/IPv6 interface identifier, matching the paper's
+    "8 [bytes] for the Wifi-Mesh address" in the address beacon.
+    """
+
+    value: int
+    WIRE_BYTES = 8
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << 64):
+            raise ValueError(f"mesh address out of 64-bit range: {self.value:#x}")
+
+    @classmethod
+    def random(cls, rng: SeededRng) -> "MeshAddress":
+        """A random mesh station address drawn from ``rng``."""
+        return cls(rng.getrandbits(64))
+
+    def to_bytes(self) -> bytes:
+        """Canonical 8-byte big-endian encoding."""
+        return self.value.to_bytes(self.WIRE_BYTES, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MeshAddress":
+        """Decode the canonical 8-byte encoding."""
+        if len(data) != cls.WIRE_BYTES:
+            raise ValueError(
+                f"mesh address needs {cls.WIRE_BYTES} bytes, got {len(data)}"
+            )
+        return cls(int.from_bytes(data, "big"))
+
+    def __str__(self) -> str:
+        return f"mesh:{self.value:016x}"
+
+
+@dataclass(frozen=True, order=True)
+class NfcAddress:
+    """A 4-byte NFC tag/controller identifier. Wire width: 4 bytes."""
+
+    value: int
+    WIRE_BYTES = 4
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << 32):
+            raise ValueError(f"NFC address out of 32-bit range: {self.value:#x}")
+
+    @classmethod
+    def random(cls, rng: SeededRng) -> "NfcAddress":
+        """A random NFC identifier drawn from ``rng``."""
+        return cls(rng.getrandbits(32))
+
+    def to_bytes(self) -> bytes:
+        """Canonical 4-byte big-endian encoding."""
+        return self.value.to_bytes(self.WIRE_BYTES, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "NfcAddress":
+        """Decode the canonical 4-byte encoding."""
+        if len(data) != cls.WIRE_BYTES:
+            raise ValueError(f"NFC address needs {cls.WIRE_BYTES} bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def __str__(self) -> str:
+        return f"nfc:{self.value:08x}"

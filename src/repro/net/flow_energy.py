@@ -1,0 +1,188 @@
+"""Energy model for bulk flows.
+
+Maps a device's *aggregate* transfer activity to radio current draws.  The
+model has three physically-motivated terms:
+
+1. **Airtime duty**: the tx/rx amplifier is active for the fraction of time
+   it is moving bits, approximated as ``total_rate / reference`` per
+   direction.
+2. **Wake floor**: any non-zero traffic keeps the radio waking per packet,
+   so even a trickle costs a small constant duty.  This reproduces the
+   paper's Table 5 observation that the *slow* State-of-the-Practice
+   transfer consumed more total charge despite a lower average draw.
+3. **Saturation surcharge**: near channel capacity, the Pi's CPU and the
+   USB WiFi adapter (Atheros AR9271) draw substantially more than the
+   radio-only figures in Table 3; this term reproduces the high average
+   draws of the saturated 25 MB interactions in Table 4.
+
+Crucially, all three terms are computed from the device's **summed** flow
+rates, not per flow: ten concurrent trickles wake one radio, not ten, and
+the CPU saturates once.  Each device gets one :class:`FlowEnergyAccountant`
+(keyed weakly by its meter) that owns three meter components:
+``wifi.flow-tx``, ``wifi.flow-rx``, and ``wifi.flow-cpu``.
+
+All constants are calibration inputs documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.energy.constants import WIFI_RECEIVE_MA, WIFI_SEND_MA
+from repro.energy.meter import EnergyMeter
+
+
+@dataclass(frozen=True)
+class FlowEnergyParams:
+    """Calibration constants for the flow energy model."""
+
+    reference_rate_bps: float = 3_000_000.0  # duty == 1 at this rate
+    wake_floor_duty: float = 0.02  # duty of per-packet wakeups for any traffic
+    saturation_extra_ma: float = 420.0  # CPU + USB adapter at full tilt
+    saturation_knee: float = 0.5  # surcharge ramps linearly above this duty
+    # Multicast frames go out at the 1 Mbps basic rate, so each multicast
+    # byte occupies ~6x the airtime of a unicast byte at the reference rate;
+    # multicast flow rates are scaled by this factor before duty accounting.
+    multicast_airtime_scale: float = 6.0
+
+
+DEFAULT_FLOW_ENERGY = FlowEnergyParams()
+
+
+def _duty(rate_bps: float, params: FlowEnergyParams) -> float:
+    if rate_bps <= 0.0:
+        return 0.0
+    return min(1.0, rate_bps / params.reference_rate_bps + params.wake_floor_duty)
+
+
+def flow_draw_ma(rate_bps: float, op_ma: float,
+                 params: FlowEnergyParams = DEFAULT_FLOW_ENERGY) -> float:
+    """Draw (mA) for a *standalone* endpoint at ``rate_bps`` — the single-flow
+    special case of the aggregate model; used where aggregation cannot apply
+    (e.g. quick estimates) and in tests as the reference curve."""
+    duty = _duty(rate_bps, params)
+    draw = op_ma * duty
+    if duty > params.saturation_knee:
+        ramp = (duty - params.saturation_knee) / (1.0 - params.saturation_knee)
+        draw += params.saturation_extra_ma * ramp
+    return draw
+
+
+class FlowEnergyAccountant:
+    """Aggregates one device's flow rates into three meter components."""
+
+    TX = "tx"
+    RX = "rx"
+
+    def __init__(self, meter: EnergyMeter, params: FlowEnergyParams) -> None:
+        self.meter = meter
+        self.params = params
+        self._rates: Dict[Tuple[str, str], float] = {}  # (direction, key) -> bps
+
+    def set_rate(self, direction: str, key: str, rate_bps: float) -> None:
+        """Update one flow endpoint's rate; 0 removes it."""
+        if direction not in (self.TX, self.RX):
+            raise ValueError(f"direction must be tx or rx, got {direction!r}")
+        if rate_bps <= 0.0:
+            self._rates.pop((direction, key), None)
+        else:
+            self._rates[(direction, key)] = rate_bps
+        self._apply()
+
+    def total(self, direction: str) -> float:
+        """Summed rate for one direction, bytes/second."""
+        return sum(
+            rate for (item_direction, _), rate in self._rates.items()
+            if item_direction == direction
+        )
+
+    def _apply(self) -> None:
+        params = self.params
+        tx_total = self.total(self.TX)
+        rx_total = self.total(self.RX)
+        self.meter.set_draw("wifi.flow-tx", WIFI_SEND_MA * _duty(tx_total, params))
+        self.meter.set_draw("wifi.flow-rx", WIFI_RECEIVE_MA * _duty(rx_total, params))
+        combined_duty = _duty(tx_total + rx_total, params)
+        surcharge = 0.0
+        if combined_duty > params.saturation_knee:
+            ramp = (combined_duty - params.saturation_knee) / (1.0 - params.saturation_knee)
+            surcharge = params.saturation_extra_ma * ramp
+        self.meter.set_draw("wifi.flow-cpu", surcharge)
+
+
+_ACCOUNTANTS: "weakref.WeakKeyDictionary[EnergyMeter, FlowEnergyAccountant]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def accountant_for(meter: EnergyMeter,
+                   params: FlowEnergyParams = DEFAULT_FLOW_ENERGY) -> FlowEnergyAccountant:
+    """The per-device accountant for ``meter`` (created on first use)."""
+    accountant = _ACCOUNTANTS.get(meter)
+    if accountant is None:
+        accountant = FlowEnergyAccountant(meter, params)
+        _ACCOUNTANTS[meter] = accountant
+    return accountant
+
+
+class FlowEnergyBinder:
+    """Adapts one flow endpoint's rate changes to the device accountant.
+
+    ``rate_scale`` converts a goodput into an airtime-equivalent rate; 1 for
+    unicast, ``params.multicast_airtime_scale`` for basic-rate multicast.
+    """
+
+    _next_key = 0
+
+    def __init__(self, meter: EnergyMeter, direction: str,
+                 params: FlowEnergyParams = DEFAULT_FLOW_ENERGY,
+                 rate_scale: float = 1.0) -> None:
+        self.accountant = accountant_for(meter, params)
+        self.direction = direction
+        self.rate_scale = rate_scale
+        FlowEnergyBinder._next_key += 1
+        self.key = f"flow-{FlowEnergyBinder._next_key}"
+
+    def __call__(self, rate_bps: float) -> None:
+        """Rate-change listener suitable for :meth:`FluidFlow.on_rate_change`."""
+        self.accountant.set_rate(self.direction, self.key, rate_bps * self.rate_scale)
+
+    def release(self) -> None:
+        """Explicitly zero this endpoint (same as calling with 0)."""
+        self.accountant.set_rate(self.direction, self.key, 0.0)
+
+
+def sender_binder(meter: EnergyMeter, component: str = "",
+                  params: FlowEnergyParams = DEFAULT_FLOW_ENERGY) -> FlowEnergyBinder:
+    """Binder for the transmitting endpoint of a unicast flow.
+
+    ``component`` is accepted for call-site readability but unused: draws
+    are aggregated into the device-wide flow components.
+    """
+    return FlowEnergyBinder(meter, FlowEnergyAccountant.TX, params)
+
+
+def receiver_binder(meter: EnergyMeter, component: str = "",
+                    params: FlowEnergyParams = DEFAULT_FLOW_ENERGY) -> FlowEnergyBinder:
+    """Binder for the receiving endpoint of a unicast flow."""
+    return FlowEnergyBinder(meter, FlowEnergyAccountant.RX, params)
+
+
+def multicast_sender_binder(
+    meter: EnergyMeter, params: FlowEnergyParams = DEFAULT_FLOW_ENERGY
+) -> FlowEnergyBinder:
+    """Binder for the transmitting endpoint of a basic-rate multicast flow."""
+    return FlowEnergyBinder(
+        meter, FlowEnergyAccountant.TX, params, rate_scale=params.multicast_airtime_scale
+    )
+
+
+def multicast_receiver_binder(
+    meter: EnergyMeter, params: FlowEnergyParams = DEFAULT_FLOW_ENERGY
+) -> FlowEnergyBinder:
+    """Binder for the receiving endpoint of a basic-rate multicast flow."""
+    return FlowEnergyBinder(
+        meter, FlowEnergyAccountant.RX, params, rate_scale=params.multicast_airtime_scale
+    )

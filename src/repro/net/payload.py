@@ -1,0 +1,52 @@
+"""Payload abstractions.
+
+Small control-plane payloads (beacons, context, metadata) are real ``bytes``.
+Bulk data-plane payloads (a 25 MB media file) are represented by
+:class:`VirtualPayload`, which carries a size and an identity tag without
+materialising the bytes — the simulator only needs sizes to model transfer
+times and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.util.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class VirtualPayload:
+    """A stand-in for ``size`` bytes of application data.
+
+    ``tag`` identifies the content (e.g. ``"photo-42/chunk-3"``) so receivers
+    can tell what arrived; ``meta`` carries small structured data alongside,
+    the way an application would prepend a header to a blob.
+    """
+
+    size: int
+    tag: str = ""
+    meta: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        check_non_negative("size", self.size)
+
+
+Payload = Union[bytes, VirtualPayload]
+
+
+def payload_size(payload: Payload) -> int:
+    """Size in bytes of either payload representation."""
+    if isinstance(payload, VirtualPayload):
+        return payload.size
+    return len(payload)
+
+
+def describe_payload(payload: Payload) -> str:
+    """A short human-readable description for traces."""
+    if isinstance(payload, VirtualPayload):
+        label = payload.tag or "virtual"
+        return f"<{label}: {payload.size}B>"
+    if len(payload) <= 16:
+        return payload.hex()
+    return f"<bytes: {len(payload)}B>"

@@ -1,0 +1,35 @@
+"""Physical-world substrate: geometry, mobility, propagation, node registry."""
+
+from repro.phy.geometry import ORIGIN, Position
+from repro.phy.mobility import (
+    Linear,
+    MobilityModel,
+    RandomWaypoint,
+    Static,
+    WaypointPath,
+)
+from repro.phy.propagation import (
+    LogDistance,
+    PropagationModel,
+    SoftDisk,
+    UnitDisk,
+    frame_delivered,
+)
+from repro.phy.world import World, WorldNode
+
+__all__ = [
+    "Linear",
+    "LogDistance",
+    "MobilityModel",
+    "ORIGIN",
+    "Position",
+    "PropagationModel",
+    "RandomWaypoint",
+    "SoftDisk",
+    "Static",
+    "UnitDisk",
+    "WaypointPath",
+    "World",
+    "WorldNode",
+    "frame_delivered",
+]

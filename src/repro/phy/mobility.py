@@ -1,0 +1,135 @@
+"""Mobility models: where is a device at time t?
+
+A mobility model is a pure function of time, which keeps the world's range
+queries exact at any instant without discretising motion into events.  The
+PRoPHET ferry scenario (paper Fig 7) uses :class:`WaypointPath`; ad-hoc
+scenarios may use :class:`RandomWaypoint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.phy.geometry import Position
+from repro.util.rng import SeededRng
+from repro.util.validation import check_non_negative, check_positive
+
+
+class MobilityModel:
+    """Interface: position as a function of simulation time."""
+
+    def position_at(self, time: float) -> Position:
+        """The device's position at simulated ``time`` seconds."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Static(MobilityModel):
+    """A device that never moves."""
+
+    position: Position
+
+    def position_at(self, time: float) -> Position:
+        return self.position
+
+
+class Linear(MobilityModel):
+    """Constant-velocity straight-line motion from a start position."""
+
+    def __init__(self, start: Position, velocity: Tuple[float, float],
+                 start_time: float = 0.0) -> None:
+        self.start = start
+        self.velocity = velocity
+        self.start_time = start_time
+
+    def position_at(self, time: float) -> Position:
+        elapsed = max(0.0, time - self.start_time)
+        return self.start.translated(self.velocity[0] * elapsed,
+                                     self.velocity[1] * elapsed)
+
+
+class WaypointPath(MobilityModel):
+    """Piecewise-linear motion through timed waypoints.
+
+    ``waypoints`` is a sequence of ``(time, Position)`` pairs sorted by time.
+    Before the first waypoint the device sits at the first position; after the
+    last it sits at the last.  This is the workhorse for scripted scenarios
+    like the data ferry in the PRoPHET experiment.
+    """
+
+    def __init__(self, waypoints: Sequence[Tuple[float, Position]]) -> None:
+        if not waypoints:
+            raise ValueError("WaypointPath requires at least one waypoint")
+        times = [t for t, _ in waypoints]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("waypoints must be sorted by time")
+        self.waypoints: List[Tuple[float, Position]] = list(waypoints)
+
+    def position_at(self, time: float) -> Position:
+        waypoints = self.waypoints
+        if time <= waypoints[0][0]:
+            return waypoints[0][1]
+        for (t0, p0), (t1, p1) in zip(waypoints, waypoints[1:]):
+            if time <= t1:
+                if t1 == t0:
+                    return p1
+                return p0.lerp(p1, (time - t0) / (t1 - t0))
+        return waypoints[-1][1]
+
+
+class RandomWaypoint(MobilityModel):
+    """The classic random-waypoint model inside a rectangular arena.
+
+    The full trajectory is generated lazily but deterministically from the
+    seeded RNG, so ``position_at`` is a pure function of time for a given
+    model instance.
+    """
+
+    def __init__(
+        self,
+        rng: SeededRng,
+        width: float,
+        height: float,
+        speed: float,
+        pause: float = 0.0,
+        start: Position = None,
+    ) -> None:
+        check_positive("width", width)
+        check_positive("height", height)
+        check_positive("speed", speed)
+        check_non_negative("pause", pause)
+        self._rng = rng
+        self.width = width
+        self.height = height
+        self.speed = speed
+        self.pause = pause
+        first = start if start is not None else self._random_point()
+        # Trajectory is a list of (arrival_time, position); motion between
+        # consecutive entries is linear, with `pause` dwell at each point.
+        self._trajectory: List[Tuple[float, Position]] = [(0.0, first)]
+
+    def _random_point(self) -> Position:
+        return Position(self._rng.uniform(0.0, self.width),
+                        self._rng.uniform(0.0, self.height))
+
+    def _extend_until(self, time: float) -> None:
+        while self._trajectory[-1][0] + self.pause < time:
+            depart_time = self._trajectory[-1][0] + self.pause
+            here = self._trajectory[-1][1]
+            target = self._random_point()
+            travel = here.distance_to(target) / self.speed
+            self._trajectory.append((depart_time + travel, target))
+
+    def position_at(self, time: float) -> Position:
+        if time <= 0.0:
+            return self._trajectory[0][1]
+        self._extend_until(time)
+        trajectory = self._trajectory
+        for (t0, p0), (t1, p1) in zip(trajectory, trajectory[1:]):
+            depart = t0 + self.pause
+            if time <= depart:
+                return p0
+            if time <= t1:
+                return p0.lerp(p1, (time - depart) / (t1 - depart))
+        return trajectory[-1][1]

@@ -1,0 +1,98 @@
+"""Propagation models: can two radios hear each other, and how well?
+
+The reproduction defaults to a unit-disk model per technology (in range or
+not), which matches the paper's testbed where all devices are well within
+range.  A log-distance model with a soft edge is provided for richer
+scenarios and ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.rng import SeededRng
+from repro.util.validation import check_positive
+
+
+class PropagationModel:
+    """Interface: link quality between two points at a distance."""
+
+    def delivery_probability(self, distance: float) -> float:
+        """Probability that a single frame at ``distance`` meters is heard."""
+        raise NotImplementedError
+
+    def in_range(self, distance: float) -> bool:
+        """True if any communication is possible at ``distance``."""
+        return self.delivery_probability(distance) > 0.0
+
+
+@dataclass(frozen=True)
+class UnitDisk(PropagationModel):
+    """Perfect reception up to ``radius`` meters, nothing beyond."""
+
+    radius: float
+
+    def delivery_probability(self, distance: float) -> float:
+        return 1.0 if distance <= self.radius else 0.0
+
+
+@dataclass(frozen=True)
+class SoftDisk(PropagationModel):
+    """Perfect reception up to ``inner``; linear falloff to zero at ``outer``.
+
+    Models the grey zone at the edge of a radio's range without a full
+    path-loss computation.
+    """
+
+    inner: float
+    outer: float
+
+    def __post_init__(self) -> None:
+        check_positive("inner", self.inner)
+        if self.outer < self.inner:
+            raise ValueError(
+                f"outer radius ({self.outer}) must be >= inner ({self.inner})"
+            )
+
+    def delivery_probability(self, distance: float) -> float:
+        if distance <= self.inner:
+            return 1.0
+        if distance >= self.outer:
+            return 0.0
+        return 1.0 - (distance - self.inner) / (self.outer - self.inner)
+
+
+@dataclass(frozen=True)
+class LogDistance(PropagationModel):
+    """Log-distance path loss mapped to a delivery probability.
+
+    ``reference_range`` is where the delivery probability crosses 50%;
+    ``exponent`` controls how fast it falls off around that point.
+    """
+
+    reference_range: float
+    exponent: float = 3.0
+
+    def delivery_probability(self, distance: float) -> float:
+        check_positive("reference_range", self.reference_range)
+        if distance <= 0.0:
+            return 1.0
+        # Logistic curve in log-distance space, centred at reference_range.
+        x = self.exponent * math.log10(distance / self.reference_range)
+        probability = 1.0 / (1.0 + math.pow(10.0, x))
+        return max(0.0, min(1.0, probability))
+
+    def in_range(self, distance: float) -> bool:
+        # Cut off where delivery would be hopeless: < 1%.
+        return self.delivery_probability(distance) >= 0.01
+
+
+def frame_delivered(model: PropagationModel, distance: float, rng: SeededRng) -> bool:
+    """Roll delivery of a single frame under ``model`` at ``distance``."""
+    probability = model.delivery_probability(distance)
+    if probability >= 1.0:
+        return True
+    if probability <= 0.0:
+        return False
+    return rng.bernoulli(probability)

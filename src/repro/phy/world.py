@@ -1,0 +1,93 @@
+"""The physical world: a registry of placed, possibly moving, nodes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.phy.geometry import Position
+from repro.phy.mobility import MobilityModel, Static
+from repro.sim.kernel import Kernel
+
+
+class WorldNode:
+    """One physical object (device, beacon, access point) in the world."""
+
+    def __init__(self, world: "World", name: str, mobility: MobilityModel) -> None:
+        self.world = world
+        self.name = name
+        self.mobility = mobility
+
+    @property
+    def position(self) -> Position:
+        """Current position, derived from the mobility model and the clock."""
+        return self.mobility.position_at(self.world.kernel.now)
+
+    def distance_to(self, other: "WorldNode") -> float:
+        """Current distance to another node in meters."""
+        return self.position.distance_to(other.position)
+
+    def move_to(self, position: Position) -> None:
+        """Teleport the node by replacing its mobility model with Static."""
+        self.mobility = Static(position)
+
+    def set_mobility(self, mobility: MobilityModel) -> None:
+        """Replace the node's mobility model."""
+        self.mobility = mobility
+
+    def __repr__(self) -> str:
+        return f"WorldNode({self.name!r}, at={self.position})"
+
+
+class World:
+    """Registry of :class:`WorldNode` objects sharing one kernel clock."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._nodes: Dict[str, WorldNode] = {}
+
+    def add_node(
+        self,
+        name: str,
+        position: Optional[Position] = None,
+        mobility: Optional[MobilityModel] = None,
+    ) -> WorldNode:
+        """Register a node, either static at ``position`` or with ``mobility``."""
+        if name in self._nodes:
+            raise ValueError(f"node name {name!r} already registered")
+        if mobility is None:
+            if position is None:
+                raise ValueError("provide either position or mobility")
+            mobility = Static(position)
+        elif position is not None:
+            raise ValueError("provide position or mobility, not both")
+        node = WorldNode(self, name, mobility)
+        self._nodes[name] = node
+        return node
+
+    def remove_node(self, name: str) -> None:
+        """Unregister a node (e.g. a device leaving the scenario)."""
+        if name not in self._nodes:
+            raise KeyError(f"no node named {name!r}")
+        del self._nodes[name]
+
+    def node(self, name: str) -> WorldNode:
+        """Look up a node by name."""
+        return self._nodes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __iter__(self) -> Iterator[WorldNode]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes_within(self, center: WorldNode, radius: float) -> List[WorldNode]:
+        """All other nodes within ``radius`` meters of ``center``, by name order."""
+        origin = center.position
+        return [
+            node
+            for name, node in sorted(self._nodes.items())
+            if node is not center and origin.distance_to(node.position) <= radius
+        ]

@@ -1,0 +1,52 @@
+"""Over-the-air frames exchanged between simulated radios."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class RadioKind(str, enum.Enum):
+    """The D2D technologies modeled by the reproduction."""
+
+    BLE = "ble"
+    WIFI = "wifi"
+    NFC = "nfc"
+
+
+class FrameKind(str, enum.Enum):
+    """What layer a frame belongs to; used by receivers to dispatch."""
+
+    BLE_ADVERTISEMENT = "ble_advertisement"
+    WIFI_MULTICAST = "wifi_multicast"
+    WIFI_UNICAST = "wifi_unicast"
+    NFC_EXCHANGE = "nfc_exchange"
+
+
+@dataclass
+class Frame:
+    """One transmission as seen by the medium.
+
+    ``payload`` is always real bytes here — frames are small control-plane
+    units; bulk transfers go through the fluid channel, not frame-by-frame.
+    """
+
+    kind: FrameKind
+    sender: Any  # the transmitting Radio (kept loose to avoid import cycles)
+    payload: bytes
+    sent_at: float
+    airtime: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.payload)
+
+    def __repr__(self) -> str:
+        sender_name = getattr(self.sender, "name", self.sender)
+        return (
+            f"Frame({self.kind.value}, from={sender_name}, "
+            f"{self.size}B @ t={self.sent_at:.4f})"
+        )

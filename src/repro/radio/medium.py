@@ -1,0 +1,134 @@
+"""The wireless medium: geometry-aware frame delivery between radios.
+
+One :class:`Medium` instance per simulation carries every technology; each
+:class:`~repro.radio.frame.RadioKind` has its own propagation model.  The
+medium decides *who can hear* a transmission; receiver radios decide what to
+do with it (scan-window gating, mesh membership, etc.) via
+``_accepts_frame``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.phy.propagation import PropagationModel, UnitDisk, frame_delivered
+from repro.phy.world import World
+from repro.radio.base import Radio
+from repro.radio.frame import Frame, RadioKind
+from repro.sim.kernel import Kernel
+from repro.util.rng import SeededRng
+
+#: Default communication ranges per technology, in meters.  BLE and WiFi
+#: follow common open-air figures; NFC is contact-range by design.
+DEFAULT_RANGES = {
+    RadioKind.BLE: 30.0,
+    RadioKind.WIFI: 100.0,
+    RadioKind.NFC: 0.1,
+}
+
+#: Propagation delay is negligible at D2D ranges; modeled as a constant.
+PROPAGATION_DELAY_S = 5e-6
+
+
+class Medium:
+    """Routes frames from a transmitting radio to in-range receivers."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        world: World,
+        propagation: Optional[Dict[RadioKind, PropagationModel]] = None,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.world = world
+        self.rng = rng or kernel.rng.child("medium")
+        self.propagation: Dict[RadioKind, PropagationModel] = {
+            kind: UnitDisk(radius) for kind, radius in DEFAULT_RANGES.items()
+        }
+        if propagation:
+            self.propagation.update(propagation)
+        self._radios: Dict[RadioKind, List[Radio]] = {kind: [] for kind in RadioKind}
+        self._adhoc_mesh = None
+        self.frames_sent = 0
+        self.frames_delivered = 0
+
+    def adhoc_mesh(self):
+        """The shared ad-hoc mesh that fast peerings converge on.
+
+        802.11s peering among co-located devices forms one MBSS; modeling it
+        as a single lazily-created mesh keeps concurrent pairwise peerings
+        from creating rival meshes that evict each other.
+        """
+        if self._adhoc_mesh is None:
+            from repro.net.mesh import MeshNetwork
+
+            self._adhoc_mesh = MeshNetwork(self.kernel, "adhoc")
+        return self._adhoc_mesh
+
+    def attach(self, radio: Radio) -> None:
+        """Register a radio; called by the Radio constructor."""
+        self._radios[radio.kind].append(radio)
+
+    def detach(self, radio: Radio) -> None:
+        """Unregister a radio (device leaving the simulation)."""
+        self._radios[radio.kind].remove(radio)
+
+    def radios(self, kind: RadioKind) -> List[Radio]:
+        """All attached radios of ``kind`` (enabled or not)."""
+        return list(self._radios[kind])
+
+    def in_range(self, a: Radio, b: Radio) -> bool:
+        """True if radios ``a`` and ``b`` are within their technology's range."""
+        if a.kind is not b.kind:
+            return False
+        model = self.propagation[a.kind]
+        return model.in_range(a.node.distance_to(b.node))
+
+    def reachable_from(self, sender: Radio) -> List[Radio]:
+        """Enabled same-kind radios currently in range of ``sender``."""
+        model = self.propagation[sender.kind]
+        origin = sender.node.position
+        return [
+            radio
+            for radio in self._radios[sender.kind]
+            if radio is not sender
+            and radio.enabled
+            and model.in_range(origin.distance_to(radio.node.position))
+        ]
+
+    def broadcast(self, sender: Radio, frame: Frame) -> int:
+        """Deliver ``frame`` to every in-range receiver that accepts it.
+
+        Delivery happens after the frame's airtime plus propagation delay.
+        Returns the number of receivers the frame was scheduled to.
+        """
+        self.frames_sent += 1
+        model = self.propagation[sender.kind]
+        origin = sender.node.position
+        scheduled = 0
+        for receiver in self._radios[sender.kind]:
+            if receiver is sender:
+                continue
+            distance = origin.distance_to(receiver.node.position)
+            if not frame_delivered(model, distance, self.rng):
+                continue
+            if not receiver._accepts_frame(frame):
+                continue
+            delay = frame.airtime + PROPAGATION_DELAY_S
+            self.kernel.call_in(
+                delay,
+                self._make_delivery(receiver, frame, distance),
+            )
+            scheduled += 1
+        return scheduled
+
+    def _make_delivery(self, receiver: Radio, frame: Frame, distance: float):
+        def deliver() -> None:
+            # Re-check state at delivery time: the receiver may have been
+            # disabled (or stopped scanning) during the frame's airtime.
+            if receiver._accepts_frame(frame):
+                self.frames_delivered += 1
+                receiver._deliver(frame, distance)
+
+        return deliver

@@ -1,0 +1,54 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the substrate replacing the paper's Raspberry Pi testbed: a virtual
+clock, an event heap with deterministic tie-breaking, SimPy-style generator
+processes, and the queue/signal primitives that the Omni architecture's
+queue-sharing contract (paper Sec 3.2) is built on.
+"""
+
+from repro.sim.errors import (
+    DeadlockError,
+    Interrupt,
+    ProcessAlreadyFinished,
+    ProcessError,
+    SchedulingInPastError,
+    SimulationError,
+)
+from repro.sim.events import EventHandle
+from repro.sim.kernel import Kernel, PeriodicTask
+from repro.sim.process import (
+    AllOf,
+    AnyOf,
+    Completion,
+    Process,
+    Timeout,
+    Waitable,
+    sleep,
+)
+from repro.sim.queues import QueueGet, SimQueue
+from repro.sim.scheduler import EventScheduler
+from repro.sim.signals import Signal, SignalWait
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Completion",
+    "DeadlockError",
+    "EventHandle",
+    "EventScheduler",
+    "Interrupt",
+    "Kernel",
+    "PeriodicTask",
+    "Process",
+    "ProcessAlreadyFinished",
+    "ProcessError",
+    "QueueGet",
+    "SchedulingInPastError",
+    "Signal",
+    "SignalWait",
+    "SimQueue",
+    "SimulationError",
+    "Timeout",
+    "Waitable",
+    "sleep",
+]

@@ -1,0 +1,40 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for kernel-level errors."""
+
+
+class SchedulingInPastError(SimulationError):
+    """An event was scheduled at a time earlier than the current clock."""
+
+
+class DeadlockError(SimulationError):
+    """``run_until`` was asked to make progress but no events are pending.
+
+    Raised only when explicitly requested; normally an empty schedule simply
+    ends the run.
+    """
+
+
+class ProcessError(SimulationError):
+    """Base class for process-related errors."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Deliberately not a :class:`SimulationError`: protocol code is expected to
+    catch it as part of normal operation (e.g. a radio operation aborted
+    because the radio was disabled).
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessAlreadyFinished(ProcessError):
+    """An operation requires a live process but it already terminated."""

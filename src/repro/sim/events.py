@@ -1,0 +1,40 @@
+"""Scheduled-callback handles.
+
+The scheduler hands out an :class:`EventHandle` for every scheduled callback;
+holding the handle allows cancellation, which the kernel implements lazily
+(cancelled handles stay in the heap but are skipped when popped).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class EventHandle:
+    """A cancellable reference to one scheduled callback."""
+
+    __slots__ = ("time", "seq", "callback", "_cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], Any]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[[], Any]] = callback
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the callback from running. Idempotent."""
+        self._cancelled = True
+        self.callback = None  # release closure references eagerly
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        # heapq ordering: time first, then insertion order for determinism.
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"

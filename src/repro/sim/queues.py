@@ -1,0 +1,92 @@
+"""Simulation-aware FIFO queues.
+
+These are the concrete realisation of the queue-sharing contract between the
+Omni Manager and each D2D technology (paper Sec 3.2): a shared
+``receive_queue``, a shared ``response_queue``, and one ``send_queue`` per
+technology.  In the paper's prototype these are thread-safe queues; in the
+deterministic simulator they are FIFO queues whose blocking ``get`` integrates
+with the process layer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.process import Waitable
+
+
+class QueueGet(Waitable):
+    """Waitable returned by :meth:`SimQueue.get`."""
+
+    def _abandon(self) -> None:
+        # Mark done so the queue's put() skips this getter instead of
+        # handing it an item the interrupted process will never see.
+        self._complete(value=None)
+
+
+class SimQueue:
+    """Unbounded FIFO queue usable from processes and plain callbacks alike.
+
+    ``put`` never blocks.  ``get`` returns a waitable that completes with the
+    next item; items are matched to getters strictly FIFO-to-FIFO so ordering
+    is deterministic.
+    """
+
+    def __init__(self, name: str = "queue") -> None:
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[QueueGet] = deque()
+        self.total_put = 0  # lifetime counters, handy for tests and traces
+        self.total_got = 0
+
+    def __len__(self) -> int:
+        """Number of items currently buffered (not yet claimed by a getter)."""
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        """True when no items are buffered."""
+        return not self._items
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; wakes the oldest waiting getter, if any."""
+        self.total_put += 1
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.done:
+                continue  # getter was abandoned (e.g. process interrupted)
+            self.total_got += 1
+            getter._complete(value=item)
+            return
+        self._items.append(item)
+
+    def get(self) -> QueueGet:
+        """Return a waitable for the next item (``yield queue.get()``)."""
+        waitable = QueueGet()
+        if self._items:
+            self.total_got += 1
+            waitable._complete(value=self._items.popleft())
+        else:
+            self._getters.append(waitable)
+        return waitable
+
+    def get_nowait(self) -> Optional[Any]:
+        """Pop and return the next item, or None when empty."""
+        if not self._items:
+            return None
+        self.total_got += 1
+        return self._items.popleft()
+
+    def drain(self) -> List[Any]:
+        """Remove and return all buffered items."""
+        items = list(self._items)
+        self._items.clear()
+        self.total_got += len(items)
+        return items
+
+    def __repr__(self) -> str:
+        return (
+            f"SimQueue({self.name!r}, buffered={len(self._items)}, "
+            f"waiting_getters={len(self._getters)})"
+        )

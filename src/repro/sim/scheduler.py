@@ -1,0 +1,99 @@
+"""The event scheduler: a deterministic time-ordered callback heap."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.errors import SchedulingInPastError
+from repro.sim.events import EventHandle
+
+
+class EventScheduler:
+    """A min-heap of timed callbacks with deterministic tie-breaking.
+
+    Two events scheduled for the same instant fire in the order they were
+    scheduled (FIFO), which keeps simulations reproducible regardless of heap
+    internals.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def __len__(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return sum(1 for handle in self._heap if not handle.cancelled)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> EventHandle:
+        """Schedule ``callback`` to run at absolute simulation ``time``."""
+        if time < self._now:
+            raise SchedulingInPastError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        handle = EventHandle(time, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingInPastError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def peek_time(self) -> Optional[float]:
+        """The time of the next pending event, or None when idle."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self) -> bool:
+        """Pop and execute the next event. Returns False when none remain.
+
+        The clock jumps to the event's time *before* its callback runs, so a
+        callback observing ``now`` sees its own scheduled instant.
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        handle = heapq.heappop(self._heap)
+        self._now = handle.time
+        callback, handle.callback = handle.callback, None
+        assert callback is not None  # non-cancelled head always has one
+        callback()
+        return True
+
+    def run_until(self, deadline: float) -> None:
+        """Execute every event scheduled at or before ``deadline``.
+
+        The clock always ends exactly at ``deadline`` even if the schedule
+        drains early, so periodic measurements (e.g. energy integration) have
+        a well-defined window.
+        """
+        if deadline < self._now:
+            raise SchedulingInPastError(
+                f"cannot run until t={deadline} (now is t={self._now})"
+            )
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.step()
+        self._now = deadline
+
+    def run(self) -> None:
+        """Execute events until the schedule drains."""
+        while self.step():
+            pass
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,54 @@
+"""Broadcast signals for process rendezvous.
+
+:class:`Signal` is a reusable pub/sub point: processes wait on it, and each
+``fire`` wakes everyone currently waiting.  It complements the one-shot
+:class:`~repro.sim.process.Completion`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.sim.process import Waitable
+
+
+class SignalWait(Waitable):
+    """Waitable handed out by :meth:`Signal.wait`."""
+
+
+class Signal:
+    """A reusable broadcast event.
+
+    Unlike a :class:`Completion`, a Signal can fire many times; each firing
+    releases exactly the waiters registered before that firing.
+    """
+
+    def __init__(self, name: str = "signal") -> None:
+        self.name = name
+        self._waiters: List[SignalWait] = []
+        self.fire_count = 0
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently waiting."""
+        return sum(1 for waiter in self._waiters if not waiter.done)
+
+    def wait(self) -> SignalWait:
+        """Return a waitable that completes at the next :meth:`fire`."""
+        waitable = SignalWait()
+        self._waiters.append(waitable)
+        return waitable
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters with ``value``; returns how many woke."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        woken = 0
+        for waiter in waiters:
+            if not waiter.done:
+                waiter._complete(value=value)
+                woken += 1
+        return woken
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, waiters={self.waiter_count})"

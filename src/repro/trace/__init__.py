@@ -1,0 +1,18 @@
+"""Tracing and metrics helpers."""
+
+from repro.trace.metrics import (
+    LatencyTracker,
+    SeriesSummary,
+    percentile,
+    summarize,
+)
+from repro.trace.recorder import TraceEvent, TraceRecorder
+
+__all__ = [
+    "LatencyTracker",
+    "SeriesSummary",
+    "TraceEvent",
+    "TraceRecorder",
+    "percentile",
+    "summarize",
+]

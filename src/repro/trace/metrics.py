@@ -1,0 +1,88 @@
+"""Small statistics helpers for latency/throughput series."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Summary statistics of a numeric series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    stddev: float
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of a non-empty sequence."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    # a + (b-a)*w stays within [a, b] even under float rounding, unlike
+    # the a*(1-w) + b*w form.
+    return ordered[low] + (ordered[high] - ordered[low]) * weight
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Summary statistics for a non-empty series."""
+    if not values:
+        raise ValueError("cannot summarize an empty series")
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((value - mean) ** 2 for value in values) / count
+    return SeriesSummary(
+        count=count,
+        mean=mean,
+        minimum=min(values),
+        maximum=max(values),
+        p50=percentile(values, 0.5),
+        p95=percentile(values, 0.95),
+        stddev=math.sqrt(variance),
+    )
+
+
+class LatencyTracker:
+    """Collects start/stop pairs keyed by an identifier."""
+
+    def __init__(self) -> None:
+        self._starts: dict = {}
+        self.samples: List[float] = []
+
+    def start(self, key, time: float) -> None:
+        """Mark the start of an operation."""
+        self._starts[key] = time
+
+    def stop(self, key, time: float) -> Optional[float]:
+        """Mark completion; returns the latency, or None if never started."""
+        started = self._starts.pop(key, None)
+        if started is None:
+            return None
+        latency = time - started
+        self.samples.append(latency)
+        return latency
+
+    @property
+    def pending(self) -> int:
+        """Operations started but not yet stopped."""
+        return len(self._starts)
+
+    def summary(self) -> SeriesSummary:
+        """Statistics over completed operations."""
+        return summarize(self.samples)

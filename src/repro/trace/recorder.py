@@ -1,0 +1,82 @@
+"""Structured event tracing.
+
+A :class:`TraceRecorder` collects timestamped events from anywhere in the
+stack; experiments and tests use it to assert on behaviour ("exactly one
+scan happened", "the beacon fired 120 times") and to dump readable logs of
+a run.  Recording is opt-in and costs nothing when no recorder is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.sim.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{key}={value}" for key, value in self.detail.items())
+        return f"[{self.time:10.4f}] {self.source:<20s} {self.kind:<18s} {extras}"
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` items in simulation order."""
+
+    def __init__(self, kernel: Kernel, capacity: Optional[int] = None) -> None:
+        self.kernel = kernel
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self._filters: List[Callable[[TraceEvent], bool]] = []
+        self.dropped = 0
+
+    def add_filter(self, predicate: Callable[[TraceEvent], bool]) -> None:
+        """Only record events for which every predicate returns True."""
+        self._filters.append(predicate)
+
+    def record(self, source: str, kind: str, **detail: Any) -> None:
+        """Record an event at the current simulation time."""
+        event = TraceEvent(self.kernel.now, source, kind, detail)
+        for predicate in self._filters:
+            if not predicate(event):
+                return
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    # -- queries -----------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events with the given kind."""
+        return [event for event in self.events if event.kind == kind]
+
+    def from_source(self, source: str) -> List[TraceEvent]:
+        """All events from the given source."""
+        return [event for event in self.events if event.source == source]
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        """Events with start <= time < end."""
+        return [event for event in self.events if start <= event.time < end]
+
+    def count(self, kind: str) -> int:
+        """Number of events of a kind."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def dump(self) -> str:
+        """All events as readable lines."""
+        return "\n".join(str(event) for event in self.events)

@@ -1,0 +1,57 @@
+"""Small shared utilities: units, seeded randomness, id generation.
+
+These helpers are deliberately dependency-free; every other subpackage may
+import from :mod:`repro.util` but never the other way around.
+"""
+
+from repro.util.idgen import IdGenerator, monotonic_id
+from repro.util.rng import SeededRng, derive_seed
+from repro.util.units import (
+    BYTE,
+    GB,
+    KB,
+    KBPS,
+    MB,
+    MBPS,
+    MICROSECONDS,
+    MILLISECONDS,
+    SECONDS,
+    bits_to_bytes,
+    bytes_to_bits,
+    from_ms,
+    kbps,
+    mbps,
+    to_ms,
+)
+from repro.util.validation import (
+    check_finite,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "BYTE",
+    "GB",
+    "IdGenerator",
+    "KB",
+    "KBPS",
+    "MB",
+    "MBPS",
+    "MICROSECONDS",
+    "MILLISECONDS",
+    "SECONDS",
+    "SeededRng",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "check_finite",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "derive_seed",
+    "from_ms",
+    "kbps",
+    "mbps",
+    "monotonic_id",
+    "to_ms",
+]

@@ -1,0 +1,48 @@
+"""Monotonic identifier generation.
+
+The Omni API hands applications opaque reference identifiers (e.g. the
+``Context_ID`` returned via ``ADD_CONTEXT_SUCCESS``); the simulator also needs
+ids for events, frames, and transfers.  All of them come from per-namespace
+monotonic counters so ids are deterministic and human-readable in traces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator
+
+
+class IdGenerator:
+    """Generates ids like ``ctx-1``, ``ctx-2``, ... per namespace."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Iterator[int]] = {}
+
+    def next(self, namespace: str) -> str:
+        """Return the next id string in ``namespace``."""
+        counter = self._counters.get(namespace)
+        if counter is None:
+            counter = itertools.count(1)
+            self._counters[namespace] = counter
+        return f"{namespace}-{next(counter)}"
+
+    def next_int(self, namespace: str) -> int:
+        """Return the next integer id in ``namespace``."""
+        counter = self._counters.get(namespace)
+        if counter is None:
+            counter = itertools.count(1)
+            self._counters[namespace] = counter
+        return next(counter)
+
+
+_GLOBAL = IdGenerator()
+
+
+def monotonic_id(namespace: str) -> str:
+    """Process-global convenience wrapper over a shared :class:`IdGenerator`.
+
+    Prefer an explicit per-simulation :class:`IdGenerator` (available on the
+    kernel) for anything whose ids should be reproducible run-to-run; this
+    global exists for logging and debugging convenience only.
+    """
+    return _GLOBAL.next(namespace)

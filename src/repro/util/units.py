@@ -1,0 +1,66 @@
+"""Unit conversion helpers and canonical units.
+
+Canonical internal units used throughout the reproduction:
+
+- time: seconds (``float``)
+- data size: bytes (``int``)
+- data rate: bytes per second (``float``)
+- current: milliamperes (``float``)
+- charge: milliampere-seconds, mAs (``float``)
+
+Helpers here exist so call sites read as ``25 * MB`` or ``kbps(100)`` instead
+of sprinkling magic multipliers.
+"""
+
+from __future__ import annotations
+
+# -- time ------------------------------------------------------------------
+
+SECONDS = 1.0
+MILLISECONDS = 1e-3
+MICROSECONDS = 1e-6
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1000.0
+
+
+def from_ms(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds / 1000.0
+
+
+# -- data size ---------------------------------------------------------------
+
+BYTE = 1
+KB = 1000
+MB = 1000 * 1000
+GB = 1000 * 1000 * 1000
+
+
+def bytes_to_bits(n_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return n_bytes * 8.0
+
+
+def bits_to_bytes(n_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return n_bits / 8.0
+
+
+# -- data rate ---------------------------------------------------------------
+
+# Rates follow the paper's usage: "KBps" means kilo*bytes* per second.
+KBPS = 1000.0
+MBPS = 1000.0 * 1000.0
+
+
+def kbps(rate: float) -> float:
+    """A rate expressed in kilobytes/second, as canonical bytes/second."""
+    return rate * KBPS
+
+
+def mbps(rate: float) -> float:
+    """A rate expressed in megabytes/second, as canonical bytes/second."""
+    return rate * MBPS

@@ -1,0 +1,33 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import math
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` > 0; return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` >= 0; return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless 0 <= ``value`` <= 1; return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_finite(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite number; return it."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value

@@ -1,0 +1,118 @@
+"""The Disseminate application over Omni transports."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.disseminate import (
+    DisseminateNode,
+    FilePlan,
+    decode_metadata,
+    encode_metadata,
+)
+from repro.experiments.scenario import OMNI_TECHS_BLE_WIFI, Testbed
+from repro.phy.geometry import Position
+
+
+class TestFilePlan:
+    def test_chunk_sizes_sum_to_total(self):
+        plan = FilePlan(30_000_000, 30)
+        assert sum(plan.chunk_size(i) for i in range(30)) == 30_000_000
+
+    def test_last_chunk_absorbs_remainder(self):
+        plan = FilePlan(1003, 10)
+        assert plan.chunk_size(0) == 100
+        assert plan.chunk_size(9) == 103
+
+    def test_invalid_plans(self):
+        with pytest.raises(ValueError):
+            FilePlan(100, 0)
+        with pytest.raises(ValueError):
+            FilePlan(100, 33)
+        with pytest.raises(ValueError):
+            FilePlan(3, 10)
+
+
+class TestMetadataCodec:
+    @given(st.integers(min_value=1, max_value=32), st.data())
+    def test_property_roundtrip(self, count, data):
+        have = data.draw(st.sets(st.integers(min_value=0, max_value=count - 1)))
+        assert decode_metadata(encode_metadata(count, have)) == have
+
+    def test_fits_a_ble_context(self):
+        # 6 bytes: well within the 18-byte BLE context budget.
+        assert len(encode_metadata(30, set(range(30)))) == 6
+
+    def test_alien_bytes_rejected(self):
+        assert decode_metadata(b"") is None
+        assert decode_metadata(bytes(10)) is None
+
+
+class TestCollaboration:
+    def _build(self, seed=5, rate=1_000_000.0):
+        testbed = Testbed(seed=seed)
+        plan = FilePlan(3_000_000, 6)  # small for test speed
+        positions = [Position(0, 0), Position(8, 0), Position(4, 6)]
+        nodes = []
+        for index in range(3):
+            device = testbed.add_device(f"d{index}", position=positions[index])
+            transport = testbed.omni(device, OMNI_TECHS_BLE_WIFI)
+            node = DisseminateNode(
+                testbed.kernel, transport, testbed.infra, plan,
+                assigned_chunks=[index * 2, index * 2 + 1],
+                infra_rate_bps=rate, meter=device.meter,
+            )
+            nodes.append(node)
+        return testbed, nodes
+
+    def test_all_nodes_complete(self):
+        testbed, nodes = self._build()
+        for node in nodes:
+            node.start()
+        time = 0.0
+        while time < 60 and not all(node.completed.done for node in nodes):
+            time += 0.5
+            testbed.kernel.run_until(time)
+        assert all(node.completed.done for node in nodes)
+        for node in nodes:
+            assert node.have == set(range(6))
+
+    def test_collaboration_uses_d2d(self):
+        testbed, nodes = self._build()
+        for node in nodes:
+            node.start()
+        testbed.kernel.run_until(30.0)
+        # Most non-assigned chunks should arrive from peers, not infra.
+        assert sum(node.chunks_from_peers for node in nodes) >= 6
+
+    def test_collaboration_beats_solo_download(self):
+        testbed, nodes = self._build(rate=100_000.0)
+        for node in nodes:
+            node.start()
+        time = 0.0
+        while time < 120 and not all(node.completed.done for node in nodes):
+            time += 1.0
+            testbed.kernel.run_until(time)
+        solo_time = 3_000_000 / 100_000.0  # 30 s alone
+        for node in nodes:
+            assert node.completed_at < solo_time * 0.6
+
+    def test_infra_fallback_completes_without_peers(self):
+        testbed = Testbed(seed=6)
+        plan = FilePlan(600_000, 6)
+        device = testbed.add_device("solo", position=Position(0, 0))
+        transport = testbed.omni(device, OMNI_TECHS_BLE_WIFI)
+        node = DisseminateNode(testbed.kernel, transport, testbed.infra, plan,
+                               assigned_chunks=[0, 1], infra_rate_bps=100_000.0,
+                               meter=device.meter)
+        node.start()
+        testbed.kernel.run_until(10.0)
+        assert node.completed.done
+        assert node.chunks_from_infra == 6
+        # Assigned chunks first, then index order.
+        assert node.completed_at == pytest.approx(6.0)
+
+    def test_start_is_idempotent(self):
+        testbed, nodes = self._build()
+        nodes[0].start()
+        nodes[0].start()
+        testbed.kernel.run_until(1.0)

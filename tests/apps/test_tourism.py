@@ -1,0 +1,99 @@
+"""The smart-city tourism application."""
+
+import pytest
+
+from repro.apps.tourism import (
+    AUDIO_SERVICE_PREFIX,
+    LandmarkBeacon,
+    TourGuide,
+    TouristApp,
+    VIZ_SERVICE_PREFIX,
+)
+from repro.experiments.scenario import OMNI_TECHS_BLE_WIFI, Testbed
+from repro.phy.geometry import Position
+
+
+@pytest.fixture
+def city():
+    testbed = Testbed(seed=44)
+
+    def stack(name, x, y=0.0):
+        device = testbed.add_device(name, position=Position(x, y))
+        return testbed.omni_manager(device, OMNI_TECHS_BLE_WIFI)
+
+    return testbed, stack
+
+
+def test_tourist_discovers_and_fetches_visualization(city):
+    testbed, stack = city
+    landmark = LandmarkBeacon(stack("landmark", 5.0), "clock-tower",
+                              visualization_bytes=2_000_000)
+    tourist = TouristApp(stack("tourist", 0.0))
+    landmark.start()
+    tourist.start()
+    testbed.kernel.run_until(10.0)
+    assert landmark.requests_served == 1
+    assert len(tourist.visualizations) == 1
+    visualization = tourist.visualizations[0]
+    assert visualization.landmark == "clock-tower"
+    assert visualization.size == 2_000_000
+
+
+def test_tourist_requests_each_landmark_once(city):
+    testbed, stack = city
+    landmark = LandmarkBeacon(stack("landmark", 5.0), "arch")
+    tourist = TouristApp(stack("tourist", 0.0))
+    landmark.start()
+    tourist.start()
+    testbed.kernel.run_until(20.0)
+    assert landmark.requests_served == 1  # despite periodic re-advertising
+
+
+def test_multiple_landmarks(city):
+    testbed, stack = city
+    landmarks = [
+        LandmarkBeacon(stack("landmark-1", 5.0), "gate", visualization_bytes=500_000),
+        LandmarkBeacon(stack("landmark-2", 0.0, 8.0), "bridge",
+                       visualization_bytes=500_000),
+    ]
+    tourist = TouristApp(stack("tourist", 0.0))
+    for landmark in landmarks:
+        landmark.start()
+    tourist.start()
+    testbed.kernel.run_until(15.0)
+    assert {v.landmark for v in tourist.visualizations} == {"gate", "bridge"}
+
+
+def test_audio_streaming_to_subscribers(city):
+    testbed, stack = city
+    guide = TourGuide(stack("guide", 5.0), chunk_bytes=10_000, chunk_interval_s=1.0)
+    tourist = TouristApp(stack("tourist", 0.0))
+    guide.start()
+    tourist.start()
+    testbed.kernel.run_until(12.0)
+    assert tourist.subscribed_to is not None
+    assert tourist.audio_chunks >= 8
+    guide.stop()
+    testbed.kernel.run_until(12.5)  # let any in-flight chunk land
+    count = tourist.audio_chunks
+    testbed.kernel.run_until(16.0)
+    assert tourist.audio_chunks == count
+
+
+def test_landmark_name_length_checked(city):
+    testbed, stack = city
+    with pytest.raises(ValueError):
+        LandmarkBeacon(stack("landmark", 5.0), "a" * 30)
+
+
+def test_visualization_callback(city):
+    testbed, stack = city
+    landmark = LandmarkBeacon(stack("landmark", 5.0), "fort",
+                              visualization_bytes=100_000)
+    tourist = TouristApp(stack("tourist", 0.0))
+    seen = []
+    tourist.on_visualization = seen.append
+    landmark.start()
+    tourist.start()
+    testbed.kernel.run_until(10.0)
+    assert seen and seen[0].landmark == "fort"

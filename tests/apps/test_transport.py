@@ -1,0 +1,92 @@
+"""The transport-neutral application interface over Omni."""
+
+import pytest
+
+from repro.apps.transport import OmniTransport
+from repro.experiments.scenario import OMNI_TECHS_BLE_WIFI, Testbed
+from repro.net.payload import VirtualPayload
+from repro.phy.geometry import Position
+
+
+@pytest.fixture
+def testbed():
+    return Testbed(seed=55)
+
+
+@pytest.fixture
+def pair(testbed):
+    transports = []
+    for name, x in (("a", 0.0), ("b", 10.0)):
+        device = testbed.add_device(name, position=Position(x, 0))
+        transport = testbed.omni(device, OMNI_TECHS_BLE_WIFI)
+        transport.start()
+        transports.append(transport)
+    return transports
+
+
+def test_local_id_is_omni_address(pair):
+    a, b = pair
+    assert a.local_id == a.manager.omni_address.value
+    assert a.local_id != b.local_id
+
+
+def test_not_broadcast(pair):
+    assert not pair[0].is_broadcast
+
+
+def test_peers_after_discovery(testbed, pair):
+    a, b = pair
+    testbed.kernel.run_until(1.0)
+    assert b.local_id in a.peers()
+
+
+def test_metadata_flows_as_context(testbed, pair):
+    a, b = pair
+    heard = []
+    b.on_metadata(lambda peer, payload: heard.append((peer, payload)))
+    a.set_metadata(b"hello")
+    testbed.kernel.run_until(2.0)
+    assert (a.local_id, b"hello") in heard
+
+
+def test_set_metadata_before_ack_keeps_latest(testbed, pair):
+    a, b = pair
+    heard = []
+    b.on_metadata(lambda peer, payload: heard.append(payload))
+    a.set_metadata(b"first")
+    a.set_metadata(b"second")  # before the add_context ack arrives
+    testbed.kernel.run_until(3.0)
+    assert b"second" in heard
+
+
+def test_set_metadata_after_ack_updates(testbed, pair):
+    a, b = pair
+    heard = []
+    b.on_metadata(lambda peer, payload: heard.append(payload))
+    a.set_metadata(b"one")
+    testbed.kernel.run_until(2.0)
+    a.set_metadata(b"two")
+    testbed.kernel.run_until(4.0)
+    assert heard[-1] == b"two"
+
+
+def test_send_reports_success(testbed, pair):
+    a, b = pair
+    testbed.kernel.run_until(1.0)
+    results = []
+    received = []
+    b.on_receive(lambda peer, payload: received.append(payload))
+    a.send(b.local_id, b"data", lambda ok, detail: results.append((ok, detail)))
+    testbed.kernel.run_until(2.0)
+    assert results == [(True, "")]
+    assert received == [b"data"]
+
+
+def test_send_reports_failure_with_detail(testbed, pair):
+    a, _ = pair
+    results = []
+    a.send(0xDEAD, VirtualPayload(100),
+           lambda ok, detail: results.append((ok, detail)))
+    testbed.kernel.run_until(1.0)
+    assert results[0][0] is False
+    assert results[0][1]  # human-readable reason

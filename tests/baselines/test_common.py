@@ -1,0 +1,103 @@
+"""Baseline shared machinery: codec, directory, WiFi path."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines.common import (
+    BaselineDirectory,
+    DataEnvelope,
+    decode_data,
+    decode_discovery,
+    derive_device_id,
+    encode_data,
+    encode_discovery,
+)
+from repro.net.addresses import MeshAddress
+from repro.net.payload import VirtualPayload
+
+
+class TestCodec:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.binary(max_size=100))
+    def test_property_discovery_roundtrip_with_mesh(self, device_id, metadata):
+        raw = encode_discovery(device_id, MeshAddress(42), metadata)
+        decoded = decode_discovery(raw)
+        assert decoded == (device_id, MeshAddress(42), metadata)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.binary(max_size=100))
+    def test_property_discovery_roundtrip_without_mesh(self, device_id, metadata):
+        raw = encode_discovery(device_id, None, metadata)
+        assert decode_discovery(raw) == (device_id, None, metadata)
+
+    def test_decode_discovery_rejects_alien_bytes(self):
+        assert decode_discovery(b"") is None
+        assert decode_discovery(b"\xff" + bytes(20)) is None
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.binary(max_size=200))
+    def test_property_data_roundtrip(self, device_id, payload):
+        assert decode_data(encode_data(device_id, payload)) == (device_id, payload)
+
+    def test_decode_data_rejects_alien_bytes(self):
+        assert decode_data(b"\x10" + bytes(8)) is None  # discovery type byte
+
+
+class TestDataEnvelope:
+    def test_wrap_unwrap_roundtrip(self):
+        envelope = DataEnvelope(7, VirtualPayload(1000, "blob"))
+        assert DataEnvelope.unwrap(envelope.wrap()) == envelope
+
+    def test_wire_size_includes_header(self):
+        envelope = DataEnvelope(7, VirtualPayload(1000))
+        assert envelope.wire_size == 1000 + 9
+
+    def test_unwrap_real_bytes(self):
+        raw = encode_data(9, b"payload")
+        envelope = DataEnvelope.unwrap(raw)
+        assert envelope == DataEnvelope(9, b"payload")
+
+    def test_unwrap_alien_returns_none(self):
+        assert DataEnvelope.unwrap(VirtualPayload(10)) is None
+        assert DataEnvelope.unwrap(b"\xff\xff") is None
+
+
+class TestDirectory:
+    def test_observe_and_query(self, kernel):
+        directory = BaselineDirectory(kernel)
+        directory.observe(1, b"meta", mesh_address=MeshAddress(5))
+        entry = directory.entry(1)
+        assert entry.metadata == b"meta"
+        assert entry.mesh_address == MeshAddress(5)
+
+    def test_staleness(self, kernel):
+        directory = BaselineDirectory(kernel, staleness_s=5.0)
+        directory.observe(1, b"x")
+        kernel.run_until(6.0)
+        assert directory.entry(1) is None
+        assert directory.peers() == []
+
+    def test_ble_learned_flag_sticks(self, kernel):
+        directory = BaselineDirectory(kernel)
+        directory.observe(1, b"", mesh_address=MeshAddress(5), via_ble=True)
+        directory.observe(1, b"", mesh_address=MeshAddress(5), via_ble=False)
+        assert directory.entry(1).mesh_learned_via_ble
+
+    def test_announcement_waiters_fire_on_wifi_observation(self, kernel):
+        directory = BaselineDirectory(kernel)
+        waiter = directory.next_wifi_announcement(1)
+        directory.observe(1, b"", mesh_address=MeshAddress(5), via_ble=True)
+        assert not waiter.done  # BLE observations do not satisfy the wait
+        directory.observe(1, b"", mesh_address=MeshAddress(5), via_ble=False)
+        assert waiter.done
+
+    def test_peers_sorted(self, kernel):
+        directory = BaselineDirectory(kernel)
+        directory.observe(5, b"")
+        directory.observe(2, b"")
+        assert directory.peers() == [2, 5]
+
+
+def test_derive_device_id_matches_across_systems(make_device):
+    device = make_device("same")
+    assert derive_device_id(device) == derive_device_id(device)

@@ -1,0 +1,139 @@
+"""State of the Practice systems."""
+
+import pytest
+
+from repro.baselines.practice import SpBleSystem, SpWifiSystem
+from repro.net.payload import VirtualPayload
+from repro.radio.frame import RadioKind
+
+
+class TestSpBle:
+    @pytest.fixture
+    def pair(self, kernel, make_device):
+        a = SpBleSystem(make_device("a", x=0))
+        b = SpBleSystem(make_device("b", x=10))
+        a.start()
+        b.start()
+        return a, b
+
+    def test_wifi_radio_powered_off(self, kernel, make_device):
+        device = make_device("a")
+        system = SpBleSystem(device)
+        system.start()
+        assert not device.radio(RadioKind.WIFI).enabled
+        assert "wifi.standby" not in device.meter.active_components()
+
+    def test_discovery_via_ble(self, kernel, pair):
+        a, b = pair
+        kernel.run_until(2.0)
+        assert b.local_id in a.peers()
+        assert a.local_id in b.peers()
+
+    def test_metadata_dissemination(self, kernel, pair):
+        a, b = pair
+        heard = []
+        b.on_metadata(lambda peer, payload: heard.append((peer, payload)))
+        a.set_metadata(b"svc")
+        kernel.run_until(2.0)
+        assert (a.local_id, b"svc") in heard
+
+    def test_small_data_roundtrip(self, kernel, pair):
+        a, b = pair
+        kernel.run_until(1.0)
+        received = []
+        b.on_receive(lambda peer, payload: received.append((kernel.now, payload)))
+        start = kernel.now
+        results = []
+        a.send(b.local_id, b"x" * 30, lambda ok, detail: results.append(ok))
+        kernel.run_until(start + 1.0)
+        assert results == [True]
+        assert received[0][1] == b"x" * 30
+        assert received[0][0] - start == pytest.approx(0.041, abs=0.005)
+
+    def test_bulk_data_rejected(self, kernel, pair):
+        a, b = pair
+        kernel.run_until(1.0)
+        results = []
+        a.send(b.local_id, VirtualPayload(25_000_000),
+               lambda ok, detail: results.append((ok, detail)))
+        kernel.run_until(kernel.now + 1.0)
+        assert results[0][0] is False
+        assert "bulk" in results[0][1]
+
+    def test_send_to_unknown_peer_fails(self, kernel, pair):
+        a, _ = pair
+        results = []
+        a.send(0xDEAD, b"x", lambda ok, detail: results.append(ok))
+        kernel.run_until(0.5)
+        assert results == [False]
+
+    def test_stop_silences(self, kernel, pair):
+        a, b = pair
+        kernel.run_until(2.0)
+        a.stop()
+        assert b.directory.entry(a.local_id) is not None
+        kernel.run_until(15.0)  # past the 10 s directory staleness
+        assert b.directory.entry(a.local_id) is None
+
+
+class TestSpWifi:
+    @pytest.fixture
+    def pair(self, kernel, make_device, mesh):
+        a = SpWifiSystem(make_device("a", x=0, radios=("wifi",)), mesh)
+        b = SpWifiSystem(make_device("b", x=10, radios=("wifi",)), mesh)
+        a.start()
+        b.start()
+        return a, b
+
+    def test_discovery_via_multicast(self, kernel, pair):
+        a, b = pair
+        kernel.run_until(5.0)
+        assert b.local_id in a.peers()
+
+    def test_first_send_pays_discovery_sequence(self, kernel, pair):
+        a, b = pair
+        kernel.run_until(5.0)
+        received = []
+        b.on_receive(lambda peer, payload: received.append(kernel.now))
+        start = kernel.now
+        results = []
+        a.send(b.local_id, b"req", lambda ok, detail: results.append(ok))
+        kernel.run_until(start + 10.0)
+        assert results == [True]
+        elapsed = received[0] - start
+        assert 2.8 < elapsed < 3.6  # scan + join + announcement wait
+
+    def test_reply_is_direct(self, kernel, pair):
+        a, b = pair
+        kernel.run_until(5.0)
+        replies = []
+        b.on_receive(lambda peer, payload: b.send(peer, b"pong", None))
+        a.on_receive(lambda peer, payload: replies.append(kernel.now))
+        start = kernel.now
+        a.send(b.local_id, b"ping", None)
+        kernel.run_until(start + 10.0)
+        request_arrival = start + 3.3
+        assert replies and replies[0] - request_arrival < 0.5
+
+    def test_multicast_data_mode(self, kernel, make_device, mesh):
+        a = SpWifiSystem(make_device("a", x=0, radios=("wifi",)), mesh,
+                         multicast_data=True)
+        b = SpWifiSystem(make_device("b", x=10, radios=("wifi",)), mesh,
+                         multicast_data=True)
+        c = SpWifiSystem(make_device("c", x=5, y=5, radios=("wifi",)), mesh,
+                         multicast_data=True)
+        for system in (a, b, c):
+            system.start()
+        assert a.is_broadcast
+        kernel.run_until(5.0)
+        received = []
+        b.on_receive(lambda peer, payload: received.append(("b", payload)))
+        c.on_receive(lambda peer, payload: received.append(("c", payload)))
+        start = kernel.now
+        payload = VirtualPayload(13_100)  # ~0.1 s of the multicast pool
+        results = []
+        a.send(b.local_id, payload, lambda ok, detail: results.append(ok))
+        kernel.run_until(start + 5.0)
+        assert results == [True]
+        # One multicast reached both peers.
+        assert {tag for tag, _ in received} == {"b", "c"}

@@ -1,0 +1,181 @@
+"""BLE beacon adapter."""
+
+import pytest
+
+from repro.comm.ble_tech import BleBeaconTech
+from repro.core.address import OmniAddress
+from repro.core.codes import StatusCode
+from repro.core.messages import Operation, SendRequest
+from repro.core.packed import ContentKind, OmniPacked
+from repro.core.tech import TechQueues, TechType
+from repro.sim.queues import SimQueue
+
+SENDER = OmniAddress(0xA1)
+
+
+@pytest.fixture
+def adapters(kernel, make_device):
+    device_a = make_device("a", x=0, radios=("ble",))
+    device_b = make_device("b", x=10, radios=("ble",))
+    adapter_a = BleBeaconTech(kernel, device_a.radio("ble"))
+    adapter_b = BleBeaconTech(kernel, device_b.radio("ble"))
+    queues_a = TechQueues(SimQueue(), SimQueue(), SimQueue())
+    queues_b = TechQueues(SimQueue(), SimQueue(), SimQueue())
+    adapter_a.enable(queues_a)
+    adapter_b.enable(queues_b)
+    adapter_b.start_listening()
+    return adapter_a, queues_a, adapter_b, queues_b
+
+
+def _add_context(payload=b"ctx", interval=0.5, context_id="ctx-1"):
+    return SendRequest(
+        operation=Operation.ADD_CONTEXT,
+        request_id="r1",
+        packed=OmniPacked.context(SENDER, payload),
+        params={"interval_s": interval},
+        context_id=context_id,
+    )
+
+
+def test_enable_reports_type_and_mac(kernel, make_device):
+    device = make_device("solo", radios=("ble",))
+    adapter = BleBeaconTech(kernel, device.radio("ble"))
+    tech, address = adapter.enable(TechQueues(SimQueue(), SimQueue(), SimQueue()))
+    assert tech is TechType.BLE_BEACON
+    assert address == device.radio("ble").address
+
+
+def test_context_advertised_and_received(kernel, adapters):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    queues_a.send_queue.put(_add_context())
+    kernel.run_until(2.0)
+    response = queues_a.response_queue.get_nowait()
+    assert response.code is StatusCode.ADD_CONTEXT_SUCCESS
+    received = queues_b.receive_queue.drain()
+    assert received
+    assert all(item.packed.kind is ContentKind.CONTEXT for item in received)
+    assert all(item.fast_peer_capable for item in received)
+    assert received[0].low_level_sender == adapter_a.radio.address
+
+
+def test_oversized_context_fails(kernel, adapters):
+    adapter_a, queues_a, *_ = adapters
+    queues_a.send_queue.put(_add_context(payload=bytes(30)))
+    kernel.run_until(0.5)
+    response = queues_a.response_queue.get_nowait()
+    assert response.code is StatusCode.ADD_CONTEXT_FAILURE
+
+
+def test_update_context_changes_advertisement(kernel, adapters):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    queues_a.send_queue.put(_add_context(payload=b"old"))
+    kernel.run_until(1.0)
+    update = _add_context(payload=b"new")
+    update.operation = Operation.UPDATE_CONTEXT
+    queues_a.send_queue.put(update)
+    kernel.run_until(3.0)
+    payloads = [item.packed.payload for item in queues_b.receive_queue.drain()]
+    assert b"old" in payloads and payloads[-1] == b"new"
+
+
+def test_update_unknown_context_behaves_as_add(kernel, adapters):
+    adapter_a, queues_a, *_ = adapters
+    update = _add_context(context_id="ctx-new")
+    update.operation = Operation.UPDATE_CONTEXT
+    queues_a.send_queue.put(update)
+    kernel.run_until(0.5)
+    response = queues_a.response_queue.get_nowait()
+    assert response.code is StatusCode.ADD_CONTEXT_SUCCESS
+
+
+def test_remove_context_stops_advertising(kernel, adapters):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    queues_a.send_queue.put(_add_context())
+    kernel.run_until(1.0)
+    remove = _add_context()
+    remove.operation = Operation.REMOVE_CONTEXT
+    queues_a.send_queue.put(remove)
+    kernel.run_until(1.5)
+    queues_b.receive_queue.drain()
+    kernel.run_until(4.0)
+    assert queues_b.receive_queue.drain() == []
+
+
+def test_remove_unknown_context_fails(kernel, adapters):
+    adapter_a, queues_a, *_ = adapters
+    remove = _add_context(context_id="ghost")
+    remove.operation = Operation.REMOVE_CONTEXT
+    queues_a.send_queue.put(remove)
+    kernel.run_until(0.5)
+    assert queues_a.response_queue.get_nowait().code is StatusCode.REMOVE_CONTEXT_FAILURE
+
+
+def test_send_data_bursts_to_peer(kernel, adapters):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    request = SendRequest(
+        operation=Operation.SEND_DATA,
+        request_id="d1",
+        packed=OmniPacked.data(SENDER, b"x" * 30),
+        destination=adapter_b.radio.address,
+        destination_omni=OmniAddress(0xB2),
+    )
+    queues_a.send_queue.put(request)
+    kernel.run_until(1.0)
+    response = queues_a.response_queue.get_nowait()
+    assert response.code is StatusCode.SEND_DATA_SUCCESS
+    received = queues_b.receive_queue.drain()
+    data_items = [item for item in received
+                  if item.packed.kind is ContentKind.DATA]
+    assert len(data_items) == 1
+    assert data_items[0].packed.payload == b"x" * 30
+
+
+def test_send_data_to_absent_peer_fails(kernel, adapters):
+    adapter_a, queues_a, *_ = adapters
+    from repro.net.addresses import MacAddress
+
+    request = SendRequest(
+        operation=Operation.SEND_DATA,
+        request_id="d1",
+        packed=OmniPacked.data(SENDER, b"x"),
+        destination=MacAddress(0xDEAD),
+        destination_omni=OmniAddress(0xB2),
+    )
+    queues_a.send_queue.put(request)
+    kernel.run_until(0.5)
+    response = queues_a.response_queue.get_nowait()
+    assert response.code is StatusCode.SEND_DATA_FAILURE
+    assert "not in range" in response.response_info[0]
+
+
+def test_estimate_matches_burst_model(kernel, make_device):
+    adapter = BleBeaconTech(kernel, make_device("x", radios=("ble",)).radio("ble"))
+    assert adapter.estimate_data_seconds(27, False) == pytest.approx(0.020)
+    assert adapter.estimate_data_seconds(39, False) == pytest.approx(0.040)
+    assert adapter.estimate_data_seconds(25_000_000, False) is None
+
+
+def test_listen_window_closes(kernel, adapters):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    # adapter_a is not listening; open a brief window.
+    adapter_a.listen_window(0.3)
+    assert adapter_a.radio.scanning
+    kernel.run_until(0.5)
+    assert not adapter_a.radio.scanning
+
+
+def test_listen_window_does_not_stop_continuous_listening(kernel, adapters):
+    _, _, adapter_b, _ = adapters
+    adapter_b.listen_window(0.1)
+    kernel.run_until(1.0)
+    assert adapter_b.radio.scanning  # continuous listening survives
+
+
+def test_disable_stops_advertisements(kernel, adapters):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    queues_a.send_queue.put(_add_context())
+    kernel.run_until(1.0)
+    adapter_a.disable()
+    queues_b.receive_queue.drain()
+    kernel.run_until(4.0)
+    assert queues_b.receive_queue.drain() == []

@@ -1,0 +1,108 @@
+"""NFC tap adapter."""
+
+import pytest
+
+from repro.comm.nfc_tech import NfcTapTech
+from repro.core.address import OmniAddress
+from repro.core.codes import StatusCode
+from repro.core.messages import Operation, SendRequest
+from repro.core.packed import OmniPacked
+from repro.core.tech import TechQueues, TechType
+from repro.sim.queues import SimQueue
+
+SENDER = OmniAddress(0xA1)
+
+
+@pytest.fixture
+def touching(kernel, make_device):
+    device_a = make_device("a", x=0.0, radios=("nfc",))
+    device_b = make_device("b", x=0.05, radios=("nfc",))
+    adapter_a = NfcTapTech(kernel, device_a.radio("nfc"))
+    adapter_b = NfcTapTech(kernel, device_b.radio("nfc"))
+    queues_a = TechQueues(SimQueue(), SimQueue(), SimQueue())
+    queues_b = TechQueues(SimQueue(), SimQueue(), SimQueue())
+    adapter_a.enable(queues_a)
+    adapter_b.enable(queues_b)
+    adapter_b.start_listening()
+    return adapter_a, queues_a, adapter_b, queues_b
+
+
+def _add_context(payload=b"ctx"):
+    return SendRequest(
+        operation=Operation.ADD_CONTEXT,
+        request_id="r1",
+        packed=OmniPacked.context(SENDER, payload),
+        params={"interval_s": 0.5},
+        context_id="ctx-1",
+    )
+
+
+def test_context_delivered_at_contact(kernel, touching):
+    adapter_a, queues_a, adapter_b, queues_b = touching
+    queues_a.send_queue.put(_add_context())
+    kernel.run_until(2.0)
+    assert queues_a.response_queue.get_nowait().code is StatusCode.ADD_CONTEXT_SUCCESS
+    received = queues_b.receive_queue.drain()
+    assert received
+    assert all(item.fast_peer_capable for item in received)
+
+
+def test_no_transmission_when_alone(kernel, make_device):
+    device = make_device("lonely", radios=("nfc",))
+    adapter = NfcTapTech(kernel, device.radio("nfc"))
+    queues = TechQueues(SimQueue(), SimQueue(), SimQueue())
+    adapter.enable(queues)
+    queues.send_queue.put(_add_context())
+    kernel.run_until(5.0)
+    # Tap-triggered: nobody in contact range → zero exchanges, zero energy.
+    assert device.radio("nfc").exchanges_sent == 0
+
+
+def test_send_data_at_contact(kernel, touching):
+    adapter_a, queues_a, adapter_b, queues_b = touching
+    request = SendRequest(
+        operation=Operation.SEND_DATA,
+        request_id="d1",
+        packed=OmniPacked.data(SENDER, b"tap-data"),
+        destination=adapter_b.radio.address,
+        destination_omni=OmniAddress(0xB2),
+    )
+    queues_a.send_queue.put(request)
+    kernel.run_until(1.0)
+    assert queues_a.response_queue.get_nowait().code is StatusCode.SEND_DATA_SUCCESS
+    received = queues_b.receive_queue.drain()
+    assert received[0].packed.payload == b"tap-data"
+
+
+def test_send_data_out_of_contact_fails(kernel, make_device):
+    device_a = make_device("a", x=0.0, radios=("nfc",))
+    device_b = make_device("b", x=5.0, radios=("nfc",))
+    adapter_a = NfcTapTech(kernel, device_a.radio("nfc"))
+    adapter_b = NfcTapTech(kernel, device_b.radio("nfc"))
+    queues_a = TechQueues(SimQueue(), SimQueue(), SimQueue())
+    adapter_a.enable(queues_a)
+    adapter_b.enable(TechQueues(SimQueue(), SimQueue(), SimQueue()))
+    adapter_b.start_listening()
+    request = SendRequest(
+        operation=Operation.SEND_DATA,
+        request_id="d1",
+        packed=OmniPacked.data(SENDER, b"x"),
+        destination=adapter_b.radio.address,
+        destination_omni=OmniAddress(0xB2),
+    )
+    queues_a.send_queue.put(request)
+    kernel.run_until(1.0)
+    assert queues_a.response_queue.get_nowait().code is StatusCode.SEND_DATA_FAILURE
+
+
+def test_oversize_payload_fails(kernel, touching):
+    adapter_a, queues_a, *_ = touching
+    queues_a.send_queue.put(_add_context(payload=bytes(300)))
+    kernel.run_until(1.0)
+    assert queues_a.response_queue.get_nowait().code is StatusCode.ADD_CONTEXT_FAILURE
+
+
+def test_estimate(kernel, touching):
+    adapter_a, *_ = touching
+    assert adapter_a.estimate_data_seconds(100, False) == pytest.approx(0.1)
+    assert adapter_a.estimate_data_seconds(10_000, False) is None

@@ -1,0 +1,147 @@
+"""WiFi multicast adapter: context over the overlay, slow data, monitoring."""
+
+import pytest
+
+from repro.comm.wifi_multicast_tech import WifiMulticastTech
+from repro.core.address import OmniAddress
+from repro.core.codes import StatusCode
+from repro.core.messages import Operation, SendRequest
+from repro.core.packed import ContentKind, OmniPacked
+from repro.core.tech import TechQueues, TechType
+from repro.net.payload import VirtualPayload
+from repro.sim.queues import SimQueue
+
+SENDER = OmniAddress(0xA1)
+DEST = OmniAddress(0xB2)
+
+
+@pytest.fixture
+def adapters(kernel, make_device, mesh):
+    device_a = make_device("a", x=0)
+    device_b = make_device("b", x=10)
+    adapter_a = WifiMulticastTech(kernel, device_a.radio("wifi"), mesh)
+    adapter_b = WifiMulticastTech(kernel, device_b.radio("wifi"), mesh)
+    queues_a = TechQueues(SimQueue(), SimQueue(), SimQueue())
+    queues_b = TechQueues(SimQueue(), SimQueue(), SimQueue())
+    adapter_a.enable(queues_a)
+    adapter_b.enable(queues_b)
+    adapter_b.start_listening()
+    return adapter_a, queues_a, adapter_b, queues_b
+
+
+def _add_context(payload=b"ctx", interval=0.5, context_id="ctx-1"):
+    return SendRequest(
+        operation=Operation.ADD_CONTEXT,
+        request_id="r1",
+        packed=OmniPacked.context(SENDER, payload),
+        params={"interval_s": interval},
+        context_id=context_id,
+    )
+
+
+def test_context_requires_join_then_announces(kernel, adapters, mesh):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    queues_a.send_queue.put(_add_context())
+    kernel.run_until(5.0)
+    assert adapter_a.radio in mesh
+    assert not adapter_a.radio.peer_mode  # overlay attachment only
+    response = queues_a.response_queue.get_nowait()
+    assert response.code is StatusCode.ADD_CONTEXT_SUCCESS
+    received = queues_b.receive_queue.drain()
+    assert received
+    assert all(not item.fast_peer_capable for item in received)
+
+
+def test_channel_overhead_while_context_active(kernel, adapters, mesh):
+    adapter_a, queues_a, *_ = adapters
+    queues_a.send_queue.put(_add_context())
+    kernel.run_until(3.0)
+    assert mesh.channel.overhead_fraction > 0
+    remove = _add_context()
+    remove.operation = Operation.REMOVE_CONTEXT
+    queues_a.send_queue.put(remove)
+    kernel.run_until(4.0)
+    assert mesh.channel.overhead_fraction == 0.0
+
+
+def test_update_context_interval(kernel, adapters, mesh):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    queues_a.send_queue.put(_add_context(interval=0.5))
+    kernel.run_until(4.0)
+    queues_b.receive_queue.drain()
+    update = _add_context(interval=2.0)
+    update.operation = Operation.UPDATE_CONTEXT
+    queues_a.send_queue.put(update)
+    kernel.run_until(12.0)
+    received = queues_b.receive_queue.drain()
+    # ~8 seconds at a 2 s interval: about 4 announcements.
+    assert 2 <= len(received) <= 6
+
+
+def test_send_data_requires_association_and_delivers(kernel, adapters, mesh):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    request = SendRequest(
+        operation=Operation.SEND_DATA,
+        request_id="d1",
+        packed=OmniPacked.data(SENDER, VirtualPayload(13_100)),  # 0.1 s of pool
+        destination=adapter_b.radio.address,
+        destination_omni=DEST,
+    )
+    start = kernel.now
+    queues_a.send_queue.put(request)
+    kernel.run_until(start + 10.0)
+    responses = queues_a.response_queue.drain()
+    assert responses[0].code is StatusCode.SEND_DATA_SUCCESS
+    received = [item for item in queues_b.receive_queue.drain()
+                if item.packed.kind is ContentKind.DATA]
+    assert len(received) == 1
+
+
+def test_send_data_to_non_listening_dest_fails(kernel, adapters, mesh, make_device):
+    adapter_a, queues_a, *_ = adapters
+    silent = make_device("silent", x=5)
+    request = SendRequest(
+        operation=Operation.SEND_DATA,
+        request_id="d1",
+        packed=OmniPacked.data(SENDER, b"x"),
+        destination=silent.radio("wifi").address,
+        destination_omni=DEST,
+    )
+    queues_a.send_queue.put(request)
+    kernel.run_until(10.0)
+    responses = queues_a.response_queue.drain()
+    assert responses[0].code is StatusCode.SEND_DATA_FAILURE
+
+
+def test_listen_window_is_membership_free(kernel, adapters, mesh):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    # b announces; a (not joined) opens a monitor window and hears it.
+    queues_b.send_queue.put(_add_context(context_id="b-ctx"))
+    kernel.run_until(3.0)
+    assert adapter_a.radio.mesh is None
+    adapter_a.listen_window(1.0)
+    kernel.run_until(4.5)
+    received = queues_a.receive_queue.drain()
+    assert received
+    assert adapter_a.radio.mesh is None  # still never joined
+
+
+def test_estimate_reflects_pool_and_association(kernel, adapters, mesh):
+    adapter_a, *_ = adapters
+    cold = adapter_a.estimate_data_seconds(131_000, fast_hint=False)
+    assert cold > 1.0 + 2.8  # transfer + discovery sequence
+    # Attach in peer mode, then the estimate drops to the transfer.
+    kernel.run_until_complete(adapter_a.radio.join(mesh, peer_mode=True))
+    warm = adapter_a.estimate_data_seconds(131_000, fast_hint=False)
+    assert warm == pytest.approx(1.0 + 0.04, abs=0.01)
+
+
+def test_disable_cancels_contexts_and_overhead(kernel, adapters, mesh):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    queues_a.send_queue.put(_add_context())
+    kernel.run_until(3.0)
+    adapter_a.disable()
+    assert mesh.channel.overhead_fraction == 0.0
+    queues_b.receive_queue.drain()
+    kernel.run_until(6.0)
+    assert queues_b.receive_queue.drain() == []

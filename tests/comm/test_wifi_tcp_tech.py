@@ -1,0 +1,189 @@
+"""WiFi TCP adapter: fast peering vs scan path."""
+
+import pytest
+
+from repro.comm.wifi_tcp_tech import RESOLUTION_WAIT_S, WifiTcpTech
+from repro.core.address import OmniAddress
+from repro.core.codes import StatusCode
+from repro.core.messages import Operation, SendRequest
+from repro.core.packed import ContentKind, OmniPacked
+from repro.core.tech import TechQueues, TechType
+from repro.net.payload import VirtualPayload
+from repro.radio.wifi import (
+    FAST_PEERING_S,
+    FULL_CONNECT_S,
+    SCAN_DURATION_S,
+    TCP_HANDSHAKE_S,
+)
+from repro.sim.queues import SimQueue
+
+SENDER = OmniAddress(0xA1)
+DEST = OmniAddress(0xB2)
+
+
+@pytest.fixture
+def adapters(kernel, make_device):
+    device_a = make_device("a", x=0)
+    device_b = make_device("b", x=10)
+    adapter_a = WifiTcpTech(kernel, device_a.radio("wifi"))
+    adapter_b = WifiTcpTech(kernel, device_b.radio("wifi"))
+    queues_a = TechQueues(SimQueue(), SimQueue(), SimQueue())
+    queues_b = TechQueues(SimQueue(), SimQueue(), SimQueue())
+    adapter_a.enable(queues_a)
+    adapter_b.enable(queues_b)
+    return adapter_a, queues_a, adapter_b, queues_b
+
+
+def _send(destination, payload=b"req", fast_hint=True):
+    return SendRequest(
+        operation=Operation.SEND_DATA,
+        request_id="d1",
+        packed=OmniPacked.data(SENDER, payload),
+        destination=destination,
+        destination_omni=DEST,
+        fast_hint=fast_hint,
+    )
+
+
+def test_fast_hint_send_latency(kernel, adapters):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    queues_a.send_queue.put(_send(adapter_b.radio.address))
+    kernel.run_until(1.0)
+    response = queues_a.response_queue.get_nowait()
+    assert response.code is StatusCode.SEND_DATA_SUCCESS
+    received = queues_b.receive_queue.drain()
+    assert received[0].packed.payload == b"req"
+    assert not received[0].fast_peer_capable  # TCP arrivals are not beacons
+    # The fast path: peering + handshake only.
+    expected = FAST_PEERING_S + TCP_HANDSHAKE_S + 12 / 8_100_000
+    # One extra scheduler instant for the queue pump.
+    items = received[0]
+
+
+def test_fast_send_completes_in_milliseconds(kernel, adapters):
+    adapter_a, queues_a, adapter_b, _ = adapters
+    queues_a.send_queue.put(_send(adapter_b.radio.address))
+    done = []
+    kernel.call_in(0.05, lambda: done.append(bool(queues_a.response_queue.drain())))
+    kernel.run_until(0.1)
+    assert done == [True]
+
+
+def test_non_fast_send_pays_scan_connect_resolution(kernel, adapters, mesh):
+    adapter_a, queues_a, adapter_b, _ = adapters
+    # Destination must be discoverable by scanning: put it in a mesh.
+    kernel.run_until_complete(adapter_b.radio.join(mesh, peer_mode=False))
+    start = kernel.now
+    queues_a.send_queue.put(_send(adapter_b.radio.address, fast_hint=False))
+    responses = []
+
+    def poll():
+        item = queues_a.response_queue.get_nowait()
+        if item is not None:
+            responses.append((kernel.now, item))
+
+    kernel.every(0.05, poll)
+    kernel.run_until(start + 10.0)
+    assert responses
+    elapsed = responses[0][0] - start
+    floor = SCAN_DURATION_S + FULL_CONNECT_S + RESOLUTION_WAIT_S
+    assert floor < elapsed < floor + 0.2
+    assert responses[0][1].code is StatusCode.SEND_DATA_SUCCESS
+
+
+def test_non_fast_send_fails_when_no_network_contains_dest(kernel, adapters):
+    adapter_a, queues_a, adapter_b, _ = adapters
+    queues_a.send_queue.put(_send(adapter_b.radio.address, fast_hint=False))
+    kernel.run_until(5.0)
+    response = queues_a.response_queue.get_nowait()
+    assert response.code is StatusCode.SEND_DATA_FAILURE
+    assert "no visible network" in response.response_info[0]
+
+
+def test_send_to_missing_radio_fails(kernel, adapters):
+    adapter_a, queues_a, *_ = adapters
+    from repro.net.addresses import MeshAddress
+
+    queues_a.send_queue.put(_send(MeshAddress(0x9999)))
+    kernel.run_until(1.0)
+    response = queues_a.response_queue.get_nowait()
+    assert response.code is StatusCode.SEND_DATA_FAILURE
+
+
+def test_pairwise_sessions_skip_setup_on_repeat(kernel, adapters):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    queues_a.send_queue.put(_send(adapter_b.radio.address))
+    kernel.run_until(1.0)
+    queues_a.response_queue.drain()
+    start = kernel.now
+    queues_a.send_queue.put(_send(adapter_b.radio.address))
+    kernel.run_until(start + 0.02)
+    assert queues_a.response_queue.drain()  # well under a peering time
+
+
+def test_inbound_transfer_grants_reply_session(kernel, adapters):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    queues_a.send_queue.put(_send(adapter_b.radio.address))
+    kernel.run_until(1.0)
+    # adapter_b replies without any setup of its own.
+    start = kernel.now
+    reply = SendRequest(
+        operation=Operation.SEND_DATA,
+        request_id="r1",
+        packed=OmniPacked.data(DEST, b"reply"),
+        destination=adapter_a.radio.address,
+        destination_omni=SENDER,
+        fast_hint=False,  # even without a hint, the session covers it
+    )
+    queues_b.send_queue.put(reply)
+    kernel.run_until(start + 0.05)
+    responses = queues_b.response_queue.drain()
+    assert responses and responses[0].code is StatusCode.SEND_DATA_SUCCESS
+
+
+def test_bulk_payload_rides_virtual(kernel, adapters):
+    adapter_a, queues_a, adapter_b, queues_b = adapters
+    payload = VirtualPayload(25_000_000, tag="media")
+    queues_a.send_queue.put(_send(adapter_b.radio.address, payload=payload))
+    kernel.run_until(5.0)
+    assert queues_a.response_queue.drain()[0].code is StatusCode.SEND_DATA_SUCCESS
+    received = queues_b.receive_queue.drain()
+    assert received[0].packed.payload == payload
+
+
+def test_context_operations_rejected(kernel, adapters):
+    adapter_a, queues_a, *_ = adapters
+    request = SendRequest(
+        operation=Operation.ADD_CONTEXT,
+        request_id="c1",
+        packed=OmniPacked.context(SENDER, b"x"),
+        context_id="ctx-1",
+    )
+    queues_a.send_queue.put(request)
+    kernel.run_until(0.5)
+    response = queues_a.response_queue.get_nowait()
+    assert response.code is StatusCode.ADD_CONTEXT_FAILURE
+    assert "does not carry context" in response.response_info[0]
+
+
+class TestEstimates:
+    def test_fast_hint_estimate(self, kernel, adapters):
+        adapter_a, *_ = adapters
+        estimate = adapter_a.estimate_data_seconds(39, fast_hint=True)
+        assert estimate == pytest.approx(
+            FAST_PEERING_S + TCP_HANDSHAKE_S + 39 / 8_100_000
+        )
+
+    def test_cold_estimate_includes_discovery(self, kernel, adapters):
+        adapter_a, *_ = adapters
+        estimate = adapter_a.estimate_data_seconds(39, fast_hint=False)
+        assert estimate > SCAN_DURATION_S + FULL_CONNECT_S
+
+    def test_peered_destination_estimate_is_transfer_only(self, kernel, adapters):
+        adapter_a, queues_a, adapter_b, _ = adapters
+        queues_a.send_queue.put(_send(adapter_b.radio.address))
+        kernel.run_until(1.0)
+        estimate = adapter_a.estimate_data_seconds(
+            39, fast_hint=True, destination=adapter_b.radio.address
+        )
+        assert estimate == pytest.approx(TCP_HANDSHAKE_S + 39 / 8_100_000)

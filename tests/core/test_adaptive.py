@@ -1,0 +1,116 @@
+"""Adaptive address-beacon pacing (future-work extension)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveBeaconConfig, AdaptiveBeaconController
+from repro.core.manager import OmniConfig
+from repro.experiments.scenario import OMNI_TECHS_BLE_ONLY, Testbed
+from repro.phy.geometry import Position
+from repro.phy.mobility import WaypointPath
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        AdaptiveBeaconConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_interval_s": 0},
+        {"min_interval_s": 2.0, "max_interval_s": 1.0},
+        {"speedup_factor": 1.0},
+        {"speedup_factor": 0.0},
+        {"backoff_factor": 1.0},
+        {"evaluate_period_s": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveBeaconConfig(**kwargs)
+
+
+class TestController:
+    def test_initial_interval_clamped(self):
+        config = AdaptiveBeaconConfig(min_interval_s=0.2, max_interval_s=1.0)
+        assert AdaptiveBeaconController(config, 5.0).interval_s == 1.0
+        assert AdaptiveBeaconController(config, 0.01).interval_s == 0.2
+
+    def test_stability_backs_off_to_ceiling(self):
+        controller = AdaptiveBeaconController(AdaptiveBeaconConfig(), 0.5)
+        neighborhood = frozenset({1, 2})
+        controller.evaluate(neighborhood)
+        for _ in range(20):
+            interval = controller.evaluate(neighborhood)
+        assert interval == AdaptiveBeaconConfig().max_interval_s
+
+    def test_churn_speeds_up_to_floor(self):
+        controller = AdaptiveBeaconController(AdaptiveBeaconConfig(), 2.0)
+        for round_index in range(20):
+            interval = controller.evaluate(frozenset({round_index}))
+        assert interval == AdaptiveBeaconConfig().min_interval_s
+        assert controller.churn_events >= 19
+
+    def test_departures_count_as_churn(self):
+        controller = AdaptiveBeaconController(AdaptiveBeaconConfig(), 1.0)
+        controller.evaluate(frozenset({1, 2}))
+        stable = controller.evaluate(frozenset({1, 2}))
+        after_loss = controller.evaluate(frozenset({1}))
+        assert after_loss < stable
+
+
+class TestManagerIntegration:
+    def test_beacon_rate_adapts_to_quiet_neighborhood(self):
+        testbed = Testbed(seed=21)
+        adaptive = AdaptiveBeaconConfig(min_interval_s=0.1, max_interval_s=2.0,
+                                        evaluate_period_s=1.0)
+        config = OmniConfig(beacon_interval_s=0.5, adaptive_beacon=adaptive)
+        device_a = testbed.add_device("a", position=Position(0, 0))
+        device_b = testbed.add_device("b", position=Position(10, 0))
+        omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_ONLY, config)
+        omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_ONLY, config)
+        omni_a.enable()
+        omni_b.enable()
+        # Long stable period: both back off toward the 2 s ceiling.
+        testbed.kernel.run_until(30.0)
+        ble = device_a.radio("ble")
+        before = ble.adv_events_sent
+        testbed.kernel.run_until(40.0)
+        rate_stable = (ble.adv_events_sent - before) / 10.0
+        assert rate_stable < 1.0  # well below the fixed 2 Hz
+
+    def test_newcomer_speeds_beaconing_up(self):
+        testbed = Testbed(seed=22)
+        adaptive = AdaptiveBeaconConfig(min_interval_s=0.1, max_interval_s=2.0,
+                                        evaluate_period_s=1.0,
+                                        speedup_factor=0.25,
+                                        backoff_factor=1.2)
+        config = OmniConfig(beacon_interval_s=0.5, adaptive_beacon=adaptive)
+        device_a = testbed.add_device("a", position=Position(0, 0))
+        omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_ONLY, config)
+        omni_a.enable()
+        testbed.kernel.run_until(20.0)  # alone and stable: at the ceiling
+        ble = device_a.radio("ble")
+        before = ble.adv_events_sent
+        testbed.kernel.run_until(25.0)
+        slow_rate = (ble.adv_events_sent - before) / 5.0
+
+        # A newcomer strolls in; the churn must accelerate the beacon in the
+        # window right after the discovery.
+        path = WaypointPath([(25.0, Position(200, 0)), (28.0, Position(5, 0))])
+        newcomer_device = testbed.add_device("new", mobility=path)
+        omni_new = testbed.omni_manager(newcomer_device, OMNI_TECHS_BLE_ONLY, config)
+        omni_new.enable()
+        testbed.kernel.run_until(30.5)
+        before = ble.adv_events_sent
+        testbed.kernel.run_until(34.5)
+        fast_rate = (ble.adv_events_sent - before) / 4.0
+        assert fast_rate > slow_rate * 1.5
+
+    def test_discovery_still_works_under_adaptation(self):
+        testbed = Testbed(seed=23)
+        config = OmniConfig(adaptive_beacon=AdaptiveBeaconConfig())
+        device_a = testbed.add_device("a", position=Position(0, 0))
+        device_b = testbed.add_device("b", position=Position(10, 0))
+        omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_ONLY, config)
+        omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_ONLY, config)
+        omni_a.enable()
+        omni_b.enable()
+        testbed.kernel.run_until(5.0)
+        assert omni_b.omni_address in omni_a.neighbors()

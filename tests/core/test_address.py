@@ -1,0 +1,70 @@
+"""The omni_address."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.address import OmniAddress
+
+
+def test_wire_width_is_eight_bytes():
+    assert len(OmniAddress(0).to_bytes()) == 8
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_property_roundtrip(value):
+    address = OmniAddress(value)
+    assert OmniAddress.from_bytes(address.to_bytes()) == address
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        OmniAddress(1 << 64)
+    with pytest.raises(ValueError):
+        OmniAddress(-1)
+
+
+def test_from_interface_addresses_deterministic():
+    a = OmniAddress.from_interface_addresses([b"\x01" * 6, b"\x02" * 8])
+    b = OmniAddress.from_interface_addresses([b"\x01" * 6, b"\x02" * 8])
+    assert a == b
+
+
+def test_order_independent():
+    a = OmniAddress.from_interface_addresses([b"\x01" * 6, b"\x02" * 8])
+    b = OmniAddress.from_interface_addresses([b"\x02" * 8, b"\x01" * 6])
+    assert a == b
+
+
+def test_different_interfaces_different_identity():
+    a = OmniAddress.from_interface_addresses([b"\x01" * 6])
+    b = OmniAddress.from_interface_addresses([b"\x02" * 6])
+    assert a != b
+
+
+def test_length_prefixing_prevents_concatenation_collisions():
+    a = OmniAddress.from_interface_addresses([b"\x01\x02", b"\x03"])
+    b = OmniAddress.from_interface_addresses([b"\x01", b"\x02\x03"])
+    assert a != b
+
+
+def test_empty_interface_list_rejected():
+    with pytest.raises(ValueError):
+        OmniAddress.from_interface_addresses([])
+
+
+def test_str_format():
+    assert str(OmniAddress(0xDEADBEEF)) == "omni:00000000deadbeef"
+
+
+def test_devices_derive_distinct_addresses(make_device):
+    from repro.core.manager import OmniManager
+
+    a = OmniManager(make_device("a", x=0))
+    b = OmniManager(make_device("b", x=1))
+    assert a.omni_address != b.omni_address
+
+
+@given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=5))
+def test_property_always_valid_64_bit(addresses):
+    derived = OmniAddress.from_interface_addresses(addresses)
+    assert 0 <= derived.value < (1 << 64)

@@ -1,0 +1,119 @@
+"""The address beacon service and secondary-technology engagement."""
+
+import pytest
+
+from repro.core.manager import OmniConfig
+from repro.core.tech import TechType
+from repro.experiments.scenario import (
+    OMNI_TECHS_BLE_ONLY,
+    OMNI_TECHS_BLE_WIFI,
+    Testbed,
+)
+from repro.phy.geometry import Position
+
+
+@pytest.fixture
+def testbed():
+    return Testbed(seed=77)
+
+
+def _stack(testbed, name, position, techs, config=None):
+    radio_kinds = {"wifi"}
+    if TechType.BLE_BEACON in techs:
+        radio_kinds.add("ble")
+    device = testbed.add_device(name, position=position, radio_kinds=radio_kinds)
+    manager = testbed.omni_manager(device, techs, config)
+    manager.enable()
+    return manager
+
+
+def test_primary_tech_is_cheapest_available(testbed):
+    manager = _stack(testbed, "a", Position(0, 0), OMNI_TECHS_BLE_WIFI)
+    assert manager.beacon_service.primary_tech is TechType.BLE_BEACON
+
+
+def test_primary_is_multicast_when_no_ble(testbed):
+    manager = _stack(testbed, "a", Position(0, 0),
+                     {TechType.WIFI_MULTICAST, TechType.WIFI_TCP})
+    assert manager.beacon_service.primary_tech is TechType.WIFI_MULTICAST
+
+
+def test_beacon_interval_matches_config(testbed):
+    config = OmniConfig(beacon_interval_s=0.5)
+    manager = _stack(testbed, "a", Position(0, 0), OMNI_TECHS_BLE_ONLY, config)
+    ble = manager.device.radio("ble")
+    testbed.kernel.run_until(10.0)
+    # ~20 beacons in 10 s at 500 ms (plus timer jitter).
+    assert 18 <= ble.adv_events_sent <= 22
+
+
+def test_secondary_probe_windows_fire(testbed):
+    config = OmniConfig(secondary_listen_period_s=5.0,
+                        secondary_listen_window_s=0.05)
+    manager = _stack(testbed, "a", Position(0, 0), OMNI_TECHS_BLE_WIFI, config)
+    wifi = manager.device.radio("wifi")
+    monitor_seen = []
+    original = wifi.open_monitor_window
+
+    def spy(duration, handler):
+        monitor_seen.append((testbed.kernel.now, duration))
+        original(duration, handler)
+
+    wifi.open_monitor_window = spy
+    testbed.kernel.run_until(16.0)
+    assert [round(t) for t, _ in monitor_seen] == [5, 10, 15]
+    assert all(duration == 0.05 for _, duration in monitor_seen)
+
+
+def test_engages_multicast_for_multicast_only_peer(testbed):
+    config = OmniConfig(secondary_listen_period_s=1.0,
+                        secondary_listen_window_s=0.6)
+    full = _stack(testbed, "full", Position(0, 0), OMNI_TECHS_BLE_WIFI, config)
+    wifi_only = _stack(testbed, "wifi-only", Position(10, 0),
+                       {TechType.WIFI_MULTICAST, TechType.WIFI_TCP}, config)
+    assert not full.beacon_service.is_engaged(TechType.WIFI_MULTICAST)
+    testbed.kernel.run_until(30.0)
+    # The wide probe window catches the peer's 500 ms multicast beacons.
+    assert full.beacon_service.is_engaged(TechType.WIFI_MULTICAST)
+    # And the wifi-only peer learned the full stack exists (mutual).
+    assert full.omni_address in wifi_only.neighbors()
+    assert wifi_only.omni_address in full.neighbors()
+
+
+def test_disengages_when_peer_leaves(testbed):
+    config = OmniConfig(secondary_listen_period_s=1.0,
+                        secondary_listen_window_s=0.6,
+                        peer_staleness_s=5.0)
+    full = _stack(testbed, "full", Position(0, 0), OMNI_TECHS_BLE_WIFI, config)
+    wifi_only = _stack(testbed, "wifi-only", Position(10, 0),
+                       {TechType.WIFI_MULTICAST, TechType.WIFI_TCP}, config)
+    testbed.kernel.run_until(30.0)
+    assert full.beacon_service.is_engaged(TechType.WIFI_MULTICAST)
+    wifi_only.disable()
+    testbed.kernel.run_until(60.0)
+    assert not full.beacon_service.is_engaged(TechType.WIFI_MULTICAST)
+
+
+def test_no_engagement_when_peer_reachable_on_ble(testbed):
+    config = OmniConfig(secondary_listen_period_s=1.0,
+                        secondary_listen_window_s=0.6)
+    a = _stack(testbed, "a", Position(0, 0), OMNI_TECHS_BLE_WIFI, config)
+    b = _stack(testbed, "b", Position(10, 0), OMNI_TECHS_BLE_WIFI, config)
+    testbed.kernel.run_until(30.0)
+    # Both sides hear each other on BLE; multicast stays dark.
+    assert not a.beacon_service.is_engaged(TechType.WIFI_MULTICAST)
+    assert not b.beacon_service.is_engaged(TechType.WIFI_MULTICAST)
+
+
+def test_context_follows_engagement(testbed):
+    """An engaged secondary carries app contexts too (paper Sec 3.3)."""
+    config = OmniConfig(secondary_listen_period_s=1.0,
+                        secondary_listen_window_s=0.6)
+    full = _stack(testbed, "full", Position(0, 0), OMNI_TECHS_BLE_WIFI, config)
+    wifi_only = _stack(testbed, "wifi-only", Position(10, 0),
+                       {TechType.WIFI_MULTICAST, TechType.WIFI_TCP}, config)
+    received = []
+    wifi_only.request_context(lambda source, ctx: received.append(ctx))
+    full.add_context({"interval_s": 0.5}, b"svc", None)
+    testbed.kernel.run_until(40.0)
+    assert b"svc" in received

@@ -1,0 +1,26 @@
+"""Status codes (paper Table 2)."""
+
+from repro.core.codes import StatusCode, null_status_callback
+
+
+def test_all_table2_codes_present():
+    names = {code.name for code in StatusCode}
+    assert names == {
+        "ADD_CONTEXT_SUCCESS",
+        "ADD_CONTEXT_FAILURE",
+        "UPDATE_CONTEXT_SUCCESS",
+        "UPDATE_CONTEXT_FAILURE",
+        "REMOVE_CONTEXT_SUCCESS",
+        "REMOVE_CONTEXT_FAILURE",
+        "SEND_DATA_SUCCESS",
+        "SEND_DATA_FAILURE",
+    }
+
+
+def test_success_failure_partition():
+    for code in StatusCode:
+        assert code.is_success != code.is_failure
+
+
+def test_null_callback_accepts_anything():
+    null_status_callback(StatusCode.SEND_DATA_SUCCESS, object())

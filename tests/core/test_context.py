@@ -1,0 +1,80 @@
+"""Context parameters and registry."""
+
+import pytest
+
+from repro.core.context import ContextParams, ContextRegistration, ContextRegistry
+
+
+class TestParams:
+    def test_defaults(self):
+        assert ContextParams().interval_s == 1.0
+
+    def test_from_params_passthrough(self):
+        params = ContextParams(interval_s=0.5)
+        assert ContextParams.from_params(params) is params
+
+    def test_from_none(self):
+        assert ContextParams.from_params(None).interval_s == 1.0
+
+    def test_from_dict_interval(self):
+        assert ContextParams.from_params({"interval_s": 0.25}).interval_s == 0.25
+
+    def test_from_dict_frequency(self):
+        assert ContextParams.from_params({"frequency_hz": 2.0}).interval_s == 0.5
+
+    def test_from_empty_dict(self):
+        assert ContextParams.from_params({}).interval_s == 1.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            ContextParams(interval_s=0)
+        with pytest.raises(ValueError):
+            ContextParams.from_params({"frequency_hz": 0})
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            ContextParams.from_params("fast")
+
+
+def _registration(context_id="ctx-1", is_system=False):
+    return ContextRegistration(
+        context_id=context_id,
+        params=ContextParams(),
+        payload=b"payload",
+        status_callback=None,
+        is_system=is_system,
+    )
+
+
+class TestRegistry:
+    def test_add_get_remove(self):
+        registry = ContextRegistry()
+        registration = _registration()
+        registry.add(registration)
+        assert registry.get("ctx-1") is registration
+        assert "ctx-1" in registry
+        assert registry.remove("ctx-1") is registration
+        assert registry.get("ctx-1") is None
+
+    def test_duplicate_id_rejected(self):
+        registry = ContextRegistry()
+        registry.add(_registration())
+        with pytest.raises(ValueError):
+            registry.add(_registration())
+
+    def test_remove_missing_returns_none(self):
+        assert ContextRegistry().remove("nope") is None
+
+    def test_all_filters_system(self):
+        registry = ContextRegistry()
+        registry.add(_registration("app"))
+        registry.add(_registration("beacon", is_system=True))
+        assert len(registry.all()) == 2
+        visible = registry.all(include_system=False)
+        assert [registration.context_id for registration in visible] == ["app"]
+
+    def test_len(self):
+        registry = ContextRegistry()
+        assert len(registry) == 0
+        registry.add(_registration())
+        assert len(registry) == 1

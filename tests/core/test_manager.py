@@ -1,0 +1,301 @@
+"""OmniManager: the Developer API end to end over real adapters."""
+
+import pytest
+
+from repro.core.codes import StatusCode
+from repro.core.manager import OmniConfig
+from repro.core.tech import TechType
+from repro.experiments.scenario import (
+    OMNI_TECHS_BLE_ONLY,
+    OMNI_TECHS_BLE_WIFI,
+    Testbed,
+)
+from repro.net.payload import VirtualPayload
+from repro.phy.geometry import Position
+
+
+@pytest.fixture
+def testbed():
+    return Testbed(seed=99)
+
+
+@pytest.fixture
+def pair(testbed):
+    device_a = testbed.add_device("a", position=Position(0, 0))
+    device_b = testbed.add_device("b", position=Position(10, 0))
+    omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_WIFI)
+    omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_WIFI)
+    omni_a.enable()
+    omni_b.enable()
+    return omni_a, omni_b
+
+
+class TestLifecycle:
+    def test_enable_requires_adapters(self, testbed):
+        device = testbed.add_device("solo", position=Position(0, 0))
+        from repro.core.manager import OmniManager
+
+        manager = OmniManager(device)
+        with pytest.raises(RuntimeError, match="no technology adapters"):
+            manager.enable()
+
+    def test_double_enable_rejected(self, testbed, pair):
+        omni_a, _ = pair
+        with pytest.raises(RuntimeError):
+            omni_a.enable()
+
+    def test_api_requires_enabled(self, testbed):
+        device = testbed.add_device("solo", position=Position(0, 0))
+        manager = testbed.omni_manager(device)
+        with pytest.raises(RuntimeError):
+            manager.add_context({}, b"x", None)
+
+    def test_duplicate_adapter_rejected(self, testbed):
+        device = testbed.add_device("solo", position=Position(0, 0))
+        manager = testbed.omni_manager(device, OMNI_TECHS_BLE_ONLY)
+        from repro.comm.ble_tech import BleBeaconTech
+
+        with pytest.raises(ValueError):
+            manager.register_adapter(BleBeaconTech(testbed.kernel,
+                                                   device.radio("ble")))
+
+    def test_disable_stops_beaconing(self, testbed, pair):
+        omni_a, omni_b = pair
+        testbed.kernel.run_until(2.0)
+        omni_a.disable()
+        before = omni_b.peer_table.record(omni_a.omni_address)
+        assert before is not None
+        testbed.kernel.run_until(20.0)
+        # A's beacons stopped, so B expires the peer.
+        assert omni_b.peer_table.record(omni_a.omni_address) is None
+
+
+class TestNeighborDiscovery:
+    def test_mutual_discovery_within_beacon_interval(self, testbed, pair):
+        omni_a, omni_b = pair
+        testbed.kernel.run_until(1.0)
+        assert omni_b.omni_address in omni_a.neighbors()
+        assert omni_a.omni_address in omni_b.neighbors()
+
+    def test_beacon_learns_both_wifi_and_ble_addresses(self, testbed, pair):
+        omni_a, omni_b = pair
+        testbed.kernel.run_until(1.0)
+        for tech in (TechType.BLE_BEACON, TechType.WIFI_TCP,
+                     TechType.WIFI_MULTICAST):
+            entry = omni_a.peer_table.entry(omni_b.omni_address, tech)
+            assert entry is not None, tech
+            assert entry.fast_peer  # learned via connection-less beacon
+
+    def test_address_beacons_hidden_from_application(self, testbed, pair):
+        omni_a, omni_b = pair
+        contexts = []
+        omni_a.request_context(lambda source, ctx: contexts.append(ctx))
+        testbed.kernel.run_until(3.0)
+        assert contexts == []  # beacons flow, but no app context was added
+
+    def test_out_of_range_peer_not_discovered(self, testbed):
+        device_a = testbed.add_device("a", position=Position(0, 0))
+        device_b = testbed.add_device("b", position=Position(500, 0))
+        omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_WIFI)
+        omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_WIFI)
+        omni_a.enable()
+        omni_b.enable()
+        testbed.kernel.run_until(10.0)
+        assert omni_a.neighbors() == []
+
+
+class TestContextApi:
+    def test_add_context_returns_id_via_callback(self, testbed, pair):
+        omni_a, _ = pair
+        events = []
+        omni_a.add_context({"interval_s": 0.5}, b"svc",
+                           lambda code, info: events.append((code, info)))
+        testbed.kernel.run_until(0.5)
+        assert events[0][0] is StatusCode.ADD_CONTEXT_SUCCESS
+        assert isinstance(events[0][1], str)
+
+    def test_context_delivered_periodically_with_source(self, testbed, pair):
+        omni_a, omni_b = pair
+        received = []
+        omni_b.request_context(
+            lambda source, ctx: received.append((testbed.kernel.now, source, ctx))
+        )
+        omni_a.add_context({"interval_s": 0.5}, b"tour-audio", None)
+        testbed.kernel.run_until(3.0)
+        assert len(received) >= 4
+        assert all(source == omni_a.omni_address for _, source, _ in received)
+        assert all(ctx == b"tour-audio" for _, _, ctx in received)
+
+    def test_update_context_changes_payload(self, testbed, pair):
+        omni_a, omni_b = pair
+        received = []
+        omni_b.request_context(lambda source, ctx: received.append(ctx))
+        ids = []
+        omni_a.add_context({"interval_s": 0.5}, b"old",
+                           lambda code, info: ids.append(info))
+        testbed.kernel.run_until(1.0)
+        events = []
+        omni_a.update_context(ids[0], None, b"new",
+                              lambda code, info: events.append(code))
+        testbed.kernel.run_until(2.5)
+        assert StatusCode.UPDATE_CONTEXT_SUCCESS in events
+        assert received[-1] == b"new"
+        assert b"old" in received
+
+    def test_update_unknown_context_fails(self, testbed, pair):
+        omni_a, _ = pair
+        events = []
+        omni_a.update_context("ctx-nope", None, b"x",
+                              lambda code, info: events.append((code, info)))
+        testbed.kernel.run_until(0.1)
+        assert events[0][0] is StatusCode.UPDATE_CONTEXT_FAILURE
+        assert events[0][1][1] == "ctx-nope"
+
+    def test_remove_context_stops_sharing(self, testbed, pair):
+        omni_a, omni_b = pair
+        received = []
+        omni_b.request_context(lambda source, ctx: received.append(ctx))
+        ids = []
+        omni_a.add_context({"interval_s": 0.5}, b"gone",
+                           lambda code, info: ids.append(info))
+        testbed.kernel.run_until(1.0)
+        events = []
+        omni_a.remove_context(ids[0], lambda code, info: events.append(code))
+        testbed.kernel.run_until(1.5)
+        count = len(received)
+        testbed.kernel.run_until(5.0)
+        assert len(received) == count
+        assert StatusCode.REMOVE_CONTEXT_SUCCESS in events
+
+    def test_remove_unknown_context_fails(self, testbed, pair):
+        omni_a, _ = pair
+        events = []
+        omni_a.remove_context("ctx-nope", lambda code, info: events.append(code))
+        testbed.kernel.run_until(0.1)
+        assert events == [StatusCode.REMOVE_CONTEXT_FAILURE]
+
+    def test_oversized_ble_context_falls_to_multicast(self, testbed, pair):
+        omni_a, omni_b = pair
+        received = []
+        omni_b.request_context(lambda source, ctx: received.append(ctx))
+        big = bytes(range(100))  # > 18 B: cannot ride a BLE advertisement
+        events = []
+        omni_a.add_context({"interval_s": 0.5}, big,
+                           lambda code, info: events.append(code))
+        testbed.kernel.run_until(6.0)
+        assert StatusCode.ADD_CONTEXT_SUCCESS in events
+        assert big in received  # delivered via WiFi multicast instead
+
+
+class TestDataApi:
+    def test_send_data_small_over_fast_peering(self, testbed, pair):
+        omni_a, omni_b = pair
+        testbed.kernel.run_until(1.0)
+        received = []
+        omni_b.request_data(
+            lambda source, data: received.append((testbed.kernel.now, source, data))
+        )
+        events = []
+        start = testbed.kernel.now
+        omni_a.send_data([omni_b.omni_address], b"reading",
+                         lambda code, info: events.append((code, info)))
+        testbed.kernel.run_until(start + 1.0)
+        assert events == [(StatusCode.SEND_DATA_SUCCESS, omni_b.omni_address)]
+        assert received[0][1] == omni_a.omni_address
+        assert received[0][2] == b"reading"
+        # Fast peering: ~12 ms, not seconds.
+        assert received[0][0] - start < 0.05
+
+    def test_send_bulk_data(self, testbed, pair):
+        omni_a, omni_b = pair
+        testbed.kernel.run_until(1.0)
+        received = []
+        omni_b.request_data(lambda source, data: received.append(data))
+        payload = VirtualPayload(25_000_000, tag="media")
+        omni_a.send_data([omni_b.omni_address], payload, None)
+        testbed.kernel.run_until(testbed.kernel.now + 5.0)
+        assert received == [payload]
+
+    def test_send_to_unknown_destination_fails(self, testbed, pair):
+        omni_a, _ = pair
+        from repro.core.address import OmniAddress
+
+        events = []
+        omni_a.send_data([OmniAddress(0x123456)], b"x",
+                         lambda code, info: events.append((code, info)))
+        testbed.kernel.run_until(0.5)
+        assert events[0][0] is StatusCode.SEND_DATA_FAILURE
+        assert "no technology" in events[0][1][0]
+
+    def test_send_to_multiple_destinations_reports_each(self, testbed):
+        positions = [Position(0, 0), Position(10, 0), Position(0, 10)]
+        managers = []
+        for index, position in enumerate(positions):
+            device = testbed.add_device(f"d{index}", position=position)
+            manager = testbed.omni_manager(device, OMNI_TECHS_BLE_WIFI)
+            manager.enable()
+            managers.append(manager)
+        testbed.kernel.run_until(1.0)
+        events = []
+        managers[0].send_data(
+            [managers[1].omni_address, managers[2].omni_address],
+            b"multi",
+            lambda code, info: events.append((code, info)),
+        )
+        testbed.kernel.run_until(3.0)
+        assert len(events) == 2
+        assert {info for _, info in events} == {
+            managers[1].omni_address, managers[2].omni_address
+        }
+        assert all(code is StatusCode.SEND_DATA_SUCCESS for code, _ in events)
+
+    def test_reply_uses_inbound_peering(self, testbed, pair):
+        omni_a, omni_b = pair
+        testbed.kernel.run_until(1.0)
+        replies = []
+        omni_b.request_data(
+            lambda source, data: omni_b.send_data([source], b"pong", None)
+        )
+        omni_a.request_data(
+            lambda source, data: replies.append(testbed.kernel.now)
+        )
+        start = testbed.kernel.now
+        omni_a.send_data([omni_b.omni_address], b"ping", None)
+        testbed.kernel.run_until(start + 1.0)
+        assert replies and replies[0] - start < 0.05
+
+
+class TestBleOnlyConfiguration:
+    def test_data_rides_ble_when_wifi_absent(self, testbed):
+        device_a = testbed.add_device("a", position=Position(0, 0))
+        device_b = testbed.add_device("b", position=Position(10, 0))
+        omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_ONLY)
+        omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_ONLY)
+        omni_a.enable()
+        omni_b.enable()
+        testbed.kernel.run_until(1.0)
+        received = []
+        omni_b.request_data(
+            lambda source, data: received.append((testbed.kernel.now, data))
+        )
+        start = testbed.kernel.now
+        payload = b"x" * 30
+        omni_a.send_data([omni_b.omni_address], payload, None)
+        testbed.kernel.run_until(start + 1.0)
+        assert received[0][1] == payload
+        # Two-fragment burst: ~41 ms one way (the 82 ms round trip basis).
+        assert received[0][0] - start == pytest.approx(0.041, abs=0.005)
+
+    def test_bulk_data_fails_cleanly_without_wifi(self, testbed):
+        device_a = testbed.add_device("a", position=Position(0, 0))
+        device_b = testbed.add_device("b", position=Position(10, 0))
+        omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_ONLY)
+        omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_ONLY)
+        omni_a.enable()
+        omni_b.enable()
+        testbed.kernel.run_until(1.0)
+        events = []
+        omni_a.send_data([omni_b.omni_address], VirtualPayload(25_000_000),
+                         lambda code, info: events.append(code))
+        testbed.kernel.run_until(testbed.kernel.now + 1.0)
+        assert events == [StatusCode.SEND_DATA_FAILURE]

@@ -1,0 +1,113 @@
+"""The omni_packed_struct wire format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.address import OmniAddress
+from repro.core.packed import (
+    ADDRESS_BEACON_PAYLOAD_BYTES,
+    HEADER_BYTES,
+    AddressBeacon,
+    ContentKind,
+    OmniPacked,
+    PackedStructError,
+)
+from repro.net.addresses import MacAddress, MeshAddress
+from repro.net.payload import VirtualPayload
+
+SENDER = OmniAddress(0x1122334455667788)
+
+
+class TestWireLayout:
+    def test_header_is_nine_bytes(self):
+        # 1 kind byte + 8 omni_address bytes (paper Sec 3.3).
+        assert HEADER_BYTES == 9
+
+    def test_first_byte_is_content_kind(self):
+        raw = OmniPacked.context(SENDER, b"ctx").encode()
+        assert raw[0] == ContentKind.CONTEXT.value
+
+    def test_address_occupies_bytes_one_to_eight(self):
+        raw = OmniPacked.data(SENDER, b"payload").encode()
+        assert raw[1:9] == SENDER.to_bytes()
+
+    def test_beacon_payload_is_fourteen_bytes(self):
+        assert ADDRESS_BEACON_PAYLOAD_BYTES == 14
+        beacon = AddressBeacon(MeshAddress(1), MacAddress(2))
+        packed = OmniPacked.address_beacon(SENDER, beacon)
+        assert packed.wire_size == HEADER_BYTES + 14
+
+    def test_address_beacon_fits_a_ble_advertisement(self):
+        beacon = AddressBeacon(MeshAddress(1), MacAddress(2))
+        packed = OmniPacked.address_beacon(SENDER, beacon)
+        # 23 bytes of struct + 4 bytes of fragment framing ≤ 31.
+        assert packed.wire_size + 4 <= 31
+
+
+class TestRoundtrip:
+    @given(st.binary(max_size=500),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_property_context_roundtrip(self, payload, address_value):
+        packed = OmniPacked.context(OmniAddress(address_value), payload)
+        decoded = OmniPacked.decode(packed.encode())
+        assert decoded == packed
+
+    @given(st.binary(max_size=500))
+    def test_property_data_roundtrip(self, payload):
+        packed = OmniPacked.data(SENDER, payload)
+        decoded = OmniPacked.decode(packed.encode())
+        assert decoded.kind is ContentKind.DATA
+        assert decoded.payload == payload
+
+    @given(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=(1 << 64) - 1)),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=(1 << 48) - 1)),
+    )
+    def test_property_beacon_roundtrip(self, mesh_value, ble_value):
+        beacon = AddressBeacon(
+            mesh_address=MeshAddress(mesh_value) if mesh_value else None,
+            ble_address=MacAddress(ble_value) if ble_value else None,
+        )
+        packed = OmniPacked.address_beacon(SENDER, beacon)
+        decoded = OmniPacked.decode(packed.encode()).decode_beacon()
+        assert decoded == beacon
+
+    def test_wire_size_matches_encoding(self):
+        packed = OmniPacked.context(SENDER, b"x" * 17)
+        assert packed.wire_size == len(packed.encode())
+
+
+class TestValidation:
+    def test_decode_too_short(self):
+        with pytest.raises(PackedStructError):
+            OmniPacked.decode(b"\x01\x02")
+
+    def test_decode_unknown_kind(self):
+        raw = bytes([0x7F]) + SENDER.to_bytes()
+        with pytest.raises(PackedStructError, match="unknown content kind"):
+            OmniPacked.decode(raw)
+
+    def test_decode_beacon_with_bad_payload_length(self):
+        raw = bytes([ContentKind.ADDRESS_BEACON.value]) + SENDER.to_bytes() + b"short"
+        with pytest.raises(PackedStructError):
+            OmniPacked.decode(raw)
+
+    def test_virtual_payload_cannot_byte_encode(self):
+        packed = OmniPacked.data(SENDER, VirtualPayload(25_000_000, "media"))
+        with pytest.raises(PackedStructError):
+            packed.encode()
+
+    def test_virtual_payload_wire_size(self):
+        packed = OmniPacked.data(SENDER, VirtualPayload(25_000_000, "media"))
+        assert packed.wire_size == HEADER_BYTES + 25_000_000
+
+    def test_decode_beacon_on_non_beacon(self):
+        packed = OmniPacked.context(SENDER, b"x")
+        with pytest.raises(PackedStructError):
+            packed.decode_beacon()
+
+    def test_zero_addresses_decode_as_absent(self):
+        beacon = AddressBeacon(None, None)
+        decoded = AddressBeacon.decode(beacon.encode())
+        assert decoded.mesh_address is None
+        assert decoded.ble_address is None

@@ -1,0 +1,132 @@
+"""The peer mapping."""
+
+import pytest
+
+from repro.core.address import OmniAddress
+from repro.core.peers import PeerTable
+from repro.core.tech import TechType
+from repro.net.addresses import MacAddress, MeshAddress
+
+PEER = OmniAddress(0xAAAA)
+OTHER = OmniAddress(0xBBBB)
+
+
+@pytest.fixture
+def table(kernel):
+    return PeerTable(kernel, staleness_s=10.0)
+
+
+def test_observe_creates_record(kernel, table):
+    record = table.observe(PEER, TechType.BLE_BEACON, MacAddress(1))
+    assert PEER in table
+    assert record.omni_address == PEER
+    assert table.record(PEER) is record
+
+
+def test_entry_lookup(kernel, table):
+    table.observe(PEER, TechType.BLE_BEACON, MacAddress(1))
+    entry = table.entry(PEER, TechType.BLE_BEACON)
+    assert entry.address == MacAddress(1)
+    assert table.entry(PEER, TechType.WIFI_TCP) is None
+
+
+def test_reverse_lookup(kernel, table):
+    table.observe(PEER, TechType.WIFI_TCP, MeshAddress(9))
+    assert table.omni_for(TechType.WIFI_TCP, MeshAddress(9)) == PEER
+    assert table.omni_for(TechType.WIFI_TCP, MeshAddress(10)) is None
+
+
+def test_address_change_replaces_reverse_mapping(kernel, table):
+    table.observe(PEER, TechType.BLE_BEACON, MacAddress(1))
+    table.observe(PEER, TechType.BLE_BEACON, MacAddress(2))
+    assert table.omni_for(TechType.BLE_BEACON, MacAddress(1)) is None
+    assert table.omni_for(TechType.BLE_BEACON, MacAddress(2)) == PEER
+
+
+def test_fast_peer_flag_sticks(kernel, table):
+    table.observe(PEER, TechType.WIFI_TCP, MeshAddress(1), fast_peer=True)
+    table.observe(PEER, TechType.WIFI_TCP, MeshAddress(1), fast_peer=False)
+    assert table.entry(PEER, TechType.WIFI_TCP).fast_peer
+
+
+def test_fast_peer_flag_resets_with_new_address(kernel, table):
+    table.observe(PEER, TechType.WIFI_TCP, MeshAddress(1), fast_peer=True)
+    table.observe(PEER, TechType.WIFI_TCP, MeshAddress(2), fast_peer=False)
+    assert not table.entry(PEER, TechType.WIFI_TCP).fast_peer
+
+
+def test_stale_entries_invisible(kernel, table):
+    table.observe(PEER, TechType.BLE_BEACON, MacAddress(1))
+    kernel.run_until(11.0)
+    assert table.entry(PEER, TechType.BLE_BEACON) is None
+    assert table.neighbors() == []
+
+
+def test_refresh_keeps_entry_fresh(kernel, table):
+    table.observe(PEER, TechType.BLE_BEACON, MacAddress(1))
+    kernel.run_until(8.0)
+    table.observe(PEER, TechType.BLE_BEACON, MacAddress(1))
+    kernel.run_until(15.0)
+    assert table.entry(PEER, TechType.BLE_BEACON) is not None
+
+
+def test_expire_drops_and_reports(kernel, table):
+    table.observe(PEER, TechType.BLE_BEACON, MacAddress(1))
+    kernel.run_until(5.0)
+    table.observe(OTHER, TechType.BLE_BEACON, MacAddress(2))
+    kernel.run_until(12.0)
+    dropped = table.expire()
+    assert dropped == [PEER]
+    assert PEER not in table
+    assert table.omni_for(TechType.BLE_BEACON, MacAddress(1)) is None
+    assert OTHER in table
+
+
+def test_forget_removes_everything(kernel, table):
+    table.observe(PEER, TechType.BLE_BEACON, MacAddress(1))
+    table.observe(PEER, TechType.WIFI_TCP, MeshAddress(2))
+    table.forget(PEER)
+    assert PEER not in table
+    assert table.omni_for(TechType.WIFI_TCP, MeshAddress(2)) is None
+    table.forget(PEER)  # idempotent
+
+
+def test_neighbors_sorted_by_address(kernel, table):
+    table.observe(OTHER, TechType.BLE_BEACON, MacAddress(2))
+    table.observe(PEER, TechType.BLE_BEACON, MacAddress(1))
+    addresses = [record.omni_address for record in table.neighbors()]
+    assert addresses == sorted(addresses)
+
+
+def test_fresh_techs_ordered_by_energy_rank(kernel, table):
+    table.observe(PEER, TechType.WIFI_TCP, MeshAddress(1))
+    table.observe(PEER, TechType.BLE_BEACON, MacAddress(2))
+    record = table.record(PEER)
+    techs = record.fresh_techs(kernel.now, 10.0)
+    assert techs[0] is TechType.BLE_BEACON  # cheapest first
+
+
+def test_peers_needing_only_expensive_tech(kernel, table):
+    # PEER is only reachable via WiFi multicast; OTHER also has BLE.
+    table.observe(PEER, TechType.WIFI_MULTICAST, MeshAddress(1))
+    table.observe(OTHER, TechType.WIFI_MULTICAST, MeshAddress(2))
+    table.observe(OTHER, TechType.BLE_BEACON, MacAddress(3))
+    needing = table.peers_needing(TechType.WIFI_MULTICAST)
+    assert [record.omni_address for record in needing] == [PEER]
+
+
+def test_peers_needing_empty_when_cheaper_covers_all(kernel, table):
+    table.observe(PEER, TechType.BLE_BEACON, MacAddress(1))
+    table.observe(PEER, TechType.WIFI_MULTICAST, MeshAddress(2))
+    assert table.peers_needing(TechType.WIFI_MULTICAST) == []
+
+
+def test_peers_needing_reflects_staleness(kernel, table):
+    table.observe(PEER, TechType.BLE_BEACON, MacAddress(1))
+    table.observe(PEER, TechType.WIFI_MULTICAST, MeshAddress(2))
+    kernel.run_until(8.0)
+    # Refresh only the multicast sighting; the BLE one goes stale.
+    table.observe(PEER, TechType.WIFI_MULTICAST, MeshAddress(2))
+    kernel.run_until(11.0)
+    needing = table.peers_needing(TechType.WIFI_MULTICAST)
+    assert [record.omni_address for record in needing] == [PEER]

@@ -1,0 +1,116 @@
+"""Context confidentiality (paper Sec 3.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.manager import OmniConfig
+from repro.core.security import (
+    OVERHEAD_BYTES,
+    NullCipher,
+    SymmetricContextCipher,
+)
+from repro.experiments.scenario import OMNI_TECHS_BLE_WIFI, Testbed
+from repro.phy.geometry import Position
+from repro.util.rng import SeededRng
+
+
+class TestNullCipher:
+    def test_identity(self):
+        cipher = NullCipher()
+        assert cipher.seal(b"x") == b"x"
+        assert cipher.open(b"x") == b"x"
+        assert cipher.overhead == 0
+
+
+class TestSymmetricCipher:
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            SymmetricContextCipher(b"")
+
+    @given(st.binary(max_size=200))
+    def test_property_roundtrip(self, payload):
+        cipher = SymmetricContextCipher(b"tour-group-7", SeededRng(1))
+        blob = cipher.seal(payload)
+        assert len(blob) == len(payload) + OVERHEAD_BYTES
+        assert SymmetricContextCipher(b"tour-group-7").open(blob) == payload
+
+    def test_ciphertext_hides_plaintext(self):
+        cipher = SymmetricContextCipher(b"key", SeededRng(2))
+        blob = cipher.seal(b"secret-payload")
+        assert b"secret-payload" not in blob
+
+    def test_nonces_vary_per_seal(self):
+        cipher = SymmetricContextCipher(b"key", SeededRng(3))
+        assert cipher.seal(b"same") != cipher.seal(b"same")
+
+    def test_wrong_key_rejected(self):
+        blob = SymmetricContextCipher(b"right", SeededRng(4)).seal(b"payload")
+        assert SymmetricContextCipher(b"wrong").open(blob) is None
+
+    def test_tampering_rejected(self):
+        cipher = SymmetricContextCipher(b"key", SeededRng(5))
+        blob = bytearray(cipher.seal(b"payload"))
+        blob[OVERHEAD_BYTES - 1] ^= 0xFF  # flip a ciphertext byte
+        assert cipher.open(bytes(blob)) is None
+
+    def test_short_blob_rejected(self):
+        assert SymmetricContextCipher(b"key").open(b"abc") is None
+
+
+class TestEncryptedContextEndToEnd:
+    def _stack(self, testbed, name, x, key):
+        config = OmniConfig(
+            context_cipher=SymmetricContextCipher(
+                key, testbed.kernel.rng.child("cipher", name)
+            )
+            if key
+            else None
+        )
+        device = testbed.add_device(name, position=Position(x, 0))
+        manager = testbed.omni_manager(device, OMNI_TECHS_BLE_WIFI, config)
+        manager.enable()
+        return manager
+
+    def test_shared_key_peers_exchange_context(self):
+        testbed = Testbed(seed=11)
+        a = self._stack(testbed, "a", 0.0, b"group-key")
+        b = self._stack(testbed, "b", 10.0, b"group-key")
+        received = []
+        b.request_context(lambda source, ctx: received.append(ctx))
+        a.add_context({"interval_s": 0.5}, b"secret", None)
+        testbed.kernel.run_until(3.0)
+        assert b"secret" in received
+
+    def test_foreign_key_context_dropped_but_discovery_works(self):
+        testbed = Testbed(seed=12)
+        a = self._stack(testbed, "a", 0.0, b"group-key")
+        eavesdropper = self._stack(testbed, "eve", 10.0, b"other-key")
+        received = []
+        eavesdropper.request_context(lambda source, ctx: received.append(ctx))
+        a.add_context({"interval_s": 0.5}, b"secret", None)
+        testbed.kernel.run_until(5.0)
+        assert received == []  # content protected
+        # Address beacons stay plain: presence is still mutually visible.
+        assert a.omni_address in eavesdropper.neighbors()
+
+    def test_plaintext_peer_cannot_read_sealed_context(self):
+        testbed = Testbed(seed=13)
+        a = self._stack(testbed, "a", 0.0, b"group-key")
+        plain = self._stack(testbed, "plain", 10.0, None)
+        received = []
+        plain.request_context(lambda source, ctx: received.append(ctx))
+        a.add_context({"interval_s": 0.5}, b"secret", None)
+        testbed.kernel.run_until(3.0)
+        assert b"secret" not in received  # sealed blobs only
+
+    def test_cipher_overhead_counted_against_ble_budget(self):
+        # 13 B payload + 6 B overhead + 9 B header = 28 > 27: must leave BLE.
+        testbed = Testbed(seed=14)
+        a = self._stack(testbed, "a", 0.0, b"group-key")
+        b = self._stack(testbed, "b", 10.0, b"group-key")
+        received = []
+        b.request_context(lambda source, ctx: received.append(ctx))
+        a.add_context({"interval_s": 0.5}, bytes(13), None)
+        testbed.kernel.run_until(6.0)
+        assert bytes(13) in received  # delivered via multicast fallback
+        assert a.device.radio("wifi").multicasts_sent > 0

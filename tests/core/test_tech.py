@@ -1,0 +1,196 @@
+"""Technology traits and the adapter base contract."""
+
+import pytest
+
+from repro.core.codes import StatusCode
+from repro.core.messages import Operation, SendRequest, TechStatusChange
+from repro.core.tech import (
+    TRAITS,
+    TechQueues,
+    TechType,
+    TechnologyAdapter,
+)
+from repro.sim.queues import SimQueue
+
+
+class TestTraits:
+    def test_every_tech_has_traits(self):
+        assert set(TRAITS) == set(TechType)
+
+    def test_ble_is_cheapest_context_tech(self):
+        context_ranks = {
+            tech: traits.energy_rank
+            for tech, traits in TRAITS.items()
+            if traits.supports_context
+        }
+        assert min(context_ranks, key=context_ranks.get) is TechType.BLE_BEACON
+
+    def test_wifi_tcp_is_data_only(self):
+        traits = TRAITS[TechType.WIFI_TCP]
+        assert traits.supports_data and not traits.supports_context
+
+    def test_ble_cannot_carry_bulk(self):
+        assert TRAITS[TechType.BLE_BEACON].max_data_bytes < 25_000_000
+
+    def test_wifi_carries_bulk(self):
+        assert TRAITS[TechType.WIFI_TCP].max_data_bytes is None
+
+
+class RecordingAdapter(TechnologyAdapter):
+    """Minimal adapter for contract tests."""
+
+    tech_type = TechType.BLE_BEACON
+
+    def __init__(self, kernel):
+        super().__init__(kernel)
+        self.handled = []
+
+    def low_level_address(self):
+        return "addr-1"
+
+    def _handle_request(self, request):
+        self.handled.append(request)
+        self._respond(request, request.success_code, request.context_id)
+
+
+def _queues():
+    return TechQueues(SimQueue("send"), SimQueue("recv"), SimQueue("resp"))
+
+
+def _request(operation=Operation.ADD_CONTEXT):
+    return SendRequest(
+        operation=operation,
+        request_id="req-1",
+        packed=None,
+        context_id="ctx-1",
+    )
+
+
+class TestAdapterContract:
+    def test_enable_returns_type_and_address(self, kernel):
+        adapter = RecordingAdapter(kernel)
+        assert adapter.enable(_queues()) == (TechType.BLE_BEACON, "addr-1")
+        assert adapter.enabled
+
+    def test_double_enable_rejected(self, kernel):
+        adapter = RecordingAdapter(kernel)
+        adapter.enable(_queues())
+        with pytest.raises(RuntimeError):
+            adapter.enable(_queues())
+
+    def test_send_queue_items_are_dispatched(self, kernel):
+        adapter = RecordingAdapter(kernel)
+        queues = _queues()
+        adapter.enable(queues)
+        request = _request()
+        queues.send_queue.put(request)
+        kernel.run_until(0.1)
+        assert adapter.handled == [request]
+        response = queues.response_queue.get_nowait()
+        assert response.code is StatusCode.ADD_CONTEXT_SUCCESS
+        assert response.request is request
+
+    def test_disable_drains_pending_with_failures(self, kernel):
+        adapter = RecordingAdapter(kernel)
+        queues = _queues()
+        adapter.enable(queues)
+        # Queue two requests and disable before the pump process ever runs
+        # (its first step is deferred to the next kernel instant).
+        queues.send_queue.put(_request())
+        queues.send_queue.put(_request(Operation.SEND_DATA))
+        adapter.disable()
+        drained = queues.response_queue.drain()
+        failure_codes = [item.code for item in drained
+                         if not isinstance(item, TechStatusChange)]
+        assert StatusCode.ADD_CONTEXT_FAILURE in failure_codes
+        assert StatusCode.SEND_DATA_FAILURE in failure_codes
+        status_changes = [item for item in drained
+                          if isinstance(item, TechStatusChange)]
+        assert len(status_changes) == 1
+        assert not status_changes[0].available
+
+    def test_disable_is_idempotent(self, kernel):
+        adapter = RecordingAdapter(kernel)
+        adapter.enable(_queues())
+        kernel.run_until(0.1)
+        adapter.disable()
+        adapter.disable()
+        assert not adapter.enabled
+
+    def test_context_hooks_raise_for_data_only_default(self, kernel):
+        class DataOnly(TechnologyAdapter):
+            tech_type = TechType.WIFI_TCP
+
+            def low_level_address(self):
+                return "x"
+
+        adapter = DataOnly(kernel)
+        with pytest.raises(NotImplementedError):
+            adapter.start_listening()
+        with pytest.raises(NotImplementedError):
+            adapter.listen_window(0.1)
+
+    def test_default_estimate_is_none(self, kernel):
+        adapter = RecordingAdapter(kernel)
+        assert adapter.estimate_data_seconds(100, fast_hint=True) is None
+
+
+class TestSendRequestCodes:
+    @pytest.mark.parametrize("operation,failure,success", [
+        (Operation.ADD_CONTEXT, StatusCode.ADD_CONTEXT_FAILURE,
+         StatusCode.ADD_CONTEXT_SUCCESS),
+        (Operation.UPDATE_CONTEXT, StatusCode.UPDATE_CONTEXT_FAILURE,
+         StatusCode.UPDATE_CONTEXT_SUCCESS),
+        (Operation.REMOVE_CONTEXT, StatusCode.REMOVE_CONTEXT_FAILURE,
+         StatusCode.REMOVE_CONTEXT_SUCCESS),
+        (Operation.SEND_DATA, StatusCode.SEND_DATA_FAILURE,
+         StatusCode.SEND_DATA_SUCCESS),
+    ])
+    def test_code_mapping(self, operation, failure, success):
+        request = _request(operation)
+        assert request.failure_code is failure
+        assert request.success_code is success
+
+    def test_failure_subject_is_destination_for_data(self):
+        request = _request(Operation.SEND_DATA)
+        request.destination_omni = "omni-x"
+        assert request.failure_subject == "omni-x"
+
+    def test_failure_subject_is_context_id_for_context_ops(self):
+        assert _request().failure_subject == "ctx-1"
+
+
+class TestAvailability:
+    def test_base_availability_follows_enabled(self, kernel):
+        adapter = RecordingAdapter(kernel)
+        assert not adapter.available
+        adapter.enable(_queues())
+        assert adapter.available
+
+    def test_radio_backed_availability(self, kernel, make_device):
+        from repro.comm.ble_tech import BleBeaconTech
+
+        device = make_device("a", radios=("ble",))
+        adapter = BleBeaconTech(kernel, device.radio("ble"))
+        adapter.enable(_queues())
+        assert adapter.available
+        device.radio("ble").disable()
+        assert not adapter.available
+        device.radio("ble").enable()
+        assert adapter.available
+
+    def test_radio_power_change_emits_status_change(self, kernel, make_device):
+        from repro.comm.ble_tech import BleBeaconTech
+
+        device = make_device("a", radios=("ble",))
+        adapter = BleBeaconTech(kernel, device.radio("ble"))
+        queues = _queues()
+        adapter.enable(queues)
+        device.radio("ble").disable()
+        changes = [item for item in queues.response_queue.drain()
+                   if isinstance(item, TechStatusChange)]
+        assert changes and not changes[0].available
+        device.radio("ble").enable()
+        changes = [item for item in queues.response_queue.drain()
+                   if isinstance(item, TechStatusChange)]
+        assert changes and changes[0].available

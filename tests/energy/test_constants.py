@@ -1,0 +1,31 @@
+"""Table 3 calibration constants."""
+
+from repro.energy import constants
+
+
+def test_values_match_paper_table3():
+    assert constants.WIFI_RECEIVE_MA == 162.4
+    assert constants.WIFI_SEND_MA == 183.3
+    assert constants.WIFI_SCAN_MA == 129.2
+    assert constants.WIFI_CONNECT_MA == 169.0
+    assert constants.BLE_SCAN_MA == 7.0
+    assert constants.BLE_ADVERTISE_MA == 8.2
+    assert constants.WIFI_STANDBY_MA == 92.1
+    assert constants.BLE_STANDBY_MA == 0.0
+
+
+def test_table3_operations_mapping_complete():
+    assert set(constants.TABLE3_OPERATIONS) == {
+        "WiFi-receive",
+        "WiFi-send",
+        "WiFi-scan for networks",
+        "WiFi-connect to network",
+        "BLE-scan",
+        "BLE-advertise",
+    }
+
+
+def test_ble_an_order_of_magnitude_below_wifi():
+    # The qualitative observation Table 3 supports.
+    assert constants.BLE_SCAN_MA * 10 < constants.WIFI_SCAN_MA
+    assert constants.BLE_ADVERTISE_MA * 10 < constants.WIFI_SEND_MA

@@ -1,0 +1,39 @@
+"""Ablation drivers (full shape assertions live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_adaptive_beacon,
+    ablate_context_technology,
+    sweep_beacon_interval,
+    sweep_secondary_listen,
+)
+
+
+def test_beacon_sweep_latency_tracks_interval():
+    points = sweep_beacon_interval(intervals=(0.25, 1.0), idle_window_s=15.0)
+    assert len(points) == 2
+    fast, slow = points
+    assert fast.discovery_latency_s is not None
+    assert slow.discovery_latency_s is not None
+    assert fast.discovery_latency_s < slow.discovery_latency_s
+    assert fast.idle_energy_avg_ma > slow.idle_energy_avg_ma
+
+
+def test_secondary_listen_sweep_engages():
+    points = sweep_secondary_listen(periods=(1.0,), deadline_s=60.0)
+    assert points[0].engagement_latency_s is not None
+
+
+def test_bifurcation_isolates_context_cost():
+    results = ablate_context_technology()
+    by_tech = {result.context_tech: result for result in results}
+    assert by_tech["BLE"].latency_ms < by_tech["WiFi"].latency_ms
+    assert by_tech["BLE"].energy_avg_ma < by_tech["WiFi"].energy_avg_ma
+
+
+def test_adaptive_beacon_trade_off():
+    results = ablate_adaptive_beacon(stable_window_s=30.0)
+    by_mode = {result.mode: result for result in results}
+    assert by_mode["adaptive"].idle_energy_avg_ma < by_mode["fixed"].idle_energy_avg_ma
+    assert by_mode["adaptive"].newcomer_discovery_s is not None

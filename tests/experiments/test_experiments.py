@@ -1,0 +1,98 @@
+"""Fast smoke coverage of the experiment drivers.
+
+The full grids run in benchmarks/; here we exercise single cells and the
+reporting so the drivers stay correct under plain ``pytest tests/``.
+"""
+
+import pytest
+
+from repro.energy.constants import TABLE3_OPERATIONS
+from repro.experiments.baseline_current import run_table3
+from repro.experiments.controlled import run_cell
+from repro.experiments.disseminate_exp import run_collaborative, run_direct
+from repro.experiments.prophet_exp import run_variant
+from repro.experiments.reporting import (
+    render_fig7,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+
+class TestTable3Driver:
+    def test_measures_all_operations_within_tolerance(self):
+        results = run_table3()
+        measured = {result.operation: result.peak_ma for result in results}
+        for operation, expected in TABLE3_OPERATIONS.items():
+            assert measured[operation] == pytest.approx(expected, rel=0.05)
+
+    def test_render(self):
+        text = render_table3(run_table3())
+        assert "BLE-scan" in text and "162.4" in text
+
+
+class TestControlledDriver:
+    def test_ble_ble_omni_cell(self):
+        cell = run_cell("Omni", "BLE", "BLE", 30)
+        assert cell.latency_ms == pytest.approx(82, rel=0.05)
+        assert 5 < cell.energy_avg_ma < 10
+
+    def test_sp_ble_cell_energy_negative(self):
+        cell = run_cell("SP", "BLE", "BLE", 30)
+        assert cell.energy_avg_ma < -50
+
+    def test_omni_fast_peering_cell(self):
+        cell = run_cell("Omni", "BLE", "WiFi", 30)
+        assert cell.latency_ms == pytest.approx(16, rel=0.4)
+
+    def test_na_cells(self):
+        assert run_cell("SP", "BLE", "WiFi", 30).latency_ms is None
+        assert run_cell("SA", "WiFi", "BLE", 30).latency_ms is None
+
+    def test_render(self):
+        cells = [run_cell("Omni", "BLE", "BLE", 30),
+                 run_cell("SP", "BLE", "WiFi", 30)]
+        text = render_table4(cells)
+        assert "N/A" in text and "Omni" in text
+
+
+class TestDisseminateDriver:
+    def test_direct_download_exact(self):
+        result = run_direct(1000.0)
+        assert result.time_to_complete_s == pytest.approx(30.0)
+        assert result.energy_avg_ma is None
+        assert result.charge_mas is None
+
+    def test_omni_collaboration_at_1000(self):
+        result = run_collaborative("Omni", 1000.0)
+        assert result.time_to_complete_s < 20
+        assert result.charge_mas > 0
+
+    def test_measure_all_returns_per_device(self):
+        results = run_collaborative("Omni", 1000.0, measure_all=True)
+        assert len(results) == 3
+        assert all(result.time_to_complete_s is not None for result in results)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            run_collaborative("magic", 1000.0)
+
+    def test_render(self):
+        text = render_table5([run_direct(100.0)])
+        assert "direct" in text and "300" in text
+
+
+class TestProphetDriver:
+    def test_omni_variant_delivers_near_ferry_time(self):
+        result = run_variant("Omni")
+        assert result.delivery_latency_s is not None
+        assert 5.0 < result.delivery_latency_s < 7.0
+
+    def test_sp_variant_pays_discovery(self):
+        result = run_variant("SP")
+        assert result.delivery_latency_s is not None
+        assert result.delivery_latency_s > 7.0
+
+    def test_render(self):
+        text = render_fig7([run_variant("Omni")])
+        assert "Omni" in text

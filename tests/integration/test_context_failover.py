@@ -1,0 +1,132 @@
+"""Context assignment fallback paths (paper Sec 3.1/3.3 failure handling)."""
+
+import pytest
+
+from repro.core.codes import StatusCode
+from repro.core.tech import TechType
+from repro.experiments.scenario import (
+    OMNI_TECHS_BLE_ONLY,
+    OMNI_TECHS_BLE_WIFI,
+    Testbed,
+)
+from repro.phy.geometry import Position
+
+
+def _pair(testbed, techs=OMNI_TECHS_BLE_WIFI):
+    device_a = testbed.add_device("a", position=Position(0, 0))
+    device_b = testbed.add_device("b", position=Position(10, 0))
+    omni_a = testbed.omni_manager(device_a, techs)
+    omni_b = testbed.omni_manager(device_b, techs)
+    omni_a.enable()
+    omni_b.enable()
+    return omni_a, omni_b
+
+
+def test_context_payload_size_routes_technology():
+    """≤18 B rides BLE; larger payloads silently take multicast; the app
+    sees ADD_CONTEXT_SUCCESS either way."""
+    testbed = Testbed(seed=401)
+    omni_a, omni_b = _pair(testbed)
+    small_events, big_events = [], []
+    omni_a.add_context({"interval_s": 0.5}, b"tiny",
+                       lambda code, info: small_events.append(code))
+    omni_a.add_context({"interval_s": 0.5}, bytes(50),
+                       lambda code, info: big_events.append(code))
+    testbed.kernel.run_until(5.0)
+    assert StatusCode.ADD_CONTEXT_SUCCESS in small_events
+    assert StatusCode.ADD_CONTEXT_SUCCESS in big_events
+    ble = omni_a.device.radio("ble")
+    wifi = omni_a.device.radio("wifi")
+    assert ble.adv_events_sent > 0  # beacon + tiny context
+    assert wifi.multicasts_sent > 0  # the big context
+
+
+def test_context_impossible_everywhere_reports_failure():
+    """A payload too big for every context technology fails cleanly."""
+    testbed = Testbed(seed=402)
+    omni_a, _ = _pair(testbed, techs=OMNI_TECHS_BLE_ONLY)
+    events = []
+    omni_a.add_context({"interval_s": 0.5}, bytes(100),
+                       lambda code, info: events.append((code, info)))
+    testbed.kernel.run_until(2.0)
+    assert events
+    assert events[0][0] is StatusCode.ADD_CONTEXT_FAILURE
+
+
+def test_update_growing_payload_migrates_technology():
+    """A context that grows past the BLE budget migrates to multicast
+    mid-life without the application doing anything; a wide secondary
+    listen window lets the BLE-primary receiver catch it promptly and
+    engage multicast for continuous reception."""
+    from repro.core.manager import OmniConfig
+
+    testbed = Testbed(seed=403)
+    config = OmniConfig(secondary_listen_period_s=1.0,
+                        secondary_listen_window_s=0.6)
+    device_a = testbed.add_device("a", position=Position(0, 0))
+    device_b = testbed.add_device("b", position=Position(10, 0))
+    omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_WIFI, config)
+    omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_WIFI, config)
+    omni_a.enable()
+    omni_b.enable()
+    received = []
+    omni_b.request_context(lambda source, ctx: received.append(ctx))
+    ids = []
+    omni_a.add_context({"interval_s": 0.5}, b"small",
+                       lambda code, info: ids.append(info))
+    testbed.kernel.run_until(2.0)
+    big = bytes(60)
+    omni_a.update_context(ids[0], None, big, None)
+    testbed.kernel.run_until(15.0)
+    assert big in received
+    # Content on multicast engaged the technology for continuous listening.
+    assert omni_b.beacon_service.is_engaged(TechType.WIFI_MULTICAST)
+
+
+def test_shrinking_payload_returns_to_ble():
+    testbed = Testbed(seed=404)
+    omni_a, omni_b = _pair(testbed)
+    ids = []
+    omni_a.add_context({"interval_s": 0.5}, bytes(60),
+                       lambda code, info: ids.append(info))
+    testbed.kernel.run_until(3.0)
+    ble_before = omni_a.device.radio("ble").adv_events_sent
+    omni_a.update_context(ids[0], None, b"tiny", None)
+    testbed.kernel.run_until(8.0)
+    # The context now advertises on BLE: the BLE event rate roughly doubles
+    # (address beacon + context) relative to beacon-only.
+    ble_delta = omni_a.device.radio("ble").adv_events_sent - ble_before
+    assert ble_delta > 5 / 0.5  # more than one stream's worth over 5 s
+
+
+def test_remove_context_on_multicast_cleans_overhead():
+    testbed = Testbed(seed=405)
+    omni_a, _ = _pair(testbed)
+    ids = []
+    omni_a.add_context({"interval_s": 0.5}, bytes(60),
+                       lambda code, info: ids.append(info))
+    testbed.kernel.run_until(3.0)
+    assert testbed.mesh.channel.overhead_fraction > 0
+    events = []
+    omni_a.remove_context(ids[0], lambda code, info: events.append(code))
+    testbed.kernel.run_until(5.0)
+    assert StatusCode.REMOVE_CONTEXT_SUCCESS in events
+    # Only the context's overhead goes; the address beacon never used WiFi.
+    assert testbed.mesh.channel.overhead_fraction == 0
+
+
+def test_context_callbacks_survive_peer_churn():
+    """Registrations outlive peers: a later arrival still hears context."""
+    testbed = Testbed(seed=406)
+    omni_a, omni_b = _pair(testbed)
+    omni_a.add_context({"interval_s": 0.5}, b"evergreen", None)
+    testbed.kernel.run_until(2.0)
+    omni_b.disable()
+    testbed.kernel.run_until(20.0)
+    device_c = testbed.add_device("c", position=Position(5, 0))
+    omni_c = testbed.omni_manager(device_c, OMNI_TECHS_BLE_WIFI)
+    omni_c.enable()
+    received = []
+    omni_c.request_context(lambda source, ctx: received.append(ctx))
+    testbed.kernel.run_until(25.0)
+    assert b"evergreen" in received

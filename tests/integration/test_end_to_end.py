@@ -1,0 +1,145 @@
+"""Cross-layer integration scenarios."""
+
+import pytest
+
+from repro.core.codes import StatusCode
+from repro.core.manager import OmniConfig
+from repro.core.tech import TechType
+from repro.experiments.scenario import (
+    OMNI_TECHS_BLE_ONLY,
+    OMNI_TECHS_BLE_WIFI,
+    Testbed,
+)
+from repro.net.payload import VirtualPayload
+from repro.phy.geometry import Position
+from repro.phy.mobility import WaypointPath
+
+
+def test_full_stack_discovery_to_bulk_transfer():
+    """The paper's core story on one pair: discover over BLE, bulk over WiFi."""
+    testbed = Testbed(seed=101)
+    device_a = testbed.add_device("a", position=Position(0, 0))
+    device_b = testbed.add_device("b", position=Position(10, 0))
+    omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_WIFI)
+    omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_WIFI)
+    omni_a.enable()
+    omni_b.enable()
+    testbed.kernel.run_until(1.0)
+
+    received = []
+    omni_b.request_data(lambda source, data: received.append((testbed.kernel.now, data)))
+    start = testbed.kernel.now
+    omni_a.send_data([omni_b.omni_address], VirtualPayload(25_000_000), None)
+    testbed.kernel.run_until(start + 10.0)
+    elapsed = received[0][0] - start
+    # Fast peering + ~3.09 s transfer; no scan ever happened.
+    assert elapsed == pytest.approx(3.1, abs=0.1)
+    assert device_a.radio("wifi").scans_performed == 0
+
+
+def test_mobility_breaks_and_restores_discovery():
+    """A peer walking out of range disappears; returning re-discovers it."""
+    testbed = Testbed(seed=102)
+    static = testbed.add_device("static", position=Position(0, 0))
+    path = WaypointPath([
+        (0.0, Position(10, 0)),
+        (5.0, Position(10, 0)),
+        (10.0, Position(200, 0)),  # gone
+        (20.0, Position(200, 0)),
+        (25.0, Position(10, 0)),  # back
+    ])
+    walker = testbed.add_device("walker", mobility=path)
+    omni_static = testbed.omni_manager(static, OMNI_TECHS_BLE_ONLY)
+    omni_walker = testbed.omni_manager(walker, OMNI_TECHS_BLE_ONLY)
+    omni_static.enable()
+    omni_walker.enable()
+
+    testbed.kernel.run_until(5.0)
+    assert omni_walker.omni_address in omni_static.neighbors()
+    testbed.kernel.run_until(22.0)  # walker far away, entries staled out
+    assert omni_walker.omni_address not in omni_static.neighbors()
+    testbed.kernel.run_until(27.0)
+    assert omni_walker.omni_address in omni_static.neighbors()
+
+
+def test_data_failover_from_wifi_to_ble():
+    """If the WiFi path fails mid-request, Omni retries over BLE before
+    reporting failure (paper Sec 3.1, Handling Failures)."""
+    testbed = Testbed(seed=103)
+    device_a = testbed.add_device("a", position=Position(0, 0))
+    device_b = testbed.add_device("b", position=Position(10, 0))
+    omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_WIFI)
+    omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_WIFI)
+    omni_a.enable()
+    omni_b.enable()
+    testbed.kernel.run_until(1.0)
+
+    # Sabotage WiFi on the receiver: its radio goes dark, so the TCP path
+    # fails; BLE must carry the (small) payload instead.
+    device_b.radio("wifi").disable()
+    received = []
+    omni_b.request_data(lambda source, data: received.append(data))
+    events = []
+    omni_a.send_data([omni_b.omni_address], b"x" * 20,
+                     lambda code, info: events.append(code))
+    testbed.kernel.run_until(testbed.kernel.now + 5.0)
+    assert events == [StatusCode.SEND_DATA_SUCCESS]
+    assert received == [b"x" * 20]
+
+
+def test_data_failure_after_all_techs_exhausted():
+    testbed = Testbed(seed=104)
+    device_a = testbed.add_device("a", position=Position(0, 0))
+    device_b = testbed.add_device("b", position=Position(10, 0))
+    omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_WIFI)
+    omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_WIFI)
+    omni_a.enable()
+    omni_b.enable()
+    testbed.kernel.run_until(1.0)
+
+    # Everything on the receiver goes dark at once.
+    device_b.radio("wifi").disable()
+    device_b.radio("ble").disable()
+    events = []
+    omni_a.send_data([omni_b.omni_address], b"x" * 20,
+                     lambda code, info: events.append((code, info)))
+    testbed.kernel.run_until(testbed.kernel.now + 10.0)
+    assert events and events[0][0] is StatusCode.SEND_DATA_FAILURE
+
+
+def test_three_apps_one_manager():
+    """Omni is a shared service: multiple callbacks coexist per device."""
+    testbed = Testbed(seed=105)
+    device_a = testbed.add_device("a", position=Position(0, 0))
+    device_b = testbed.add_device("b", position=Position(10, 0))
+    omni_a = testbed.omni_manager(device_a)
+    omni_b = testbed.omni_manager(device_b)
+    omni_a.enable()
+    omni_b.enable()
+
+    app1, app2 = [], []
+    omni_b.request_context(lambda source, ctx: app1.append(ctx))
+    omni_b.request_context(lambda source, ctx: app2.append(ctx))
+    omni_a.add_context({"interval_s": 0.5}, b"both", None)
+    testbed.kernel.run_until(2.0)
+    assert app1 and app2
+
+
+def test_kernel_determinism_across_full_stack():
+    def run(seed):
+        testbed = Testbed(seed=seed)
+        devices = [
+            testbed.add_device(f"d{i}", position=Position(float(i * 7), 0))
+            for i in range(3)
+        ]
+        managers = [testbed.omni_manager(device) for device in devices]
+        for manager in managers:
+            manager.enable()
+        received = []
+        managers[2].request_data(lambda source, data: received.append(testbed.kernel.now))
+        testbed.kernel.run_until(1.0)
+        managers[0].send_data([managers[2].omni_address], b"hello", None)
+        testbed.kernel.run_until(5.0)
+        return received, devices[0].meter.total_charge_mas()
+
+    assert run(7) == run(7)

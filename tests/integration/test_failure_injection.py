@@ -1,0 +1,156 @@
+"""Failure injection across the stack.
+
+The paper's Sec 3.3 "Handling Failures" argues Omni's connection-less
+context distribution makes it resilient: "connection-less technologies by
+design have no connections to break".  These tests break things mid-flight
+and check the middleware degrades the way the paper describes.
+"""
+
+import pytest
+
+from repro.core.codes import StatusCode
+from repro.core.manager import OmniConfig
+from repro.core.tech import TechType
+from repro.experiments.scenario import (
+    OMNI_TECHS_BLE_ONLY,
+    OMNI_TECHS_BLE_WIFI,
+    Testbed,
+)
+from repro.net.payload import VirtualPayload
+from repro.phy.geometry import Position
+
+
+def _pair(testbed, techs=OMNI_TECHS_BLE_WIFI, distance=10.0, config=None):
+    device_a = testbed.add_device("a", position=Position(0, 0))
+    device_b = testbed.add_device("b", position=Position(distance, 0))
+    omni_a = testbed.omni_manager(device_a, techs, config)
+    omni_b = testbed.omni_manager(device_b, techs, config)
+    omni_a.enable()
+    omni_b.enable()
+    return omni_a, omni_b
+
+
+def test_receiver_radio_dies_during_bulk_transfer():
+    """The 25 MB transfer's destination powers off mid-flight: the sender
+    gets a failure (BLE cannot carry the bulk payload either)."""
+    testbed = Testbed(seed=301)
+    omni_a, omni_b = _pair(testbed)
+    testbed.kernel.run_until(1.0)
+    events = []
+    omni_a.send_data([omni_b.omni_address], VirtualPayload(25_000_000),
+                     lambda code, info: events.append((code, info)))
+    testbed.kernel.call_in(1.0, omni_b.device.radio("wifi").disable)
+    # The TCP attempt fails at completion time; Omni then faithfully tries
+    # the multicast pool (~190 s for 25 MB) before reporting failure.
+    testbed.kernel.run_until(testbed.kernel.now + 300.0)
+    assert events and events[0][0] is StatusCode.SEND_DATA_FAILURE
+
+
+def test_context_keeps_flowing_while_wifi_flaps():
+    """Context rides BLE; a flapping WiFi radio must not interrupt it."""
+    testbed = Testbed(seed=302)
+    omni_a, omni_b = _pair(testbed)
+    received = []
+    omni_b.request_context(lambda source, ctx: received.append(testbed.kernel.now))
+    omni_a.add_context({"interval_s": 0.5}, b"steady", None)
+    wifi = omni_a.device.radio("wifi")
+    for toggle_at in (2.0, 4.0, 6.0, 8.0):
+        testbed.kernel.call_at(toggle_at, wifi.disable if toggle_at % 4 < 2
+                               else wifi.enable)
+    testbed.kernel.run_until(10.0)
+    gaps = [b - a for a, b in zip(received, received[1:])]
+    assert max(gaps) < 1.0  # never a dropout longer than two periods
+
+
+def test_peer_departure_mid_neighborhood_is_contained():
+    """One of three peers leaves; the other pairing keeps working."""
+    testbed = Testbed(seed=303)
+    managers = []
+    for index, position in enumerate(
+        (Position(0, 0), Position(10, 0), Position(5, 8))
+    ):
+        device = testbed.add_device(f"d{index}", position=position)
+        manager = testbed.omni_manager(device, OMNI_TECHS_BLE_WIFI)
+        manager.enable()
+        managers.append(manager)
+    testbed.kernel.run_until(1.0)
+    managers[2].disable()
+    testbed.kernel.run_until(15.0)
+    assert managers[2].omni_address not in managers[0].neighbors()
+    received = []
+    managers[1].request_data(lambda source, data: received.append(data))
+    managers[0].send_data([managers[1].omni_address], b"still-works", None)
+    testbed.kernel.run_until(testbed.kernel.now + 2.0)
+    assert received == [b"still-works"]
+
+
+def test_ble_only_pair_survives_wifi_never_existing():
+    testbed = Testbed(seed=304)
+    omni_a, omni_b = _pair(testbed, techs=OMNI_TECHS_BLE_ONLY)
+    testbed.kernel.run_until(1.0)
+    received = []
+    omni_b.request_data(lambda source, data: received.append(data))
+    omni_a.send_data([omni_b.omni_address], b"small", None)
+    testbed.kernel.run_until(testbed.kernel.now + 1.0)
+    assert received == [b"small"]
+
+
+def test_failover_is_transparent_to_the_application():
+    """The app's callback sees exactly one SUCCESS even though the first
+    technology failed internally (paper Sec 3.1)."""
+    testbed = Testbed(seed=305)
+    omni_a, omni_b = _pair(testbed)
+    testbed.kernel.run_until(1.0)
+    omni_b.device.radio("wifi").disable()  # WiFi TCP will fail
+    events = []
+    received = []
+    omni_b.request_data(lambda source, data: received.append(data))
+    omni_a.send_data([omni_b.omni_address], b"via-ble-then",
+                     lambda code, info: events.append(code))
+    testbed.kernel.run_until(testbed.kernel.now + 5.0)
+    assert events == [StatusCode.SEND_DATA_SUCCESS]
+    assert received == [b"via-ble-then"]
+
+
+def test_simultaneous_sends_during_receiver_failure():
+    """Multiple in-flight requests against a dying receiver all resolve."""
+    testbed = Testbed(seed=306)
+    omni_a, omni_b = _pair(testbed)
+    testbed.kernel.run_until(1.0)
+    events = []
+    for index in range(5):
+        omni_a.send_data([omni_b.omni_address], VirtualPayload(5_000_000),
+                         lambda code, info: events.append(code))
+    testbed.kernel.call_in(0.5, omni_b.device.radio("wifi").disable)
+    # Each request fails over to the slow multicast pool before resolving.
+    testbed.kernel.run_until(testbed.kernel.now + 400.0)
+    assert len(events) == 5  # every request resolved, one way or the other
+    assert StatusCode.SEND_DATA_FAILURE in events
+
+
+def test_rediscovery_after_total_blackout():
+    """Both radios off, then both back on: the pair re-forms by itself."""
+    testbed = Testbed(seed=307)
+    config = OmniConfig(peer_staleness_s=3.0)
+    omni_a, omni_b = _pair(testbed, config=config)
+    testbed.kernel.run_until(1.0)
+    assert omni_b.omni_address in omni_a.neighbors()
+
+    ble = omni_b.device.radio("ble")
+    wifi = omni_b.device.radio("wifi")
+    # The adapters notice nothing (their radios just go silent) — only the
+    # staleness machinery can recover, which is the point.
+    ble.disable()
+    wifi.disable()
+    testbed.kernel.run_until(6.0)
+    assert omni_b.omni_address not in omni_a.neighbors()
+    ble.enable()
+    wifi.enable()
+    # b's BLE adapter re-arms its advertising sets? No: the radio was
+    # disabled under the adapter. Re-enabling the manager-level stack is
+    # the supported recovery path.
+    omni_b.disable()
+    omni_b2 = testbed.omni_manager(omni_b.device, OMNI_TECHS_BLE_WIFI)
+    omni_b2.enable()
+    testbed.kernel.run_until(10.0)
+    assert omni_b2.omni_address in omni_a.neighbors()

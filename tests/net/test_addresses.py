@@ -1,0 +1,77 @@
+"""Low-level addresses: encoding, ranges, randomness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import MacAddress, MeshAddress, NfcAddress
+from repro.util.rng import SeededRng
+
+
+class TestMacAddress:
+    def test_wire_width(self):
+        assert MacAddress.WIRE_BYTES == 6
+        assert len(MacAddress(0).to_bytes()) == 6
+
+    def test_roundtrip(self):
+        address = MacAddress(0x112233445566)
+        assert MacAddress.from_bytes(address.to_bytes()) == address
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_property_roundtrip(self, value):
+        address = MacAddress(value)
+        assert MacAddress.from_bytes(address.to_bytes()) == address
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+        with pytest.raises(ValueError):
+            MacAddress(-1)
+
+    def test_wrong_byte_count_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress.from_bytes(b"\x00" * 5)
+
+    def test_random_is_locally_administered_unicast(self):
+        for seed in range(20):
+            address = MacAddress.random(SeededRng(seed))
+            raw = address.to_bytes()
+            assert raw[0] & 0x01 == 0  # unicast
+            assert raw[0] & 0x02 == 0x02  # locally administered
+
+    def test_str_format(self):
+        assert str(MacAddress(0x0A0B0C0D0E0F)) == "0a:0b:0c:0d:0e:0f"
+
+    def test_ordering(self):
+        assert MacAddress(1) < MacAddress(2)
+
+
+class TestMeshAddress:
+    def test_wire_width(self):
+        assert MeshAddress.WIRE_BYTES == 8
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_property_roundtrip(self, value):
+        address = MeshAddress(value)
+        assert MeshAddress.from_bytes(address.to_bytes()) == address
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MeshAddress(1 << 64)
+
+    def test_random_deterministic(self):
+        assert MeshAddress.random(SeededRng(1)) == MeshAddress.random(SeededRng(1))
+
+
+class TestNfcAddress:
+    def test_wire_width(self):
+        assert NfcAddress.WIRE_BYTES == 4
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_property_roundtrip(self, value):
+        address = NfcAddress(value)
+        assert NfcAddress.from_bytes(address.to_bytes()) == address
+
+
+def test_beacon_payload_width_matches_paper():
+    # "14 additional bytes ... 8 for the Wifi-Mesh address and 6 for BLE".
+    assert MeshAddress.WIRE_BYTES + MacAddress.WIRE_BYTES == 14

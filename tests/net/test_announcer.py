@@ -1,0 +1,100 @@
+"""Multicast discovery announcer."""
+
+import pytest
+
+from repro.net.announcer import MulticastAnnouncer
+from repro.radio.frame import RadioKind
+from repro.radio.wifi import MULTICAST_AIRTIME_S
+
+
+@pytest.fixture
+def announcer_pair(kernel, make_device, mesh):
+    a = make_device("a", x=0)
+    b = make_device("b", x=5)
+    announcer = MulticastAnnouncer(
+        a.radio(RadioKind.WIFI), mesh, lambda: b"announce", interval_s=0.5
+    )
+    return announcer, a, b
+
+
+def test_start_joins_and_announces(kernel, announcer_pair, mesh):
+    announcer, a, b = announcer_pair
+    heard = []
+    kernel.run_until_complete(b.radio(RadioKind.WIFI).join(mesh, peer_mode=False))
+    b.radio(RadioKind.WIFI).on_multicast(lambda payload, src: heard.append(kernel.now))
+    announcer.start()
+    kernel.run_until(5.0)
+    assert a.radio(RadioKind.WIFI) in mesh
+    # Joined after ~1 s, then every ~0.5 s.
+    assert 6 <= len(heard) <= 10
+
+
+def test_membership_is_multicast_only(kernel, announcer_pair):
+    announcer, a, _ = announcer_pair
+    announcer.start()
+    kernel.run_until(3.0)
+    assert not a.radio(RadioKind.WIFI).peer_mode
+
+
+def test_payload_factory_called_fresh_each_time(kernel, make_device, mesh):
+    a = make_device("a", x=0)
+    b = make_device("b", x=5)
+    payloads = iter([b"one", b"two", b"three", b"four", b"five", b"six"])
+    announcer = MulticastAnnouncer(
+        a.radio(RadioKind.WIFI), mesh, lambda: next(payloads), interval_s=0.5
+    )
+    heard = []
+    kernel.run_until_complete(b.radio(RadioKind.WIFI).join(mesh, peer_mode=False))
+    b.radio(RadioKind.WIFI).on_multicast(lambda payload, src: heard.append(payload))
+    announcer.start()  # joins for ~1 s, then announces every ~0.5 s
+    kernel.run_until(3.3)
+    assert heard[:2] == [b"one", b"two"]
+
+
+def test_channel_overhead_registered_while_active(kernel, announcer_pair, mesh):
+    announcer, _, _ = announcer_pair
+    announcer.start()
+    kernel.run_until(2.0)
+    assert mesh.channel.overhead_fraction == pytest.approx(
+        MULTICAST_AIRTIME_S / 0.5
+    )
+    announcer.stop()
+    assert mesh.channel.overhead_fraction == 0.0
+
+
+def test_stop_silences_announcements(kernel, announcer_pair, mesh):
+    announcer, _, b = announcer_pair
+    heard = []
+    kernel.run_until_complete(b.radio(RadioKind.WIFI).join(mesh, peer_mode=False))
+    b.radio(RadioKind.WIFI).on_multicast(lambda payload, src: heard.append(payload))
+    announcer.start()
+    kernel.run_until(3.0)
+    count = len(heard)
+    announcer.stop()
+    announcer.stop()  # idempotent
+    kernel.run_until(10.0)
+    assert len(heard) == count
+
+
+def test_rescans_when_configured(kernel, make_device, mesh):
+    a = make_device("a", x=0)
+    radio = a.radio(RadioKind.WIFI)
+    announcer = MulticastAnnouncer(radio, mesh, lambda: b"x", interval_s=0.5,
+                                   rescan_period_s=5.0)
+    announcer.start()
+    kernel.run_until(12.0)
+    assert radio.scans_performed == 2
+
+
+def test_no_rescans_by_default(kernel, announcer_pair):
+    announcer, a, _ = announcer_pair
+    announcer.start()
+    kernel.run_until(60.0)
+    assert a.radio(RadioKind.WIFI).scans_performed == 0
+
+
+def test_invalid_interval_rejected(kernel, make_device, mesh):
+    with pytest.raises(ValueError):
+        MulticastAnnouncer(
+            make_device("a").radio(RadioKind.WIFI), mesh, lambda: b"", interval_s=0
+        )

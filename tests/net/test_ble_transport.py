@@ -1,0 +1,151 @@
+"""BLE fragmentation transport."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ble_transport import (
+    FRAGMENT_CAPACITY,
+    FRAGMENT_INTERVAL_S,
+    MAX_MESSAGE_BYTES,
+    BleBurstSender,
+    BleReassembler,
+    BleTransportError,
+    burst_duration,
+    fragment,
+    parse_fragment,
+)
+from repro.net.addresses import MacAddress
+from repro.radio.frame import RadioKind
+
+
+class TestFragmentation:
+    def test_small_payload_single_fragment(self):
+        frames = fragment(1, b"hello")
+        assert len(frames) == 1
+        message_id, index, count, piece = parse_fragment(frames[0])
+        assert (message_id, index, count, piece) == (1, 0, 1, b"hello")
+
+    def test_empty_payload_still_one_fragment(self):
+        frames = fragment(1, b"")
+        assert len(frames) == 1
+
+    def test_thirty_bytes_needs_two_fragments(self):
+        # The Table 4 interaction payload: 30 B data + 9 B packed header.
+        frames = fragment(1, bytes(39))
+        assert len(frames) == 2
+
+    def test_fragment_sizes_fit_advertisements(self):
+        frames = fragment(1, bytes(500))
+        assert all(len(frame) <= 31 for frame in frames)
+
+    def test_oversize_rejected(self):
+        with pytest.raises(BleTransportError):
+            fragment(1, bytes(MAX_MESSAGE_BYTES + 1))
+
+    def test_bad_message_id_rejected(self):
+        with pytest.raises(ValueError):
+            fragment(1 << 16, b"x")
+
+    def test_parse_rejects_short_frames(self):
+        with pytest.raises(BleTransportError):
+            parse_fragment(b"\x00")
+
+    def test_parse_rejects_inconsistent_header(self):
+        import struct
+
+        bad = struct.pack("!HBB", 1, 5, 3) + b"x"  # index >= count
+        with pytest.raises(BleTransportError):
+            parse_fragment(bad)
+
+    @given(st.binary(max_size=2000), st.integers(min_value=0, max_value=65535))
+    def test_property_fragment_reassemble_roundtrip(self, payload, message_id):
+        received = []
+        reassembler = BleReassembler(lambda raw, sender: received.append(raw))
+        sender = MacAddress(0x1234)
+        for frame in fragment(message_id, payload):
+            reassembler.accept(frame, sender)
+        assert received == [payload]
+
+    def test_out_of_order_reassembly(self):
+        received = []
+        reassembler = BleReassembler(lambda raw, sender: received.append(raw))
+        frames = fragment(7, bytes(range(80)))
+        sender = MacAddress(1)
+        for frame in reversed(frames):
+            reassembler.accept(frame, sender)
+        assert received == [bytes(range(80))]
+
+    def test_interleaved_senders_do_not_mix(self):
+        received = []
+        reassembler = BleReassembler(lambda raw, sender: received.append((sender, raw)))
+        payload_a, payload_b = bytes(40), bytes([1]) * 40
+        frames_a = fragment(1, payload_a)
+        frames_b = fragment(1, payload_b)  # same message id, other sender
+        sender_a, sender_b = MacAddress(1), MacAddress(2)
+        reassembler.accept(frames_a[0], sender_a)
+        reassembler.accept(frames_b[0], sender_b)
+        reassembler.accept(frames_b[1], sender_b)
+        reassembler.accept(frames_a[1], sender_a)
+        assert (sender_b, payload_b) in received
+        assert (sender_a, payload_a) in received
+
+    def test_pending_tracks_partials(self):
+        reassembler = BleReassembler(lambda raw, sender: None)
+        frames = fragment(1, bytes(100))
+        reassembler.accept(frames[0], MacAddress(1))
+        assert reassembler.pending == 1
+
+
+class TestBurstSender:
+    def test_burst_paces_fragments(self, kernel, make_device):
+        a = make_device("a", x=0)
+        b = make_device("b", x=5)
+        received = []
+        reassembler = BleReassembler(
+            lambda raw, sender: received.append((kernel.now, raw))
+        )
+        b.radio(RadioKind.BLE).start_scanning(
+            lambda payload, mac, dist: reassembler.accept(payload, mac)
+        )
+        payload = bytes(39)  # two fragments
+        sender = BleBurstSender(a.radio(RadioKind.BLE))
+        sender.send(payload)
+        kernel.run_until(1.0)
+        assert len(received) == 1
+        # Delivered after 2 × fragment interval + airtime ≈ 41 ms — the
+        # one-way half of the paper's 82 ms BLE interaction.
+        assert received[0][0] == pytest.approx(0.041, abs=0.002)
+
+    def test_burst_completion_reports_receivers(self, kernel, make_device):
+        a = make_device("a", x=0)
+        b = make_device("b", x=5)
+        b.radio(RadioKind.BLE).start_scanning(lambda *args: None)
+        sender = BleBurstSender(a.radio(RadioKind.BLE))
+        completion = sender.send(b"tiny")
+        result = kernel.run_until_complete(completion, timeout=5)
+        assert result == 1
+
+    def test_burst_fails_if_radio_disabled_midway(self, kernel, make_device):
+        a = make_device("a", x=0)
+        sender = BleBurstSender(a.radio(RadioKind.BLE))
+        completion = sender.send(bytes(100))
+        kernel.call_in(FRAGMENT_INTERVAL_S * 1.5,
+                       a.radio(RadioKind.BLE).disable)
+        with pytest.raises(BleTransportError):
+            kernel.run_until_complete(completion, timeout=5)
+
+    def test_message_ids_cycle(self, kernel, make_device):
+        sender = BleBurstSender(make_device("a").radio(RadioKind.BLE))
+        sender._next_message_id = (1 << 16) - 1
+        sender.send(b"x")
+        assert sender._next_message_id == 0
+
+
+def test_burst_duration_model():
+    assert burst_duration(10) == pytest.approx(FRAGMENT_INTERVAL_S)
+    assert burst_duration(FRAGMENT_CAPACITY + 1) == pytest.approx(
+        2 * FRAGMENT_INTERVAL_S
+    )
+    # Round trip of two 39-byte messages ≈ 82 ms (paper's BLE latency),
+    # adding per-leg airtime.
+    assert 2 * burst_duration(39) == pytest.approx(0.080, abs=0.001)

@@ -1,0 +1,165 @@
+"""Fluid channel: processor sharing, overheads, aborts."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.channel import FlowAborted, FluidChannel
+from repro.sim.kernel import Kernel
+
+
+@pytest.fixture
+def channel(kernel):
+    return FluidChannel(kernel, capacity_bps=1000.0)
+
+
+def test_single_flow_full_capacity(kernel, channel):
+    flow = channel.start_flow(2000)
+    kernel.run_until_complete(flow.completion, timeout=10)
+    assert kernel.now == pytest.approx(2.0)
+
+
+def test_zero_byte_flow_completes_immediately(kernel, channel):
+    flow = channel.start_flow(0)
+    kernel.run_until_complete(flow.completion, timeout=1)
+    assert kernel.now == pytest.approx(0.0)
+
+
+def test_two_equal_flows_share_equally(kernel, channel):
+    a = channel.start_flow(1000)
+    b = channel.start_flow(1000)
+    kernel.run_until_complete(b.completion, timeout=10)
+    assert kernel.now == pytest.approx(2.0)
+    assert a.done and b.done
+
+
+def test_short_flow_finishes_first_then_long_speeds_up(kernel, channel):
+    long_flow = channel.start_flow(2000)
+    short_flow = channel.start_flow(500)
+    kernel.run_until_complete(short_flow.completion, timeout=10)
+    # Shared at 500 B/s each: short done at t=1.
+    assert kernel.now == pytest.approx(1.0)
+    kernel.run_until_complete(long_flow.completion, timeout=10)
+    # Long had 1500 left at t=1, then full 1000 B/s: done at 2.5.
+    assert kernel.now == pytest.approx(2.5)
+
+
+def test_late_joiner_slows_existing_flow(kernel, channel):
+    first = channel.start_flow(1000)
+    kernel.run_until(0.5)  # first has 500 left
+    second = channel.start_flow(500)
+    kernel.run_until_complete(first.completion, timeout=10)
+    # Both at 500 B/s from t=0.5: both finish at t=1.5.
+    assert kernel.now == pytest.approx(1.5)
+    assert second.done
+
+
+def test_overhead_reduces_effective_capacity(kernel, channel):
+    channel.set_overhead("announcer", 0.5)
+    flow = channel.start_flow(1000)
+    kernel.run_until_complete(flow.completion, timeout=10)
+    assert kernel.now == pytest.approx(2.0)
+
+
+def test_overhead_change_mid_flow(kernel, channel):
+    flow = channel.start_flow(1000)
+    kernel.run_until(0.5)
+    channel.set_overhead("burst", 0.5)
+    kernel.run_until_complete(flow.completion, timeout=10)
+    # 500 done, remaining 500 at 500 B/s → one more second.
+    assert kernel.now == pytest.approx(1.5)
+
+
+def test_clear_overhead_restores_capacity(kernel, channel):
+    channel.set_overhead("x", 0.5)
+    channel.clear_overhead("x")
+    assert channel.effective_capacity == pytest.approx(1000.0)
+    channel.clear_overhead("x")  # idempotent
+
+
+def test_overhead_clamped(channel):
+    channel.set_overhead("a", 0.9)
+    channel.set_overhead("b", 0.9)
+    assert channel.effective_capacity > 0
+
+
+def test_abort_fails_waiters_and_rebalances(kernel, channel):
+    doomed = channel.start_flow(1000)
+    survivor = channel.start_flow(1000)
+    kernel.run_until(0.5)
+    doomed.abort()
+    with pytest.raises(FlowAborted):
+        kernel.run_until_complete(doomed.completion)
+    kernel.run_until_complete(survivor.completion, timeout=10)
+    # Survivor had 750 left at 0.5, then full rate: done at 1.25.
+    assert kernel.now == pytest.approx(1.25)
+
+
+def test_abort_after_done_is_noop(kernel, channel):
+    flow = channel.start_flow(100)
+    kernel.run_until_complete(flow.completion, timeout=10)
+    flow.abort()
+    assert flow.completion.exception is None
+
+
+def test_rate_listeners_see_changes_and_final_zero(kernel, channel):
+    rates = []
+    flow = channel.start_flow(1000)
+    flow.on_rate_change(rates.append)
+    other = channel.start_flow(1000)
+    kernel.run_until_complete(flow.completion, timeout=10)
+    assert rates[0] == pytest.approx(1000.0)
+    assert rates[1] == pytest.approx(500.0)
+    assert rates[-1] == 0.0
+
+
+def test_transferred_tracks_progress(kernel, channel):
+    flow = channel.start_flow(1000)
+    kernel.run_until(0.25)
+    channel._integrate()
+    assert flow.transferred == pytest.approx(250.0)
+
+
+def test_completed_flows_counter(kernel, channel):
+    for _ in range(3):
+        flow = channel.start_flow(10)
+        kernel.run_until_complete(flow.completion, timeout=10)
+    assert channel.completed_flows == 3
+
+
+def test_negative_size_rejected(channel):
+    with pytest.raises(ValueError):
+        channel.start_flow(-1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=10_000_000),
+                min_size=1, max_size=8))
+def test_property_concurrent_total_time_is_total_bytes(sizes):
+    """Flows started together: the last completion is at total/capacity."""
+    kernel = Kernel(seed=0)
+    channel = FluidChannel(kernel, capacity_bps=9999.0)
+    flows = [channel.start_flow(size) for size in sizes]
+    for flow in flows:
+        kernel.run_until_complete(flow.completion, timeout=1e9)
+    assert kernel.now == pytest.approx(sum(sizes) / 9999.0, rel=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=20),
+                  st.integers(min_value=1, max_value=1_000_000)),
+        min_size=1, max_size=8,
+    )
+)
+def test_property_staggered_flows_all_complete(starts_and_sizes):
+    """No flow is ever starved or lost regardless of arrival pattern."""
+    kernel = Kernel(seed=0)
+    channel = FluidChannel(kernel, capacity_bps=12345.0)
+    flows = []
+    for start, size in starts_and_sizes:
+        kernel.call_at(start, lambda s=size: flows.append(channel.start_flow(s)))
+    kernel.run()
+    assert len(flows) == len(starts_and_sizes)
+    assert all(flow.done for flow in flows)
+    assert all(flow.completion.exception is None for flow in flows)

@@ -1,0 +1,124 @@
+"""Flow energy model: duty curve and per-device aggregation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.constants import WIFI_RECEIVE_MA, WIFI_SEND_MA
+from repro.energy.meter import EnergyMeter
+from repro.net.flow_energy import (
+    DEFAULT_FLOW_ENERGY,
+    FlowEnergyAccountant,
+    FlowEnergyParams,
+    accountant_for,
+    flow_draw_ma,
+    multicast_receiver_binder,
+    receiver_binder,
+    sender_binder,
+)
+
+
+class TestDrawCurve:
+    def test_zero_rate_zero_draw(self):
+        assert flow_draw_ma(0.0, WIFI_SEND_MA) == 0.0
+
+    def test_wake_floor_for_trickle(self):
+        params = DEFAULT_FLOW_ENERGY
+        draw = flow_draw_ma(1.0, WIFI_RECEIVE_MA, params)
+        assert draw >= WIFI_RECEIVE_MA * params.wake_floor_duty
+
+    def test_saturated_rate_includes_surcharge(self):
+        params = DEFAULT_FLOW_ENERGY
+        draw = flow_draw_ma(params.reference_rate_bps * 3, WIFI_RECEIVE_MA, params)
+        assert draw == pytest.approx(WIFI_RECEIVE_MA + params.saturation_extra_ma)
+
+    def test_below_knee_no_surcharge(self):
+        params = FlowEnergyParams()
+        rate = params.reference_rate_bps * 0.3
+        assert flow_draw_ma(rate, 100.0, params) == pytest.approx(
+            100.0 * (0.3 + params.wake_floor_duty)
+        )
+
+    @given(st.floats(min_value=0, max_value=1e8, allow_nan=False))
+    def test_property_monotonic_in_rate(self, rate):
+        lower = flow_draw_ma(rate, WIFI_SEND_MA)
+        higher = flow_draw_ma(rate * 1.5 + 1, WIFI_SEND_MA)
+        assert higher >= lower - 1e-9
+
+
+class TestAccountant:
+    def test_aggregates_rates_per_direction(self, kernel):
+        meter = EnergyMeter(kernel)
+        accountant = FlowEnergyAccountant(meter, DEFAULT_FLOW_ENERGY)
+        accountant.set_rate("rx", "a", 500_000)
+        accountant.set_rate("rx", "b", 500_000)
+        assert accountant.total("rx") == 1_000_000
+        draws = meter.active_components()
+        expected_duty = 1_000_000 / DEFAULT_FLOW_ENERGY.reference_rate_bps + 0.02
+        assert draws["wifi.flow-rx"] == pytest.approx(WIFI_RECEIVE_MA * expected_duty)
+
+    def test_wake_floor_not_stacked_across_flows(self, kernel):
+        """Ten trickles wake one radio, not ten — the aggregation fix."""
+        meter = EnergyMeter(kernel)
+        accountant = FlowEnergyAccountant(meter, DEFAULT_FLOW_ENERGY)
+        for index in range(10):
+            accountant.set_rate("rx", f"flow-{index}", 10.0)
+        single = flow_draw_ma(100.0, WIFI_RECEIVE_MA)
+        assert meter.active_components()["wifi.flow-rx"] == pytest.approx(single)
+
+    def test_surcharge_computed_on_combined_duty(self, kernel):
+        meter = EnergyMeter(kernel)
+        params = DEFAULT_FLOW_ENERGY
+        accountant = FlowEnergyAccountant(meter, params)
+        accountant.set_rate("tx", "a", params.reference_rate_bps)
+        accountant.set_rate("rx", "b", params.reference_rate_bps)
+        assert meter.active_components()["wifi.flow-cpu"] == pytest.approx(
+            params.saturation_extra_ma
+        )
+
+    def test_zero_rate_removes_flow(self, kernel):
+        meter = EnergyMeter(kernel)
+        accountant = FlowEnergyAccountant(meter, DEFAULT_FLOW_ENERGY)
+        accountant.set_rate("tx", "a", 1000.0)
+        accountant.set_rate("tx", "a", 0.0)
+        assert accountant.total("tx") == 0.0
+        assert meter.active_components().get("wifi.flow-tx", 0.0) == 0.0
+
+    def test_invalid_direction_rejected(self, kernel):
+        accountant = FlowEnergyAccountant(EnergyMeter(kernel), DEFAULT_FLOW_ENERGY)
+        with pytest.raises(ValueError):
+            accountant.set_rate("sideways", "a", 1.0)
+
+    def test_accountant_for_is_per_meter(self, kernel):
+        meter_a = EnergyMeter(kernel, "a")
+        meter_b = EnergyMeter(kernel, "b")
+        assert accountant_for(meter_a) is accountant_for(meter_a)
+        assert accountant_for(meter_a) is not accountant_for(meter_b)
+
+
+class TestBinders:
+    def test_binder_keys_are_unique(self, kernel):
+        meter = EnergyMeter(kernel)
+        a = sender_binder(meter)
+        b = sender_binder(meter)
+        assert a.key != b.key
+
+    def test_binder_updates_and_release(self, kernel):
+        meter = EnergyMeter(kernel)
+        binder = receiver_binder(meter)
+        binder(1_000_000)
+        assert meter.active_components()["wifi.flow-rx"] > 0
+        binder.release()
+        assert meter.active_components().get("wifi.flow-rx", 0.0) == 0.0
+
+    def test_multicast_binder_scales_airtime(self, kernel):
+        meter_a = EnergyMeter(kernel, "a")
+        meter_b = EnergyMeter(kernel, "b")
+        unicast = receiver_binder(meter_a)
+        multicast = multicast_receiver_binder(meter_b)
+        rate = 50_000.0
+        unicast(rate)
+        multicast(rate)
+        assert (
+            meter_b.active_components()["wifi.flow-rx"]
+            > meter_a.active_components()["wifi.flow-rx"]
+        )

@@ -1,0 +1,75 @@
+"""Mock infrastructure server."""
+
+import pytest
+
+from repro.net.infra import InfrastructureServer
+
+
+def test_download_duration_matches_rate(kernel, make_device):
+    infra = InfrastructureServer(kernel)
+    device = make_device("a")
+    completion = infra.download(device.meter, 30_000_000, 100_000.0)
+    kernel.run_until_complete(completion, timeout=1000)
+    assert kernel.now == pytest.approx(300.0)
+
+
+def test_chunked_download_emits_per_chunk(kernel, make_device):
+    infra = InfrastructureServer(kernel)
+    device = make_device("a")
+    arrivals = []
+    plan = infra.download_chunks(
+        device.meter, [1000, 1000, 2000], 1000.0,
+        on_chunk=lambda index: arrivals.append((index, kernel.now)),
+    )
+    kernel.run_until_complete(plan.completion, timeout=100)
+    assert arrivals == [(0, 1.0), (1, 2.0), (2, 4.0)]
+
+
+def test_cancel_stops_after_current_chunk(kernel, make_device):
+    infra = InfrastructureServer(kernel)
+    device = make_device("a")
+    arrivals = []
+    plan = infra.download_chunks(
+        device.meter, [1000] * 10, 1000.0,
+        on_chunk=lambda index: arrivals.append(index),
+    )
+    kernel.call_at(2.5, plan.cancel)
+    kernel.run_until_complete(plan.completion, timeout=100)
+    assert arrivals == [0, 1, 2]
+    assert kernel.now == pytest.approx(3.0)
+
+
+def test_empty_chunk_list_completes_immediately(kernel, make_device):
+    infra = InfrastructureServer(kernel)
+    plan = infra.download_chunks(make_device("a").meter, [], 1000.0)
+    assert kernel.run_until_complete(plan.completion, timeout=1) == []
+
+
+def test_download_charges_receive_energy(kernel, make_device):
+    infra = InfrastructureServer(kernel)
+    device = make_device("a")
+    snapshot = device.meter.snapshot()
+    completion = infra.download(device.meter, 100_000, 100_000.0)
+    kernel.run_until_complete(completion, timeout=10)
+    from repro.energy.constants import WIFI_STANDBY_MA
+
+    # Above standby there must be a receive-duty draw for the second.
+    assert snapshot.average_ma(WIFI_STANDBY_MA) > 1.0
+    # And it stops afterwards.
+    after = device.meter.snapshot()
+    kernel.run_until(kernel.now + 10)
+    assert after.average_ma(WIFI_STANDBY_MA) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_bytes_served_accumulates(kernel, make_device):
+    infra = InfrastructureServer(kernel)
+    device = make_device("a")
+    kernel.run_until_complete(infra.download(device.meter, 5000, 1000.0), timeout=10)
+    kernel.run_until_complete(infra.download(device.meter, 3000, 1000.0), timeout=10)
+    assert infra.bytes_served == 8000
+
+
+def test_invalid_rate_rejected(kernel, make_device):
+    infra = InfrastructureServer(kernel)
+    with pytest.raises(ValueError):
+        infra.download(make_device("a").meter, 100, 0.0)

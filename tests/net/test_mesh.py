@@ -1,0 +1,65 @@
+"""Mesh networks: membership, channels."""
+
+import pytest
+
+from repro.net.mesh import (
+    MULTICAST_CAPACITY_BPS,
+    UNICAST_CAPACITY_BPS,
+    MeshNetwork,
+)
+from repro.radio.frame import RadioKind
+
+
+def test_channel_capacities(kernel):
+    mesh = MeshNetwork(kernel, "m")
+    assert mesh.channel.capacity_bps == UNICAST_CAPACITY_BPS
+    assert mesh.multicast_channel.capacity_bps == MULTICAST_CAPACITY_BPS
+    # The 802.11 multicast anomaly: orders of magnitude slower.
+    assert MULTICAST_CAPACITY_BPS * 10 < UNICAST_CAPACITY_BPS
+
+
+def test_membership_via_join(kernel, make_device, mesh):
+    device = make_device("a")
+    radio = device.radio(RadioKind.WIFI)
+    kernel.run_until_complete(radio.join(mesh))
+    assert radio in mesh
+    assert mesh.members == [radio]
+    assert mesh.member_by_address(radio.address) is radio
+
+
+def test_member_by_address_missing(mesh):
+    from repro.net.addresses import MeshAddress
+
+    assert mesh.member_by_address(MeshAddress(42)) is None
+
+
+def test_members_sorted_by_address(kernel, make_device, mesh):
+    devices = [make_device(name, x=i) for i, name in enumerate("abc")]
+    for device in devices:
+        kernel.run_until_complete(device.radio(RadioKind.WIFI).join(mesh))
+    members = mesh.members
+    addresses = [member.address for member in members]
+    assert addresses == sorted(addresses)
+
+
+def test_leave_removes_membership(kernel, make_device, mesh):
+    device = make_device("a")
+    radio = device.radio(RadioKind.WIFI)
+    kernel.run_until_complete(radio.join(mesh))
+    radio.leave()
+    assert radio not in mesh
+    assert mesh.members == []
+
+
+def test_transfer_25mb_takes_about_three_seconds(kernel, make_device, mesh):
+    # The Table 4 calibration: 25 MB ≈ 3.09 s on a clean channel.
+    from repro.net.payload import VirtualPayload
+
+    a = make_device("a", x=0).radio(RadioKind.WIFI)
+    b = make_device("b", x=5).radio(RadioKind.WIFI)
+    kernel.run_until_complete(a.join(mesh))
+    kernel.run_until_complete(b.join(mesh))
+    start = kernel.now
+    transfer = a.send_unicast(b.address, VirtualPayload(25_000_000))
+    kernel.run_until_complete(transfer.completion)
+    assert kernel.now - start == pytest.approx(3.09, abs=0.05)

@@ -1,0 +1,37 @@
+"""Payload abstractions."""
+
+import pytest
+
+from repro.net.payload import VirtualPayload, describe_payload, payload_size
+
+
+def test_payload_size_bytes():
+    assert payload_size(b"hello") == 5
+    assert payload_size(b"") == 0
+
+
+def test_payload_size_virtual():
+    assert payload_size(VirtualPayload(25_000_000, "media")) == 25_000_000
+
+
+def test_virtual_payload_rejects_negative_size():
+    with pytest.raises(ValueError):
+        VirtualPayload(-1)
+
+
+def test_virtual_payload_is_hashable_value():
+    a = VirtualPayload(10, "x")
+    b = VirtualPayload(10, "x")
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_meta_carries_structured_data():
+    payload = VirtualPayload(100, "chunk", meta=(("chunk", 3),))
+    assert payload.meta[0] == ("chunk", 3)
+
+
+def test_describe_payload_variants():
+    assert "42" in describe_payload(VirtualPayload(42, "tag"))
+    assert describe_payload(b"\x01\x02") == "0102"
+    assert "B>" in describe_payload(bytes(100))

@@ -1,0 +1,60 @@
+"""Planar geometry."""
+
+import pytest
+
+from repro.phy.geometry import ORIGIN, Position
+
+
+def test_distance_euclidean():
+    assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+
+def test_distance_symmetry():
+    a, b = Position(1, 2), Position(-4, 7)
+    assert a.distance_to(b) == b.distance_to(a)
+
+
+def test_distance_to_self_is_zero():
+    point = Position(2.5, -1.5)
+    assert point.distance_to(point) == 0.0
+
+
+def test_translated():
+    assert Position(1, 1).translated(2, -3) == Position(3, -2)
+
+
+def test_towards_moves_correct_distance():
+    start = Position(0, 0)
+    moved = start.towards(Position(10, 0), 4.0)
+    assert moved == Position(4, 0)
+
+
+def test_towards_same_point_is_identity():
+    point = Position(5, 5)
+    assert point.towards(point, 100.0) == point
+
+
+def test_towards_can_overshoot():
+    moved = Position(0, 0).towards(Position(1, 0), 5.0)
+    assert moved.x == pytest.approx(5.0)
+
+
+def test_lerp_endpoints_and_midpoint():
+    a, b = Position(0, 0), Position(10, 20)
+    assert a.lerp(b, 0.0) == a
+    assert a.lerp(b, 1.0) == b
+    assert a.lerp(b, 0.5) == Position(5, 10)
+
+
+def test_position_is_iterable():
+    x, y = Position(3, 7)
+    assert (x, y) == (3, 7)
+
+
+def test_positions_are_hashable_values():
+    assert Position(1, 2) == Position(1, 2)
+    assert len({Position(1, 2), Position(1, 2), Position(3, 4)}) == 2
+
+
+def test_origin_constant():
+    assert ORIGIN == Position(0.0, 0.0)

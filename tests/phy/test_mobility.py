@@ -1,0 +1,113 @@
+"""Mobility models."""
+
+import pytest
+
+from repro.phy.geometry import Position
+from repro.phy.mobility import Linear, RandomWaypoint, Static, WaypointPath
+from repro.util.rng import SeededRng
+
+
+class TestStatic:
+    def test_never_moves(self):
+        model = Static(Position(5, 5))
+        assert model.position_at(0) == Position(5, 5)
+        assert model.position_at(1e6) == Position(5, 5)
+
+
+class TestLinear:
+    def test_constant_velocity(self):
+        model = Linear(Position(0, 0), velocity=(2.0, -1.0))
+        assert model.position_at(3.0) == Position(6, -3)
+
+    def test_start_time_offset(self):
+        model = Linear(Position(0, 0), velocity=(1.0, 0.0), start_time=5.0)
+        assert model.position_at(2.0) == Position(0, 0)
+        assert model.position_at(7.0) == Position(2, 0)
+
+
+class TestWaypointPath:
+    def test_requires_waypoints(self):
+        with pytest.raises(ValueError):
+            WaypointPath([])
+
+    def test_requires_sorted_times(self):
+        with pytest.raises(ValueError):
+            WaypointPath([(1.0, Position(0, 0)), (0.5, Position(1, 1))])
+
+    def test_holds_before_first_and_after_last(self):
+        path = WaypointPath([(1.0, Position(0, 0)), (2.0, Position(10, 0))])
+        assert path.position_at(0.0) == Position(0, 0)
+        assert path.position_at(100.0) == Position(10, 0)
+
+    def test_interpolates_between_waypoints(self):
+        path = WaypointPath([(0.0, Position(0, 0)), (10.0, Position(10, 20))])
+        assert path.position_at(5.0) == Position(5, 10)
+
+    def test_zero_duration_segment_jumps(self):
+        path = WaypointPath([
+            (0.0, Position(0, 0)),
+            (1.0, Position(1, 1)),
+            (1.0, Position(5, 5)),
+        ])
+        # At the shared instant the pre-jump position holds; any time after
+        # it the node has teleported.
+        assert path.position_at(1.0) == Position(1, 1)
+        assert path.position_at(1.0 + 1e-9) == Position(5, 5)
+
+    def test_ferry_scenario_timing(self):
+        # The Fig 7 ferry: dwell, travel, dwell.
+        path = WaypointPath([
+            (0.0, Position(10, 0)),
+            (1.0, Position(10, 0)),
+            (6.0, Position(390, 0)),
+        ])
+        assert path.position_at(0.5) == Position(10, 0)
+        midway = path.position_at(3.5)
+        assert 10 < midway.x < 390
+        assert path.position_at(6.0) == Position(390, 0)
+
+
+class TestRandomWaypoint:
+    def test_stays_in_arena(self):
+        model = RandomWaypoint(SeededRng(1), width=50, height=30, speed=2.0)
+        for t in range(0, 500, 7):
+            position = model.position_at(float(t))
+            assert 0 <= position.x <= 50
+            assert 0 <= position.y <= 30
+
+    def test_deterministic_for_seed(self):
+        a = RandomWaypoint(SeededRng(2), width=100, height=100, speed=1.5)
+        b = RandomWaypoint(SeededRng(2), width=100, height=100, speed=1.5)
+        for t in (0.0, 10.0, 55.5, 200.0):
+            assert a.position_at(t) == b.position_at(t)
+
+    def test_position_at_is_pure(self):
+        model = RandomWaypoint(SeededRng(3), width=100, height=100, speed=1.0)
+        later = model.position_at(300.0)
+        earlier = model.position_at(10.0)
+        assert model.position_at(300.0) == later  # querying out of order is fine
+        assert model.position_at(10.0) == earlier
+
+    def test_speed_limits_displacement(self):
+        speed = 3.0
+        model = RandomWaypoint(SeededRng(4), width=1000, height=1000, speed=speed)
+        previous = model.position_at(0.0)
+        for t in range(1, 100):
+            current = model.position_at(float(t))
+            assert previous.distance_to(current) <= speed * 1.0 + 1e-9
+            previous = current
+
+    def test_pause_dwells_at_waypoints(self):
+        model = RandomWaypoint(SeededRng(5), width=10, height=10, speed=100.0,
+                               pause=5.0, start=Position(5, 5))
+        # With enormous speed and long pauses, the node is almost always
+        # dwelling exactly at some waypoint.
+        assert model.position_at(1.0) == Position(5, 5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(SeededRng(0), width=0, height=10, speed=1)
+        with pytest.raises(ValueError):
+            RandomWaypoint(SeededRng(0), width=10, height=10, speed=0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(SeededRng(0), width=10, height=10, speed=1, pause=-1)

@@ -1,0 +1,83 @@
+"""Propagation models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.propagation import (
+    LogDistance,
+    SoftDisk,
+    UnitDisk,
+    frame_delivered,
+)
+from repro.util.rng import SeededRng
+
+
+class TestUnitDisk:
+    def test_inside_and_outside(self):
+        model = UnitDisk(30.0)
+        assert model.delivery_probability(0.0) == 1.0
+        assert model.delivery_probability(30.0) == 1.0
+        assert model.delivery_probability(30.001) == 0.0
+
+    def test_in_range_matches_probability(self):
+        model = UnitDisk(10.0)
+        assert model.in_range(10.0)
+        assert not model.in_range(10.1)
+
+
+class TestSoftDisk:
+    def test_plateau_then_falloff(self):
+        model = SoftDisk(inner=10.0, outer=20.0)
+        assert model.delivery_probability(5.0) == 1.0
+        assert model.delivery_probability(15.0) == pytest.approx(0.5)
+        assert model.delivery_probability(20.0) == 0.0
+
+    def test_invalid_radii(self):
+        with pytest.raises(ValueError):
+            SoftDisk(inner=20.0, outer=10.0)
+        with pytest.raises(ValueError):
+            SoftDisk(inner=0.0, outer=10.0)
+
+    @given(st.floats(min_value=0, max_value=100, allow_nan=False))
+    def test_probability_in_unit_interval(self, distance):
+        model = SoftDisk(inner=10.0, outer=40.0)
+        assert 0.0 <= model.delivery_probability(distance) <= 1.0
+
+
+class TestLogDistance:
+    def test_half_probability_at_reference(self):
+        model = LogDistance(reference_range=50.0)
+        assert model.delivery_probability(50.0) == pytest.approx(0.5)
+
+    def test_monotonically_decreasing(self):
+        model = LogDistance(reference_range=30.0)
+        probabilities = [model.delivery_probability(d) for d in (1, 10, 30, 60, 120)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_zero_distance_certain(self):
+        assert LogDistance(10.0).delivery_probability(0.0) == 1.0
+
+    def test_in_range_cutoff(self):
+        model = LogDistance(reference_range=30.0, exponent=4.0)
+        assert model.in_range(30.0)
+        assert not model.in_range(3000.0)
+
+
+class TestFrameDelivered:
+    def test_certain_delivery_skips_rng(self):
+        model = UnitDisk(10.0)
+        rng = SeededRng(0)
+        before = rng.random()
+        rng2 = SeededRng(0)
+        assert frame_delivered(model, 5.0, rng2)
+        # The rng was not consumed for a certain delivery.
+        assert rng2.random() == before
+
+    def test_impossible_delivery(self):
+        assert not frame_delivered(UnitDisk(10.0), 11.0, SeededRng(0))
+
+    def test_probabilistic_zone_mixes(self):
+        model = SoftDisk(inner=1.0, outer=100.0)
+        rng = SeededRng(7)
+        outcomes = {frame_delivered(model, 50.0, rng) for _ in range(100)}
+        assert outcomes == {True, False}

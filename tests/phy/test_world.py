@@ -1,0 +1,85 @@
+"""World node registry."""
+
+import pytest
+
+from repro.phy.geometry import Position
+from repro.phy.mobility import Linear, Static
+from repro.phy.world import World
+
+
+def test_add_and_lookup(world):
+    node = world.add_node("a", position=Position(1, 2))
+    assert world.node("a") is node
+    assert "a" in world
+    assert len(world) == 1
+
+
+def test_duplicate_names_rejected(world):
+    world.add_node("a", position=Position(0, 0))
+    with pytest.raises(ValueError):
+        world.add_node("a", position=Position(1, 1))
+
+
+def test_position_or_mobility_required(world):
+    with pytest.raises(ValueError):
+        world.add_node("x")
+    with pytest.raises(ValueError):
+        world.add_node("y", position=Position(0, 0), mobility=Static(Position(1, 1)))
+
+
+def test_remove_node(world):
+    world.add_node("a", position=Position(0, 0))
+    world.remove_node("a")
+    assert "a" not in world
+    with pytest.raises(KeyError):
+        world.remove_node("a")
+
+
+def test_moving_node_position_follows_clock(kernel, world):
+    node = world.add_node("mover", mobility=Linear(Position(0, 0), (1.0, 0.0)))
+    assert node.position == Position(0, 0)
+    kernel.run_until(5.0)
+    assert node.position == Position(5, 0)
+
+
+def test_distance_between_nodes(kernel, world):
+    a = world.add_node("a", position=Position(0, 0))
+    b = world.add_node("b", mobility=Linear(Position(3, 4), (1.0, 0.0)))
+    assert a.distance_to(b) == 5.0
+    kernel.run_until(3.0)
+    assert a.distance_to(b) == pytest.approx((36 + 16) ** 0.5)
+
+
+def test_move_to_teleports_and_pins(kernel, world):
+    node = world.add_node("mover", mobility=Linear(Position(0, 0), (1.0, 0.0)))
+    kernel.run_until(2.0)
+    node.move_to(Position(100, 100))
+    kernel.run_until(10.0)
+    assert node.position == Position(100, 100)
+
+
+def test_set_mobility_switches_model(kernel, world):
+    node = world.add_node("n", position=Position(0, 0))
+    node.set_mobility(Linear(Position(0, 0), (2.0, 0.0), start_time=kernel.now))
+    kernel.run_until(3.0)
+    assert node.position == Position(6, 0)
+
+
+def test_nodes_within_radius_sorted_by_name(world):
+    center = world.add_node("center", position=Position(0, 0))
+    world.add_node("far", position=Position(100, 0))
+    world.add_node("b-near", position=Position(3, 0))
+    world.add_node("a-near", position=Position(0, 4))
+    names = [node.name for node in world.nodes_within(center, 10.0)]
+    assert names == ["a-near", "b-near"]
+
+
+def test_nodes_within_excludes_center(world):
+    center = world.add_node("center", position=Position(0, 0))
+    assert world.nodes_within(center, 10.0) == []
+
+
+def test_iteration(world):
+    world.add_node("a", position=Position(0, 0))
+    world.add_node("b", position=Position(1, 1))
+    assert sorted(node.name for node in world) == ["a", "b"]

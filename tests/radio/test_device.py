@@ -1,0 +1,52 @@
+"""Device: radios, meter, identity."""
+
+import pytest
+
+from repro.radio.base import Device
+from repro.radio.ble import BleRadio
+from repro.radio.frame import RadioKind
+
+
+def test_device_name_defaults_to_node(kernel, world, medium):
+    from repro.phy.geometry import Position
+
+    node = world.add_node("dev-1", position=Position(0, 0))
+    device = Device(kernel, node)
+    assert device.name == "dev-1"
+    assert device.meter.name == "dev-1"
+
+
+def test_radio_lookup_and_has_radio(make_device):
+    device = make_device("a", radios=("ble", "wifi"))
+    assert device.has_radio(RadioKind.BLE)
+    assert device.has_radio(RadioKind.WIFI)
+    assert not device.has_radio(RadioKind.NFC)
+    assert device.radio(RadioKind.BLE).kind is RadioKind.BLE
+
+
+def test_duplicate_radio_kind_rejected(kernel, world, medium):
+    from repro.phy.geometry import Position
+
+    node = world.add_node("dup", position=Position(0, 0))
+    device = Device(kernel, node)
+    device.add_radio(BleRadio(device, medium))
+    with pytest.raises(ValueError):
+        device.add_radio(BleRadio(device, medium))
+
+
+def test_radio_names_are_qualified(make_device):
+    device = make_device("tourist")
+    assert device.radio(RadioKind.BLE).name == "tourist.ble"
+    assert device.radio(RadioKind.WIFI).name == "tourist.wifi"
+
+
+def test_op_component_names_are_unique(make_device):
+    radio = make_device("a").radio(RadioKind.BLE)
+    names = {radio._op_component("adv") for _ in range(100)}
+    assert len(names) == 100
+
+
+def test_repr_lists_radio_kinds(make_device):
+    device = make_device("x", radios=("ble", "wifi", "nfc"))
+    assert "ble" in repr(device)
+    assert "nfc" in repr(device)

@@ -1,0 +1,69 @@
+"""NFC radio: contact-range exchanges."""
+
+import pytest
+
+from repro.radio.frame import RadioKind
+from repro.radio.nfc import NFC_PAYLOAD_LIMIT
+
+
+@pytest.fixture
+def touching(make_device):
+    a = make_device("a", x=0.0, radios=("nfc",))
+    b = make_device("b", x=0.05, radios=("nfc",))  # 5 cm: in contact range
+    return a.radio(RadioKind.NFC), b.radio(RadioKind.NFC)
+
+
+def test_exchange_delivered_at_contact_range(kernel, touching):
+    a, b = touching
+    heard = []
+    b.start_polling(lambda payload, addr, dist: heard.append(payload))
+    a.exchange(b"tap")
+    kernel.run_until(1.0)
+    assert heard == [b"tap"]
+
+
+def test_exchange_misses_beyond_contact(kernel, make_device):
+    a = make_device("a", x=0.0, radios=("nfc",))
+    b = make_device("b", x=1.0, radios=("nfc",))  # one meter: too far
+    heard = []
+    b.radio(RadioKind.NFC).start_polling(lambda p, addr, d: heard.append(p))
+    a.radio(RadioKind.NFC).exchange(b"tap")
+    kernel.run_until(1.0)
+    assert heard == []
+
+
+def test_non_polling_receiver_misses(kernel, touching):
+    a, b = touching
+    a.exchange(b"tap")
+    kernel.run_until(1.0)
+    assert b.exchanges_heard == 0
+
+
+def test_payload_limit(touching):
+    a, _ = touching
+    with pytest.raises(ValueError):
+        a.exchange(bytes(NFC_PAYLOAD_LIMIT + 1))
+
+
+def test_polling_draw_and_stop(kernel, touching):
+    _, b = touching
+    b.start_polling(lambda *args: None)
+    assert b.device.meter.active_components().get("nfc.poll", 0) > 0
+    b.stop_polling()
+    assert "nfc.poll" not in b.device.meter.active_components()
+    b.stop_polling()  # idempotent
+
+
+def test_double_polling_rejected(touching):
+    _, b = touching
+    b.start_polling(lambda *args: None)
+    with pytest.raises(RuntimeError):
+        b.start_polling(lambda *args: None)
+
+
+def test_disable_stops_polling(touching):
+    _, b = touching
+    b.start_polling(lambda *args: None)
+    b.disable()
+    assert not b.polling
+    assert not b.enabled

@@ -1,0 +1,281 @@
+"""WiFi radio: scan, join/peering, unicast, multicast, energy."""
+
+import pytest
+
+from repro.energy.constants import (
+    WIFI_CONNECT_MA,
+    WIFI_SCAN_MA,
+    WIFI_STANDBY_MA,
+)
+from repro.net.mesh import MeshNetwork
+from repro.net.payload import VirtualPayload
+from repro.radio.frame import RadioKind
+from repro.radio.wifi import (
+    FAST_PEERING_S,
+    FULL_CONNECT_S,
+    SCAN_DURATION_S,
+    TCP_HANDSHAKE_S,
+    WifiError,
+)
+
+
+@pytest.fixture
+def wifi_pair(kernel, make_device, mesh):
+    a = make_device("a", x=0)
+    b = make_device("b", x=10)
+    return a.radio(RadioKind.WIFI), b.radio(RadioKind.WIFI)
+
+
+class TestStandby:
+    def test_enable_sets_standby_draw(self, make_device):
+        device = make_device("a")
+        assert device.meter.active_components()["wifi.standby"] == WIFI_STANDBY_MA
+
+    def test_disable_removes_standby(self, make_device):
+        device = make_device("a")
+        device.radio(RadioKind.WIFI).disable()
+        assert "wifi.standby" not in device.meter.active_components()
+
+
+class TestScan:
+    def test_scan_finds_mesh_with_in_range_member(self, kernel, wifi_pair, mesh):
+        a, b = wifi_pair
+        kernel.run_until_complete(b.join(mesh))
+        found = kernel.run_until_complete(a.scan())
+        assert found == [mesh]
+
+    def test_scan_misses_empty_surroundings(self, kernel, wifi_pair):
+        a, _b = wifi_pair
+        assert kernel.run_until_complete(a.scan()) == []
+
+    def test_scan_misses_out_of_range_mesh(self, kernel, make_device, mesh):
+        a = make_device("a", x=0)
+        far = make_device("far", x=500)
+        kernel.run_until_complete(far.radio(RadioKind.WIFI).join(mesh))
+        assert kernel.run_until_complete(a.radio(RadioKind.WIFI).scan()) == []
+
+    def test_scan_duration_and_energy(self, kernel, wifi_pair):
+        a, _ = wifi_pair
+        snapshot = a.device.meter.snapshot()
+        completion = a.scan()
+        kernel.run_until_complete(completion)
+        assert kernel.now == pytest.approx(SCAN_DURATION_S)
+        expected = WIFI_SCAN_MA * SCAN_DURATION_S + WIFI_STANDBY_MA * SCAN_DURATION_S
+        assert snapshot.charge_since() == pytest.approx(expected)
+
+    def test_scan_requires_enabled(self, wifi_pair):
+        a, _ = wifi_pair
+        a.disable()
+        with pytest.raises(WifiError):
+            a.scan()
+
+
+class TestJoin:
+    def test_full_join_duration_and_membership(self, kernel, wifi_pair, mesh):
+        a, _ = wifi_pair
+        kernel.run_until_complete(a.join(mesh))
+        assert kernel.now == pytest.approx(FULL_CONNECT_S)
+        assert a in mesh
+        assert a.mesh is mesh
+        assert a.peer_mode
+
+    def test_fast_join_duration(self, kernel, wifi_pair, mesh):
+        a, _ = wifi_pair
+        kernel.run_until_complete(a.join(mesh, fast=True))
+        assert kernel.now == pytest.approx(FAST_PEERING_S)
+
+    def test_join_energy(self, kernel, wifi_pair, mesh):
+        a, _ = wifi_pair
+        snapshot = a.device.meter.snapshot()
+        kernel.run_until_complete(a.join(mesh))
+        connect_charge = snapshot.charge_since() - WIFI_STANDBY_MA * kernel.now
+        assert connect_charge == pytest.approx(WIFI_CONNECT_MA * FULL_CONNECT_S)
+
+    def test_rejoin_same_mesh_is_instant(self, kernel, wifi_pair, mesh):
+        a, _ = wifi_pair
+        kernel.run_until_complete(a.join(mesh))
+        before = kernel.now
+        kernel.run_until_complete(a.join(mesh))
+        assert kernel.now == before
+
+    def test_multicast_only_attachment_upgrade_costs_full_join(self, kernel,
+                                                               wifi_pair, mesh):
+        a, _ = wifi_pair
+        kernel.run_until_complete(a.join(mesh, peer_mode=False))
+        assert not a.peer_mode
+        start = kernel.now
+        kernel.run_until_complete(a.join(mesh, peer_mode=True))
+        assert kernel.now - start == pytest.approx(FULL_CONNECT_S)
+        assert a.peer_mode
+
+    def test_join_new_mesh_leaves_old(self, kernel, wifi_pair, mesh):
+        a, _ = wifi_pair
+        other = MeshNetwork(kernel, "other")
+        kernel.run_until_complete(a.join(mesh))
+        kernel.run_until_complete(a.join(other))
+        assert a not in mesh
+        assert a in other
+
+    def test_leave_resets_peer_mode(self, kernel, wifi_pair, mesh):
+        a, _ = wifi_pair
+        kernel.run_until_complete(a.join(mesh))
+        a.leave()
+        assert a.mesh is None
+        assert not a.peer_mode
+        assert a not in mesh
+
+
+class TestUnicast:
+    def _join_both(self, kernel, a, b, mesh):
+        kernel.run_until_complete(a.join(mesh))
+        kernel.run_until_complete(b.join(mesh))
+
+    def test_transfer_time_matches_capacity(self, kernel, wifi_pair, mesh):
+        a, b = wifi_pair
+        self._join_both(kernel, a, b, mesh)
+        b.on_unicast(lambda payload, src: None)
+        start = kernel.now
+        transfer = a.send_unicast(b.address, VirtualPayload(25_000_000))
+        kernel.run_until_complete(transfer.completion)
+        expected = TCP_HANDSHAKE_S + 25_000_000 / mesh.channel.capacity_bps
+        assert kernel.now - start == pytest.approx(expected, rel=1e-6)
+
+    def test_payload_delivered_to_handler(self, kernel, wifi_pair, mesh):
+        a, b = wifi_pair
+        self._join_both(kernel, a, b, mesh)
+        got = []
+        b.on_unicast(lambda payload, src: got.append((payload, src)))
+        payload = VirtualPayload(1000, tag="file")
+        kernel.run_until_complete(a.send_unicast(b.address, payload).completion)
+        assert got == [(payload, a.address)]
+
+    def test_concurrent_transfers_share_capacity(self, kernel, make_device, mesh):
+        a = make_device("a", x=0)
+        b = make_device("b", x=5)
+        c = make_device("c", x=5, y=5)
+        radios = [device.radio(RadioKind.WIFI) for device in (a, b, c)]
+        for radio in radios:
+            kernel.run_until_complete(radio.join(mesh))
+        start = kernel.now
+        size = 8_100_000  # 1 second alone
+        t1 = radios[0].send_unicast(radios[1].address, VirtualPayload(size))
+        t2 = radios[0].send_unicast(radios[2].address, VirtualPayload(size))
+        kernel.run_until_complete(t2.completion, timeout=10)
+        # Two flows share the channel: ~2 seconds for both.
+        assert kernel.now - start == pytest.approx(2.0, rel=0.02)
+
+    def test_unicast_without_mesh_fails(self, kernel, wifi_pair):
+        a, b = wifi_pair
+        transfer = a.send_unicast(b.address, b"data")
+        with pytest.raises(WifiError, match="not joined"):
+            kernel.run_until_complete(transfer.completion)
+
+    def test_unicast_from_multicast_only_attachment_fails(self, kernel,
+                                                          wifi_pair, mesh):
+        a, b = wifi_pair
+        kernel.run_until_complete(a.join(mesh, peer_mode=False))
+        kernel.run_until_complete(b.join(mesh, peer_mode=False))
+        transfer = a.send_unicast(b.address, b"data")
+        with pytest.raises(WifiError, match="peering required"):
+            kernel.run_until_complete(transfer.completion)
+
+    def test_unicast_to_non_member_fails(self, kernel, wifi_pair, mesh):
+        a, b = wifi_pair
+        kernel.run_until_complete(a.join(mesh))
+        transfer = a.send_unicast(b.address, b"data")
+        with pytest.raises(WifiError, match="not a member"):
+            kernel.run_until_complete(transfer.completion)
+
+    def test_unicast_out_of_range_fails(self, kernel, make_device, mesh):
+        a = make_device("a", x=0)
+        b = make_device("b", x=400)
+        ra, rb = a.radio(RadioKind.WIFI), b.radio(RadioKind.WIFI)
+        kernel.run_until_complete(ra.join(mesh))
+        kernel.run_until_complete(rb.join(mesh))
+        transfer = ra.send_unicast(rb.address, b"data")
+        with pytest.raises(WifiError, match="out of range"):
+            kernel.run_until_complete(transfer.completion)
+
+    def test_completed_transfer_grants_mutual_peering(self, kernel, make_device,
+                                                      mesh):
+        a = make_device("a", x=0)
+        b = make_device("b", x=5)
+        ra, rb = a.radio(RadioKind.WIFI), b.radio(RadioKind.WIFI)
+        kernel.run_until_complete(ra.join(mesh))
+        kernel.run_until_complete(rb.join(mesh, peer_mode=False))
+        assert not rb.peer_mode
+        kernel.run_until_complete(
+            ra.send_unicast(rb.address, b"ping").completion
+        )
+        assert rb.peer_mode  # the receiver can now reply without a join
+
+
+class TestMulticast:
+    def test_control_packet_reaches_listening_members(self, kernel, make_device,
+                                                      mesh):
+        a = make_device("a", x=0)
+        b = make_device("b", x=5)
+        c = make_device("c", x=8)
+        for device in (a, b, c):
+            kernel.run_until_complete(
+                device.radio(RadioKind.WIFI).join(mesh, peer_mode=False)
+            )
+        heard = []
+        b.radio(RadioKind.WIFI).on_multicast(lambda p, src: heard.append(("b", p)))
+        # c is a member but not listening.
+        count = a.radio(RadioKind.WIFI).send_multicast(b"announce")
+        kernel.run_until(kernel.now + 0.1)
+        assert heard == [("b", b"announce")]
+        assert count == 1
+
+    def test_multicast_requires_membership(self, wifi_pair):
+        a, _ = wifi_pair
+        with pytest.raises(WifiError):
+            a.send_multicast(b"x")
+
+    def test_monitor_window_hears_without_membership(self, kernel, make_device,
+                                                     mesh):
+        a = make_device("a", x=0)
+        sniffer = make_device("sniffer", x=5)
+        kernel.run_until_complete(
+            a.radio(RadioKind.WIFI).join(mesh, peer_mode=False)
+        )
+        heard = []
+        sniffer.radio(RadioKind.WIFI).open_monitor_window(
+            1.0, lambda p, src: heard.append(p)
+        )
+        a.radio(RadioKind.WIFI).send_multicast(b"beacon")
+        kernel.run_until(kernel.now + 0.1)
+        assert heard == [b"beacon"]
+        assert sniffer.radio(RadioKind.WIFI).mesh is None
+
+    def test_monitor_window_expires(self, kernel, make_device, mesh):
+        a = make_device("a", x=0)
+        sniffer = make_device("sniffer", x=5)
+        kernel.run_until_complete(
+            a.radio(RadioKind.WIFI).join(mesh, peer_mode=False)
+        )
+        heard = []
+        sniffer.radio(RadioKind.WIFI).open_monitor_window(
+            0.05, lambda p, src: heard.append(p)
+        )
+        kernel.run_until(kernel.now + 1.0)
+        a.radio(RadioKind.WIFI).send_multicast(b"late")
+        kernel.run_until(kernel.now + 0.1)
+        assert heard == []
+
+    def test_multicast_data_rides_slow_pool(self, kernel, make_device, mesh):
+        a = make_device("a", x=0)
+        b = make_device("b", x=5)
+        ra, rb = a.radio(RadioKind.WIFI), b.radio(RadioKind.WIFI)
+        kernel.run_until_complete(ra.join(mesh, peer_mode=False))
+        kernel.run_until_complete(rb.join(mesh, peer_mode=False))
+        got = []
+        rb.on_multicast(lambda p, src: got.append(p))
+        start = kernel.now
+        size = 131_000  # one second at the multicast pool rate
+        completion = ra.send_multicast_data(VirtualPayload(size))
+        receivers = kernel.run_until_complete(completion, timeout=10)
+        assert kernel.now - start == pytest.approx(1.0, rel=0.01)
+        assert receivers == [rb]
+        assert len(got) == 1

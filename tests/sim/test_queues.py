@@ -1,0 +1,125 @@
+"""SimQueue: FIFO semantics and process integration."""
+
+from repro.sim.queues import SimQueue
+
+
+def test_put_get_nowait_fifo():
+    queue = SimQueue()
+    queue.put(1)
+    queue.put(2)
+    assert queue.get_nowait() == 1
+    assert queue.get_nowait() == 2
+    assert queue.get_nowait() is None
+
+
+def test_len_and_empty():
+    queue = SimQueue()
+    assert queue.empty
+    queue.put("x")
+    assert len(queue) == 1
+    assert not queue.empty
+
+
+def test_get_completes_immediately_when_item_buffered(kernel):
+    queue = SimQueue()
+    queue.put("ready")
+    got = []
+
+    def consumer():
+        item = yield queue.get()
+        got.append((kernel.now, item))
+
+    kernel.spawn(consumer())
+    kernel.run()
+    assert got == [(0.0, "ready")]
+
+
+def test_get_blocks_until_put(kernel):
+    queue = SimQueue()
+    got = []
+
+    def consumer():
+        item = yield queue.get()
+        got.append((kernel.now, item))
+
+    kernel.spawn(consumer())
+    kernel.call_in(2.0, lambda: queue.put("late"))
+    kernel.run()
+    assert got == [(2.0, "late")]
+
+
+def test_multiple_getters_served_fifo(kernel):
+    queue = SimQueue()
+    got = []
+
+    def consumer(tag):
+        item = yield queue.get()
+        got.append((tag, item))
+
+    kernel.spawn(consumer("first"))
+    kernel.spawn(consumer("second"))
+    kernel.call_in(1.0, lambda: queue.put("a"))
+    kernel.call_in(2.0, lambda: queue.put("b"))
+    kernel.run()
+    assert got == [("first", "a"), ("second", "b")]
+
+
+def test_consumer_loop_processes_stream(kernel):
+    queue = SimQueue()
+    got = []
+
+    def consumer():
+        while True:
+            item = yield queue.get()
+            got.append(item)
+            if item == "stop":
+                return
+
+    kernel.spawn(consumer())
+    for index, when in enumerate([0.5, 1.0, 1.5]):
+        kernel.call_in(when, lambda i=index: queue.put(i))
+    kernel.call_in(2.0, lambda: queue.put("stop"))
+    kernel.run()
+    assert got == [0, 1, 2, "stop"]
+
+
+def test_drain_returns_and_clears():
+    queue = SimQueue()
+    for item in range(5):
+        queue.put(item)
+    assert queue.drain() == [0, 1, 2, 3, 4]
+    assert queue.empty
+    assert queue.drain() == []
+
+
+def test_counters_track_lifetime_totals():
+    queue = SimQueue()
+    queue.put(1)
+    queue.put(2)
+    queue.get_nowait()
+    assert queue.total_put == 2
+    assert queue.total_got == 1
+
+
+def test_abandoned_getter_is_skipped(kernel):
+    queue = SimQueue()
+    got = []
+
+    def abandoner():
+        try:
+            yield queue.get()
+        except Exception:
+            pass
+
+    def consumer():
+        item = yield queue.get()
+        got.append(item)
+
+    process = kernel.spawn(abandoner())
+    kernel.spawn(consumer())
+    # Interrupt the first getter before anything arrives; its queue slot
+    # must not swallow the item.
+    kernel.call_in(0.5, lambda: process.interrupt())
+    kernel.call_in(1.0, lambda: queue.put("item"))
+    kernel.run()
+    assert got == ["item"]

@@ -1,0 +1,156 @@
+"""Event scheduler: ordering, cancellation, clock semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.errors import SchedulingInPastError
+from repro.sim.scheduler import EventScheduler
+
+
+def test_events_fire_in_time_order():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule(0.3, lambda: fired.append("c"))
+    scheduler.schedule(0.1, lambda: fired.append("a"))
+    scheduler.schedule(0.2, lambda: fired.append("b"))
+    scheduler.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    scheduler = EventScheduler()
+    fired = []
+    for label in "abcde":
+        scheduler.schedule(1.0, lambda label=label: fired.append(label))
+    scheduler.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time_before_callback():
+    scheduler = EventScheduler()
+    seen = []
+    scheduler.schedule(2.5, lambda: seen.append(scheduler.now))
+    scheduler.run()
+    assert seen == [2.5]
+
+
+def test_run_until_lands_exactly_on_deadline():
+    scheduler = EventScheduler()
+    scheduler.schedule(0.5, lambda: None)
+    scheduler.run_until(10.0)
+    assert scheduler.now == 10.0
+
+
+def test_run_until_does_not_fire_later_events():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule(5.0, lambda: fired.append("late"))
+    scheduler.run_until(4.999)
+    assert fired == []
+    scheduler.run_until(5.0)
+    assert fired == ["late"]
+
+
+def test_cancelled_events_do_not_fire():
+    scheduler = EventScheduler()
+    fired = []
+    handle = scheduler.schedule(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    scheduler.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    scheduler = EventScheduler()
+    handle = scheduler.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert len(scheduler) == 0
+
+
+def test_len_counts_only_pending():
+    scheduler = EventScheduler()
+    keep = scheduler.schedule(1.0, lambda: None)
+    drop = scheduler.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert len(scheduler) == 1
+
+
+def test_scheduling_in_past_raises():
+    scheduler = EventScheduler()
+    scheduler.schedule(1.0, lambda: None)
+    scheduler.run()
+    with pytest.raises(SchedulingInPastError):
+        scheduler.schedule_at(0.5, lambda: None)
+    with pytest.raises(SchedulingInPastError):
+        scheduler.schedule(-0.1, lambda: None)
+
+
+def test_run_until_backwards_raises():
+    scheduler = EventScheduler()
+    scheduler.run_until(5.0)
+    with pytest.raises(SchedulingInPastError):
+        scheduler.run_until(4.0)
+
+
+def test_callback_may_schedule_more_events():
+    scheduler = EventScheduler()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            scheduler.schedule(1.0, lambda: chain(depth + 1))
+
+    scheduler.schedule(1.0, lambda: chain(0))
+    scheduler.run()
+    assert fired == [0, 1, 2, 3]
+    assert scheduler.now == 4.0
+
+
+def test_peek_time_skips_cancelled():
+    scheduler = EventScheduler()
+    early = scheduler.schedule(1.0, lambda: None)
+    scheduler.schedule(2.0, lambda: None)
+    early.cancel()
+    assert scheduler.peek_time() == 2.0
+
+
+def test_step_returns_false_when_drained():
+    scheduler = EventScheduler()
+    assert scheduler.step() is False
+    scheduler.schedule(0.1, lambda: None)
+    assert scheduler.step() is True
+    assert scheduler.step() is False
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=50))
+def test_property_firing_order_is_sorted_by_time(delays):
+    scheduler = EventScheduler()
+    fired = []
+    for index, delay in enumerate(delays):
+        scheduler.schedule(delay, lambda d=delay: fired.append(d))
+    scheduler.run()
+    assert fired == sorted(delays)
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                    allow_nan=False),
+                          st.booleans()),
+                max_size=30))
+def test_property_cancelled_never_fire(items):
+    scheduler = EventScheduler()
+    fired = []
+    expected = []
+    for index, (delay, keep) in enumerate(items):
+        handle = scheduler.schedule(delay, lambda i=index: fired.append(i))
+        if keep:
+            expected.append(index)
+        else:
+            handle.cancel()
+    scheduler.run()
+    assert sorted(fired) == expected

@@ -1,0 +1,61 @@
+"""Broadcast signals."""
+
+from repro.sim.signals import Signal
+
+
+def test_fire_wakes_all_current_waiters(kernel):
+    signal = Signal()
+    woken = []
+
+    def waiter(tag):
+        value = yield signal.wait()
+        woken.append((tag, value))
+
+    kernel.spawn(waiter("a"))
+    kernel.spawn(waiter("b"))
+    kernel.call_in(1.0, lambda: signal.fire("go"))
+    kernel.run()
+    assert sorted(woken) == [("a", "go"), ("b", "go")]
+
+
+def test_fire_returns_woken_count(kernel):
+    signal = Signal()
+
+    def waiter():
+        yield signal.wait()
+
+    kernel.spawn(waiter())
+    kernel.spawn(waiter())
+    kernel.run_until(0.1)
+    assert signal.fire() == 2
+    assert signal.fire() == 0  # nobody left
+
+
+def test_waiters_registered_after_fire_wait_for_next(kernel):
+    signal = Signal()
+    woken = []
+
+    def late_waiter():
+        yield kernel.timeout(2.0)
+        value = yield signal.wait()
+        woken.append((kernel.now, value))
+
+    kernel.spawn(late_waiter())
+    kernel.call_in(1.0, lambda: signal.fire("first"))
+    kernel.call_in(3.0, lambda: signal.fire("second"))
+    kernel.run()
+    assert woken == [(3.0, "second")]
+
+
+def test_fire_count_and_waiter_count(kernel):
+    signal = Signal("test")
+
+    def waiter():
+        yield signal.wait()
+
+    kernel.spawn(waiter())
+    kernel.run_until(0.1)
+    assert signal.waiter_count == 1
+    signal.fire()
+    assert signal.waiter_count == 0
+    assert signal.fire_count == 1

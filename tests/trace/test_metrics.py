@@ -1,0 +1,80 @@
+"""Latency/series statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.metrics import LatencyTracker, percentile, summarize
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+
+    def test_median_of_odd(self):
+        assert percentile([3, 1, 2], 0.5) == 2
+
+    def test_extremes(self):
+        values = [1, 2, 3, 4]
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 1.0) == 4
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 0.25) == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=1))
+    def test_property_within_min_max(self, values, fraction):
+        result = percentile(values, fraction)
+        assert min(values) <= result <= max(values)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.p50 == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_constant_series_zero_stddev(self):
+        assert summarize([5.0] * 10).stddev == 0.0
+
+
+class TestLatencyTracker:
+    def test_start_stop_records_latency(self):
+        tracker = LatencyTracker()
+        tracker.start("op", 1.0)
+        assert tracker.stop("op", 3.5) == 2.5
+        assert tracker.samples == [2.5]
+
+    def test_stop_without_start(self):
+        tracker = LatencyTracker()
+        assert tracker.stop("ghost", 1.0) is None
+
+    def test_pending_counts_open_operations(self):
+        tracker = LatencyTracker()
+        tracker.start("a", 0.0)
+        tracker.start("b", 0.0)
+        tracker.stop("a", 1.0)
+        assert tracker.pending == 1
+
+    def test_summary(self):
+        tracker = LatencyTracker()
+        for index in range(4):
+            tracker.start(index, 0.0)
+            tracker.stop(index, float(index + 1))
+        assert tracker.summary().mean == pytest.approx(2.5)

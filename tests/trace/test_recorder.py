@@ -1,0 +1,49 @@
+"""Trace recorder."""
+
+from repro.trace.recorder import TraceRecorder
+
+
+def test_events_carry_time_and_detail(kernel):
+    recorder = TraceRecorder(kernel)
+    kernel.call_in(1.5, lambda: recorder.record("radio", "scan", channel=6))
+    kernel.run()
+    event = recorder.events[0]
+    assert event.time == 1.5
+    assert event.source == "radio"
+    assert event.detail == {"channel": 6}
+
+
+def test_queries(kernel):
+    recorder = TraceRecorder(kernel)
+    recorder.record("a", "tx")
+    recorder.record("b", "tx")
+    kernel.call_in(5.0, lambda: recorder.record("a", "rx"))
+    kernel.run()
+    assert recorder.count("tx") == 2
+    assert len(recorder.of_kind("rx")) == 1
+    assert len(recorder.from_source("a")) == 2
+    assert len(recorder.between(0.0, 1.0)) == 2
+    assert len(recorder) == 3
+
+
+def test_capacity_drops_excess(kernel):
+    recorder = TraceRecorder(kernel, capacity=2)
+    for index in range(5):
+        recorder.record("s", "e", index=index)
+    assert len(recorder) == 2
+    assert recorder.dropped == 3
+
+
+def test_filters(kernel):
+    recorder = TraceRecorder(kernel)
+    recorder.add_filter(lambda event: event.kind != "noise")
+    recorder.record("s", "noise")
+    recorder.record("s", "signal")
+    assert [event.kind for event in recorder] == ["signal"]
+
+
+def test_dump_is_readable(kernel):
+    recorder = TraceRecorder(kernel)
+    recorder.record("radio", "scan", n=1)
+    text = recorder.dump()
+    assert "radio" in text and "scan" in text and "n=1" in text

@@ -1,0 +1,37 @@
+"""Monotonic id generation."""
+
+from repro.util.idgen import IdGenerator, monotonic_id
+
+
+def test_ids_are_monotonic_per_namespace():
+    gen = IdGenerator()
+    assert gen.next("ctx") == "ctx-1"
+    assert gen.next("ctx") == "ctx-2"
+    assert gen.next("ctx") == "ctx-3"
+
+
+def test_namespaces_are_independent():
+    gen = IdGenerator()
+    gen.next("a")
+    gen.next("a")
+    assert gen.next("b") == "b-1"
+    assert gen.next("a") == "a-3"
+
+
+def test_next_int_counts_from_one():
+    gen = IdGenerator()
+    assert gen.next_int("n") == 1
+    assert gen.next_int("n") == 2
+
+
+def test_string_and_int_namespaces_share_counters():
+    gen = IdGenerator()
+    gen.next("x")
+    assert gen.next_int("x") == 2
+
+
+def test_global_monotonic_id_increases():
+    first = monotonic_id("test-global-ns")
+    second = monotonic_id("test-global-ns")
+    assert first != second
+    assert int(first.rsplit("-", 1)[1]) < int(second.rsplit("-", 1)[1])

@@ -1,0 +1,93 @@
+"""Seeded randomness and stream derivation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import SeededRng, derive_seed, ensure_rng
+
+
+def test_same_seed_same_stream():
+    a = SeededRng(42)
+    b = SeededRng(42)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = SeededRng(1)
+    b = SeededRng(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_child_streams_are_independent():
+    parent = SeededRng(7)
+    child_a = parent.child("radio", "a")
+    child_b = parent.child("radio", "b")
+    seq_a = [child_a.random() for _ in range(5)]
+    seq_b = [child_b.random() for _ in range(5)]
+    assert seq_a != seq_b
+    # Re-deriving yields the same stream.
+    again = SeededRng(7).child("radio", "a")
+    assert [again.random() for _ in range(5)] == seq_a
+
+
+def test_derive_seed_is_stable_and_name_sensitive():
+    assert derive_seed(1, "x") == derive_seed(1, "x")
+    assert derive_seed(1, "x") != derive_seed(1, "y")
+    assert derive_seed(1, "x", "y") != derive_seed(1, "xy")
+
+
+def test_jitter_zero_fraction_is_identity():
+    rng = SeededRng(3)
+    assert rng.jitter(0.5, 0.0) == 0.5
+
+
+def test_jitter_bounds():
+    rng = SeededRng(3)
+    for _ in range(200):
+        value = rng.jitter(1.0, 0.1)
+        assert 0.9 <= value <= 1.1
+
+
+def test_jitter_rejects_negative_fraction():
+    with pytest.raises(ValueError):
+        SeededRng(0).jitter(1.0, -0.1)
+
+
+def test_bernoulli_bounds_checked():
+    rng = SeededRng(0)
+    with pytest.raises(ValueError):
+        rng.bernoulli(1.5)
+    with pytest.raises(ValueError):
+        rng.bernoulli(-0.1)
+
+
+def test_bernoulli_extremes():
+    rng = SeededRng(0)
+    assert all(rng.bernoulli(1.0) for _ in range(20))
+    assert not any(rng.bernoulli(0.0) for _ in range(20))
+
+
+def test_bytes_length_and_determinism():
+    assert SeededRng(5).bytes(16) == SeededRng(5).bytes(16)
+    assert len(SeededRng(5).bytes(16)) == 16
+    assert SeededRng(5).bytes(0) == b""
+
+
+def test_ensure_rng_passthrough_and_default():
+    rng = SeededRng(9)
+    assert ensure_rng(rng) is rng
+    assert isinstance(ensure_rng(None, default_seed=4), SeededRng)
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+def test_derive_seed_in_64_bit_range(seed, name):
+    derived = derive_seed(seed, name)
+    assert 0 <= derived < 2**64
+
+
+def test_choice_and_sample_deterministic():
+    a = SeededRng(11)
+    b = SeededRng(11)
+    population = list(range(100))
+    assert a.choice(population) == b.choice(population)
+    assert a.sample(population, 10) == b.sample(population, 10)

@@ -1,0 +1,41 @@
+"""Unit conversion helpers."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_time_constants():
+    assert units.SECONDS == 1.0
+    assert units.MILLISECONDS == pytest.approx(1e-3)
+    assert units.MICROSECONDS == pytest.approx(1e-6)
+
+
+def test_to_ms_roundtrip():
+    assert units.to_ms(1.5) == 1500.0
+    assert units.from_ms(units.to_ms(0.082)) == pytest.approx(0.082)
+
+
+def test_size_constants_are_decimal():
+    assert units.KB == 1000
+    assert units.MB == 1000_000
+    assert units.GB == 1000_000_000
+    assert 25 * units.MB == 25_000_000
+
+
+def test_bits_bytes_conversion():
+    assert units.bytes_to_bits(10) == 80
+    assert units.bits_to_bytes(80) == 10
+    assert units.bits_to_bytes(units.bytes_to_bits(12345)) == 12345
+
+
+def test_rate_helpers_match_paper_usage():
+    # The paper's "100 KBps" is 100 kilobytes per second.
+    assert units.kbps(100) == 100_000.0
+    assert units.mbps(8.1) == pytest.approx(8_100_000.0)
+
+
+def test_direct_download_times_from_rates():
+    # Table 5 sanity: 30 MB at the two paper rates.
+    assert 30 * units.MB / units.kbps(100) == pytest.approx(300.0)
+    assert 30 * units.MB / units.kbps(1000) == pytest.approx(30.0)

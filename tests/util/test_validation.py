@@ -1,0 +1,52 @@
+"""Validation helpers."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+def test_check_positive_accepts_and_returns():
+    assert check_positive("x", 0.5) == 0.5
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.001])
+def test_check_positive_rejects(value):
+    with pytest.raises(ValueError, match="x must be > 0"):
+        check_positive("x", value)
+
+
+def test_check_non_negative_accepts_zero():
+    assert check_non_negative("x", 0) == 0
+
+
+def test_check_non_negative_rejects_negative():
+    with pytest.raises(ValueError):
+        check_non_negative("x", -1e-9)
+
+
+@pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+def test_check_probability_accepts(value):
+    assert check_probability("p", value) == value
+
+
+@pytest.mark.parametrize("value", [-0.01, 1.01])
+def test_check_probability_rejects(value):
+    with pytest.raises(ValueError):
+        check_probability("p", value)
+
+
+@pytest.mark.parametrize("value", [math.inf, -math.inf, math.nan])
+def test_check_finite_rejects(value):
+    with pytest.raises(ValueError):
+        check_finite("x", value)
+
+
+def test_check_finite_accepts():
+    assert check_finite("x", 1e300) == 1e300
