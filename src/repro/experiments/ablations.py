@@ -41,41 +41,54 @@ class BeaconSweepPoint:
     idle_energy_avg_ma: float
 
 
+#: Default sweep grids — also the parallel runner's cell declarations.
+BEACON_INTERVALS = (0.1, 0.25, 0.5, 1.0, 2.0)
+LISTEN_PERIODS = (1.0, 2.5, 5.0, 10.0)
+CONTEXT_TECHS = ("BLE", "WiFi")
+SELECTION_POLICIES = ("expected_time", "always_wifi", "lowest_energy")
+BEACON_MODES = ("fixed", "adaptive")
+
+
+def beacon_interval_point(
+    interval: float, idle_window_s: float = 30.0, seed: int = 31
+) -> BeaconSweepPoint:
+    """One beacon-interval sweep point in a fresh testbed."""
+    testbed = Testbed(seed=seed)
+    config = OmniConfig(beacon_interval_s=interval)
+    device_a = testbed.add_device("a", position=Position(0, 0))
+    device_b = testbed.add_device("b", position=Position(10, 0))
+    omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_ONLY, config)
+    omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_ONLY, config)
+    window = EnergyWindow(device_a.meter)
+    omni_a.enable()
+    omni_b.enable()
+    window.start()
+    discovered_at: Optional[float] = None
+    deadline = idle_window_s
+    time = 0.0
+    while time < deadline:
+        time = min(deadline, time + interval / 4)
+        testbed.kernel.run_until(time)
+        if discovered_at is None and omni_b.omni_address in omni_a.peer_table:
+            discovered_at = testbed.kernel.now
+    report = window.report()
+    return BeaconSweepPoint(
+        interval_s=interval,
+        discovery_latency_s=discovered_at,
+        idle_energy_avg_ma=report.average_ma_relative,
+    )
+
+
 def sweep_beacon_interval(
-    intervals: Sequence[float] = (0.1, 0.25, 0.5, 1.0, 2.0),
+    intervals: Sequence[float] = BEACON_INTERVALS,
     idle_window_s: float = 30.0,
     seed: int = 31,
 ) -> List[BeaconSweepPoint]:
     """Two idle Omni devices; vary the address beacon interval."""
-    points = []
-    for interval in intervals:
-        testbed = Testbed(seed=seed)
-        config = OmniConfig(beacon_interval_s=interval)
-        device_a = testbed.add_device("a", position=Position(0, 0))
-        device_b = testbed.add_device("b", position=Position(10, 0))
-        omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_ONLY, config)
-        omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_ONLY, config)
-        window = EnergyWindow(device_a.meter)
-        omni_a.enable()
-        omni_b.enable()
-        window.start()
-        discovered_at: Optional[float] = None
-        deadline = idle_window_s
-        time = 0.0
-        while time < deadline:
-            time = min(deadline, time + interval / 4)
-            testbed.kernel.run_until(time)
-            if discovered_at is None and omni_b.omni_address in omni_a.peer_table:
-                discovered_at = testbed.kernel.now
-        report = window.report()
-        points.append(
-            BeaconSweepPoint(
-                interval_s=interval,
-                discovery_latency_s=discovered_at,
-                idle_energy_avg_ma=report.average_ma_relative,
-            )
-        )
-    return points
+    return [
+        beacon_interval_point(interval, idle_window_s=idle_window_s, seed=seed)
+        for interval in intervals
+    ]
 
 
 @dataclass
@@ -87,8 +100,43 @@ class ListenSweepPoint:
     idle_energy_avg_ma: float
 
 
+def secondary_listen_point(
+    period: float, deadline_s: float = 120.0, seed: int = 32
+) -> ListenSweepPoint:
+    """One secondary-listen sweep point in a fresh testbed."""
+    testbed = Testbed(seed=seed)
+    config = OmniConfig(secondary_listen_period_s=period)
+    device_a = testbed.add_device("a", position=Position(0, 0))
+    device_b = testbed.add_device("b", position=Position(10, 0),
+                                  radio_kinds={"wifi"})
+    omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_WIFI, config)
+    omni_b = testbed.omni_manager(
+        device_b, {TechType.WIFI_MULTICAST, TechType.WIFI_TCP}, config
+    )
+    window = EnergyWindow(device_a.meter)
+    omni_a.enable()
+    omni_b.enable()
+    window.start()
+    engaged_at: Optional[float] = None
+    time = 0.0
+    while time < deadline_s:
+        time = min(deadline_s, time + period / 2)
+        testbed.kernel.run_until(time)
+        if engaged_at is None and omni_a.beacon_service.is_engaged(
+            TechType.WIFI_MULTICAST
+        ):
+            engaged_at = testbed.kernel.now
+            break
+    report = window.report()
+    return ListenSweepPoint(
+        period_s=period,
+        engagement_latency_s=engaged_at,
+        idle_energy_avg_ma=report.average_ma_relative,
+    )
+
+
 def sweep_secondary_listen(
-    periods: Sequence[float] = (1.0, 2.5, 5.0, 10.0),
+    periods: Sequence[float] = LISTEN_PERIODS,
     deadline_s: float = 120.0,
     seed: int = 32,
 ) -> List[ListenSweepPoint]:
@@ -99,40 +147,10 @@ def sweep_secondary_listen(
     its low-frequency monitor windows, so the engagement latency scales with
     the probe period and the window's chance of catching a 500 ms beacon.
     """
-    points = []
-    for period in periods:
-        testbed = Testbed(seed=seed)
-        config = OmniConfig(secondary_listen_period_s=period)
-        device_a = testbed.add_device("a", position=Position(0, 0))
-        device_b = testbed.add_device("b", position=Position(10, 0),
-                                      radio_kinds={"wifi"})
-        omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_WIFI, config)
-        omni_b = testbed.omni_manager(
-            device_b, {TechType.WIFI_MULTICAST, TechType.WIFI_TCP}, config
-        )
-        window = EnergyWindow(device_a.meter)
-        omni_a.enable()
-        omni_b.enable()
-        window.start()
-        engaged_at: Optional[float] = None
-        time = 0.0
-        while time < deadline_s:
-            time = min(deadline_s, time + period / 2)
-            testbed.kernel.run_until(time)
-            if engaged_at is None and omni_a.beacon_service.is_engaged(
-                TechType.WIFI_MULTICAST
-            ):
-                engaged_at = testbed.kernel.now
-                break
-        report = window.report()
-        points.append(
-            ListenSweepPoint(
-                period_s=period,
-                engagement_latency_s=engaged_at,
-                idle_energy_avg_ma=report.average_ma_relative,
-            )
-        )
-    return points
+    return [
+        secondary_listen_point(period, deadline_s=deadline_s, seed=seed)
+        for period in periods
+    ]
 
 
 @dataclass
@@ -144,6 +162,16 @@ class BifurcationResult:
     latency_ms: Optional[float]
 
 
+def context_technology_point(context_tech: str, seed: int = 33) -> BifurcationResult:
+    """The 30-byte WiFi-data interaction with context on ``context_tech``."""
+    cell = run_cell("Omni", context_tech, "WiFi", 30, seed=seed)
+    return BifurcationResult(
+        context_tech=context_tech,
+        energy_avg_ma=cell.energy_avg_ma,
+        latency_ms=cell.latency_ms,
+    )
+
+
 def ablate_context_technology(seed: int = 33) -> List[BifurcationResult]:
     """Omni with BLE context vs Omni forced onto multicast context.
 
@@ -151,17 +179,10 @@ def ablate_context_technology(seed: int = 33) -> List[BifurcationResult]:
     difference isolates the energy and latency value of carrying context on
     a low-energy neighbor-discovery technology.
     """
-    results = []
-    for context_tech in ("BLE", "WiFi"):
-        cell = run_cell("Omni", context_tech, "WiFi", 30, seed=seed)
-        results.append(
-            BifurcationResult(
-                context_tech=context_tech,
-                energy_avg_ma=cell.energy_avg_ma,
-                latency_ms=cell.latency_ms,
-            )
-        )
-    return results
+    return [
+        context_technology_point(context_tech, seed=seed)
+        for context_tech in CONTEXT_TECHS
+    ]
 
 
 @dataclass
@@ -173,6 +194,38 @@ class PolicyResult:
     energy_avg_ma: Optional[float]
 
 
+def selection_policy_point(policy: str, seed: int = 34) -> PolicyResult:
+    """One selection policy's 200-byte interaction in a fresh testbed."""
+    from repro.apps.transport import OmniTransport
+    from repro.experiments.controlled import _ServiceInteraction, WARMUP_S, _meter_of
+
+    testbed = Testbed(seed=seed)
+    config = OmniConfig(selection_policy=policy)
+    device_a = testbed.add_device("initiator", position=Position(0, 0))
+    device_b = testbed.add_device("responder", position=Position(10, 0))
+    initiator = OmniTransport(
+        testbed.omni_manager(device_a, OMNI_TECHS_BLE_WIFI, config)
+    )
+    responder = OmniTransport(
+        testbed.omni_manager(device_b, OMNI_TECHS_BLE_WIFI, config)
+    )
+    interaction = _ServiceInteraction(testbed, initiator, responder, 200)
+    window = EnergyWindow(_meter_of(initiator))
+    window.start()
+    interaction.arm()
+    testbed.kernel.call_at(WARMUP_S, interaction.interact)
+    time = WARMUP_S
+    while time < WARMUP_S + 30 and interaction.response_received_at is None:
+        time += 0.25
+        testbed.kernel.run_until(time)
+    report = window.report()
+    return PolicyResult(
+        policy=policy,
+        latency_ms=interaction.latency_ms,
+        energy_avg_ma=report.average_ma_relative,
+    )
+
+
 def ablate_selection_policy(seed: int = 34) -> List[PolicyResult]:
     """Expected-time selection vs static policies on a 200-byte send.
 
@@ -180,40 +233,7 @@ def ablate_selection_policy(seed: int = 34) -> List[PolicyResult]:
     burst (~160 ms) while a beacon-primed WiFi fast-peer finishes in ~12 ms,
     yet the lowest-energy policy still picks BLE.
     """
-    from repro.experiments.controlled import _ServiceInteraction, WARMUP_S, _meter_of
-
-    results = []
-    for policy in ("expected_time", "always_wifi", "lowest_energy"):
-        testbed = Testbed(seed=seed)
-        config = OmniConfig(selection_policy=policy)
-        device_a = testbed.add_device("initiator", position=Position(0, 0))
-        device_b = testbed.add_device("responder", position=Position(10, 0))
-        from repro.apps.transport import OmniTransport
-
-        initiator = OmniTransport(
-            testbed.omni_manager(device_a, OMNI_TECHS_BLE_WIFI, config)
-        )
-        responder = OmniTransport(
-            testbed.omni_manager(device_b, OMNI_TECHS_BLE_WIFI, config)
-        )
-        interaction = _ServiceInteraction(testbed, initiator, responder, 200)
-        window = EnergyWindow(_meter_of(initiator))
-        window.start()
-        interaction.arm()
-        testbed.kernel.call_at(WARMUP_S, interaction.interact)
-        time = WARMUP_S
-        while time < WARMUP_S + 30 and interaction.response_received_at is None:
-            time += 0.25
-            testbed.kernel.run_until(time)
-        report = window.report()
-        results.append(
-            PolicyResult(
-                policy=policy,
-                latency_ms=interaction.latency_ms,
-                energy_avg_ma=report.average_ma_relative,
-            )
-        )
-    return results
+    return [selection_policy_point(policy, seed=seed) for policy in SELECTION_POLICIES]
 
 
 @dataclass
@@ -223,6 +243,49 @@ class AdaptiveBeaconResult:
     mode: str
     idle_energy_avg_ma: float
     newcomer_discovery_s: Optional[float]
+
+
+def adaptive_beacon_point(mode: str, seed: int = 35,
+                          stable_window_s: float = 60.0) -> AdaptiveBeaconResult:
+    """One beacon-pacing mode (fixed/adaptive) in a fresh testbed."""
+    testbed = Testbed(seed=seed)
+    config = OmniConfig(
+        adaptive_beacon=AdaptiveBeaconConfig(
+            min_interval_s=0.1, max_interval_s=2.0, evaluate_period_s=1.0
+        )
+        if mode == "adaptive"
+        else None
+    )
+    device_a = testbed.add_device("a", position=Position(0, 0))
+    device_b = testbed.add_device("b", position=Position(10, 0))
+    omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_ONLY, config)
+    omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_ONLY, config)
+    omni_a.enable()
+    omni_b.enable()
+    testbed.kernel.run_until(10.0)  # settle
+    window = EnergyWindow(device_a.meter)
+    window.start()
+    testbed.kernel.run_until(10.0 + stable_window_s)
+    idle = window.report().average_ma_relative
+
+    newcomer_device = testbed.add_device("new", position=Position(5, 5))
+    omni_new = testbed.omni_manager(newcomer_device, OMNI_TECHS_BLE_ONLY, config)
+    omni_new.enable()
+    appeared_at = testbed.kernel.now
+    discovered: Optional[float] = None
+    deadline = appeared_at + 30.0
+    time = appeared_at
+    while time < deadline:
+        time += 0.1
+        testbed.kernel.run_until(time)
+        if omni_a.omni_address in omni_new.peer_table:
+            discovered = testbed.kernel.now - appeared_at
+            break
+    return AdaptiveBeaconResult(
+        mode=mode,
+        idle_energy_avg_ma=idle,
+        newcomer_discovery_s=discovered,
+    )
 
 
 def ablate_adaptive_beacon(seed: int = 35,
@@ -236,46 +299,7 @@ def ablate_adaptive_beacon(seed: int = 35,
     backed-off) beacon rate.  Adaptive pacing buys idle energy at the cost
     of first-contact latency, then recovers by speeding up on churn.
     """
-    results = []
-    for mode in ("fixed", "adaptive"):
-        testbed = Testbed(seed=seed)
-        config = OmniConfig(
-            adaptive_beacon=AdaptiveBeaconConfig(
-                min_interval_s=0.1, max_interval_s=2.0, evaluate_period_s=1.0
-            )
-            if mode == "adaptive"
-            else None
-        )
-        device_a = testbed.add_device("a", position=Position(0, 0))
-        device_b = testbed.add_device("b", position=Position(10, 0))
-        omni_a = testbed.omni_manager(device_a, OMNI_TECHS_BLE_ONLY, config)
-        omni_b = testbed.omni_manager(device_b, OMNI_TECHS_BLE_ONLY, config)
-        omni_a.enable()
-        omni_b.enable()
-        testbed.kernel.run_until(10.0)  # settle
-        window = EnergyWindow(device_a.meter)
-        window.start()
-        testbed.kernel.run_until(10.0 + stable_window_s)
-        idle = window.report().average_ma_relative
-
-        newcomer_device = testbed.add_device("new", position=Position(5, 5))
-        omni_new = testbed.omni_manager(newcomer_device, OMNI_TECHS_BLE_ONLY, config)
-        omni_new.enable()
-        appeared_at = testbed.kernel.now
-        discovered: Optional[float] = None
-        deadline = appeared_at + 30.0
-        time = appeared_at
-        while time < deadline:
-            time += 0.1
-            testbed.kernel.run_until(time)
-            if omni_a.omni_address in omni_new.peer_table:
-                discovered = testbed.kernel.now - appeared_at
-                break
-        results.append(
-            AdaptiveBeaconResult(
-                mode=mode,
-                idle_energy_avg_ma=idle,
-                newcomer_discovery_s=discovered,
-            )
-        )
-    return results
+    return [
+        adaptive_beacon_point(mode, seed=seed, stable_window_s=stable_window_s)
+        for mode in BEACON_MODES
+    ]

@@ -6,6 +6,10 @@ paper's measurement protocol with the AVHzY power meter, replayed against
 the energy model.  The bench asserts the model reproduces the constants it
 was built from, guarding the calibration against regressions elsewhere in
 the radio code.
+
+Each operation runs in its own testbed with its own derived seed, so the
+operations are independent cells: the parallel runner fans them out, and
+:func:`run_table3` replays them serially with the identical seeds.
 """
 
 from __future__ import annotations
@@ -42,11 +46,8 @@ def _device(testbed: Testbed, name: str):
     raise KeyError(name)
 
 
-def run_table3(seed: int = 3) -> List[OperationResult]:
-    """Measure every Table 3 operation; rows in the paper's order."""
-    results: List[OperationResult] = []
-
-    # WiFi-receive: a multicast reception pulse on the probe.
+def measure_wifi_receive(seed: int) -> OperationResult:
+    """WiFi-receive: a multicast reception pulse on the probe."""
     testbed = _two_device_testbed(seed)
     probe = _device(testbed, "probe")
     peer = _device(testbed, "peer")
@@ -62,60 +63,93 @@ def run_table3(seed: int = 3) -> List[OperationResult]:
     baseline = probe.meter.current_ma
     peer_wifi.send_multicast(b"probe-packet")
     testbed.kernel.run_for(1.0)
-    results.append(OperationResult("WiFi-receive", probe.meter.peak_ma - baseline))
+    return OperationResult("WiFi-receive", probe.meter.peak_ma - baseline)
 
-    # WiFi-send: one multicast transmission.
-    testbed = _two_device_testbed(seed + 1)
+
+def measure_wifi_send(seed: int) -> OperationResult:
+    """WiFi-send: one multicast transmission."""
+    testbed = _two_device_testbed(seed)
     probe = _device(testbed, "probe")
     wifi = probe.radio(RadioKind.WIFI)
-    join = wifi.join(testbed.mesh, peer_mode=False)
+    wifi.join(testbed.mesh, peer_mode=False)
     testbed.kernel.run_for(2.0)
     probe.meter.reset_peak()
     baseline = probe.meter.current_ma
     wifi.send_multicast(b"probe-packet")
     testbed.kernel.run_for(1.0)
-    results.append(OperationResult("WiFi-send", probe.meter.peak_ma - baseline))
+    return OperationResult("WiFi-send", probe.meter.peak_ma - baseline)
 
-    # WiFi-scan for networks.
-    testbed = _two_device_testbed(seed + 2)
+
+def measure_wifi_scan(seed: int) -> OperationResult:
+    """WiFi-scan for networks."""
+    testbed = _two_device_testbed(seed)
     probe = _device(testbed, "probe")
     wifi = probe.radio(RadioKind.WIFI)
     probe.meter.reset_peak()
     baseline = probe.meter.current_ma
     wifi.scan()
     testbed.kernel.run_for(3.0)
-    results.append(OperationResult("WiFi-scan for networks", probe.meter.peak_ma - baseline))
+    return OperationResult("WiFi-scan for networks", probe.meter.peak_ma - baseline)
 
-    # WiFi-connect to network.
-    testbed = _two_device_testbed(seed + 3)
+
+def measure_wifi_connect(seed: int) -> OperationResult:
+    """WiFi-connect to network."""
+    testbed = _two_device_testbed(seed)
     probe = _device(testbed, "probe")
     wifi = probe.radio(RadioKind.WIFI)
     probe.meter.reset_peak()
     baseline = probe.meter.current_ma
     wifi.join(testbed.mesh)
     testbed.kernel.run_for(2.0)
-    results.append(
-        OperationResult("WiFi-connect to network", probe.meter.peak_ma - baseline)
-    )
+    return OperationResult("WiFi-connect to network", probe.meter.peak_ma - baseline)
 
-    # BLE-scan.
-    testbed = _two_device_testbed(seed + 4)
+
+def measure_ble_scan(seed: int) -> OperationResult:
+    """BLE-scan."""
+    testbed = _two_device_testbed(seed)
     probe = _device(testbed, "probe")
     ble = probe.radio(RadioKind.BLE)
     probe.meter.reset_peak()
     baseline = probe.meter.current_ma
     ble.start_scanning(lambda payload, mac, distance: None)
     testbed.kernel.run_for(1.0)
-    results.append(OperationResult("BLE-scan", probe.meter.peak_ma - baseline))
+    return OperationResult("BLE-scan", probe.meter.peak_ma - baseline)
 
-    # BLE-advertise.
-    testbed = _two_device_testbed(seed + 5)
+
+def measure_ble_advertise(seed: int) -> OperationResult:
+    """BLE-advertise."""
+    testbed = _two_device_testbed(seed)
     probe = _device(testbed, "probe")
     ble = probe.radio(RadioKind.BLE)
     probe.meter.reset_peak()
     baseline = probe.meter.current_ma
     ble.advertise_once(b"probe-advert")
     testbed.kernel.run_for(1.0)
-    results.append(OperationResult("BLE-advertise", probe.meter.peak_ma - baseline))
+    return OperationResult("BLE-advertise", probe.meter.peak_ma - baseline)
 
-    return results
+
+#: Table 3 rows in the paper's order.  The seed offset preserves the
+#: historical per-operation seeds (operation k ran at ``seed + k``).
+OPERATIONS: List[Callable[[int], OperationResult]] = [
+    measure_wifi_receive,
+    measure_wifi_send,
+    measure_wifi_scan,
+    measure_wifi_connect,
+    measure_ble_scan,
+    measure_ble_advertise,
+]
+
+
+def measure_operation(index: int, seed: int = 3) -> OperationResult:
+    """Run the ``index``-th Table 3 operation at its derived seed."""
+    return OPERATIONS[index](seed + index)
+
+
+def iter_cells() -> List[int]:
+    """Operation indexes in the paper's row order (runner job per row)."""
+    return list(range(len(OPERATIONS)))
+
+
+def run_table3(seed: int = 3) -> List[OperationResult]:
+    """Measure every Table 3 operation; rows in the paper's order."""
+    return [measure_operation(index, seed=seed) for index in iter_cells()]

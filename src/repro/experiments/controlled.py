@@ -230,12 +230,23 @@ def _meter_of(transport: D2DTransport):
     return transport.device.meter
 
 
+def iter_cells() -> List[tuple]:
+    """The Table 4 grid as ``(system, context, data, bytes)`` tuples.
+
+    Declaration order is the experiment's canonical result order; the
+    parallel runner fans these out as independent jobs and merges results
+    back in exactly this order.
+    """
+    return [
+        (system, context_tech, data_tech, response_bytes)
+        for context_tech, data_tech, response_bytes in ROWS
+        for system in SYSTEMS
+    ]
+
+
 def run_table4(seed: int = 1) -> List[CellResult]:
     """Run the full Table 4 grid (energy: Fig 4; latency: Fig 5)."""
-    results = []
-    for context_tech, data_tech, response_bytes in ROWS:
-        for system in SYSTEMS:
-            results.append(
-                run_cell(system, context_tech, data_tech, response_bytes, seed=seed)
-            )
-    return results
+    return [
+        run_cell(system, context_tech, data_tech, response_bytes, seed=seed)
+        for system, context_tech, data_tech, response_bytes in iter_cells()
+    ]

@@ -143,11 +143,18 @@ def run_collaborative(variant: str, rate_kbps: float, seed: int = 11,
     return results if measure_all else results[0]
 
 
+def iter_cells() -> List[tuple]:
+    """The Table 5 grid as ``(variant, rate_kbps)`` tuples, in result order."""
+    return [(variant, rate) for rate in RATES_KBPS for variant in VARIANTS]
+
+
+def run_cell(variant: str, rate_kbps: float, seed: int = 11) -> DisseminateResult:
+    """Run one Table 5 cell; the picklable unit the parallel runner fans out."""
+    if variant == "direct":
+        return run_direct(rate_kbps, seed=seed)
+    return run_collaborative(variant, rate_kbps, seed=seed)
+
+
 def run_table5(seed: int = 11) -> List[DisseminateResult]:
     """The full Table 5 grid: 2 rates × 4 implementation options."""
-    results = []
-    for rate in RATES_KBPS:
-        results.append(run_direct(rate, seed=seed))
-        for variant in ("SP", "SA", "Omni"):
-            results.append(run_collaborative(variant, rate, seed=seed))
-    return results
+    return [run_cell(variant, rate, seed=seed) for variant, rate in iter_cells()]

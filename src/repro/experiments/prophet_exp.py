@@ -133,6 +133,11 @@ def run_variant(variant: str, seed: int = 21) -> ProphetResult:
     )
 
 
+def iter_cells() -> List[str]:
+    """The Fig 7 variants in result order (one runner job per variant)."""
+    return list(VARIANTS)
+
+
 def run_fig7(seed: int = 21) -> List[ProphetResult]:
     """All three variants of Fig 7."""
-    return [run_variant(variant, seed=seed) for variant in VARIANTS]
+    return [run_variant(variant, seed=seed) for variant in iter_cells()]

@@ -1,0 +1,108 @@
+"""A uniform-grid spatial index for range queries over placed items.
+
+The index answers "which items might be within ``radius`` of ``origin``?"
+by bucketing *static* items into square grid cells and scanning only the
+cells that overlap the query disk's bounding square.  Items whose position
+varies with time (non-static mobility) are kept in a *roaming* set and
+returned from every query; the caller applies the exact distance test
+either way, so the index only ever reduces the candidate set — it never
+changes which items a query finds.
+
+This is the standard cell-list technique dense-neighborhood simulators use
+to break the O(n) per-transmission scan; with cell size on the order of the
+query radius a query touches at most 3×3 cells.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.phy.geometry import Position
+
+_Cell = Tuple[int, int]
+
+
+class UniformGridIndex:
+    """Buckets items by position into ``cell_size``-sized square cells.
+
+    Items are arbitrary hashable objects.  An item inserted with a position
+    is *static* (bucketed); an item inserted with ``position=None`` is
+    *roaming* and is a candidate for every query.
+    """
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0.0:
+            raise ValueError(f"cell_size must be > 0, got {cell_size}")
+        self.cell_size = cell_size
+        self._cells: Dict[_Cell, List[Hashable]] = {}
+        self._where: Dict[Hashable, Optional[_Cell]] = {}
+        self._roaming: List[Hashable] = []
+
+    def _cell_of(self, position: Position) -> _Cell:
+        size = self.cell_size
+        return (math.floor(position.x / size), math.floor(position.y / size))
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._where
+
+    @property
+    def roaming_count(self) -> int:
+        """How many items are unbucketed (mobile) and scanned every query."""
+        return len(self._roaming)
+
+    def insert(self, item: Hashable, position: Optional[Position]) -> None:
+        """Add ``item`` at ``position``, or as roaming when position is None."""
+        if item in self._where:
+            raise ValueError(f"item {item!r} already indexed")
+        if position is None:
+            self._where[item] = None
+            self._roaming.append(item)
+            return
+        cell = self._cell_of(position)
+        self._where[item] = cell
+        self._cells.setdefault(cell, []).append(item)
+
+    def remove(self, item: Hashable) -> None:
+        """Remove ``item``; raises ``KeyError`` if absent."""
+        cell = self._where.pop(item)
+        if cell is None:
+            self._roaming.remove(item)
+            return
+        bucket = self._cells[cell]
+        bucket.remove(item)
+        if not bucket:
+            del self._cells[cell]
+
+    def update(self, item: Hashable, position: Optional[Position]) -> None:
+        """Move ``item`` to ``position`` (or to roaming when None)."""
+        old_cell = self._where[item]
+        new_cell = None if position is None else self._cell_of(position)
+        if old_cell == new_cell and old_cell is not None:
+            return  # still in the same bucket: nothing to rewire
+        self.remove(item)
+        self.insert(item, position)
+
+    def query(self, origin: Position, radius: float) -> List[Hashable]:
+        """Candidate items for "within ``radius`` of ``origin``".
+
+        Returns every static item in the grid cells overlapping the query's
+        bounding square, plus every roaming item.  A superset of the exact
+        answer: callers must still apply their own distance test.
+        """
+        size = self.cell_size
+        x_lo = math.floor((origin.x - radius) / size)
+        x_hi = math.floor((origin.x + radius) / size)
+        y_lo = math.floor((origin.y - radius) / size)
+        y_hi = math.floor((origin.y + radius) / size)
+        cells = self._cells
+        candidates: List[Hashable] = list(self._roaming)
+        for cx in range(x_lo, x_hi + 1):
+            for cy in range(y_lo, y_hi + 1):
+                bucket = cells.get((cx, cy))
+                if bucket:
+                    candidates.extend(bucket)
+        return candidates

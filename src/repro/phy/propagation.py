@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.util.rng import SeededRng
 from repro.util.validation import check_positive
@@ -26,6 +27,18 @@ class PropagationModel:
         """True if any communication is possible at ``distance``."""
         return self.delivery_probability(distance) > 0.0
 
+    def max_range(self) -> Optional[float]:
+        """Hard reception cutoff in meters, or None when unbounded.
+
+        Beyond this distance ``delivery_probability`` is exactly 0 — no
+        frame is delivered *and no RNG draw happens* — so a spatial index
+        may prune such receivers without perturbing any seed stream.
+        Models without a hard cutoff (every distance keeps a nonzero
+        probability, hence an RNG draw per receiver) must return None so
+        callers fall back to the exhaustive scan.
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class UnitDisk(PropagationModel):
@@ -35,6 +48,9 @@ class UnitDisk(PropagationModel):
 
     def delivery_probability(self, distance: float) -> float:
         return 1.0 if distance <= self.radius else 0.0
+
+    def max_range(self) -> Optional[float]:
+        return self.radius
 
 
 @dataclass(frozen=True)
@@ -61,6 +77,9 @@ class SoftDisk(PropagationModel):
         if distance >= self.outer:
             return 0.0
         return 1.0 - (distance - self.inner) / (self.outer - self.inner)
+
+    def max_range(self) -> Optional[float]:
+        return self.outer
 
 
 @dataclass(frozen=True)
@@ -90,6 +109,11 @@ class LogDistance(PropagationModel):
 
 def frame_delivered(model: PropagationModel, distance: float, rng: SeededRng) -> bool:
     """Roll delivery of a single frame under ``model`` at ``distance``."""
+    if type(model) is UnitDisk:
+        # Hot-path short circuit: the all-or-nothing default model never
+        # consumes randomness, so skip the probability indirection entirely
+        # (this cannot perturb any other consumer's seed stream).
+        return distance <= model.radius
     probability = model.delivery_probability(distance)
     if probability >= 1.0:
         return True

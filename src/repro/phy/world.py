@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.phy.geometry import Position
+from repro.phy.index import UniformGridIndex
 from repro.phy.mobility import MobilityModel, Static
 from repro.sim.kernel import Kernel
+
+#: Grid granularity for the world's own range queries.  Sits between the
+#: BLE (30 m) and WiFi (100 m) ranges so either query touches few cells.
+WORLD_GRID_CELL_M = 50.0
 
 
 class WorldNode:
@@ -22,6 +27,19 @@ class WorldNode:
         """Current position, derived from the mobility model and the clock."""
         return self.mobility.position_at(self.world.kernel.now)
 
+    @property
+    def static_position(self) -> Optional[Position]:
+        """The node's fixed position when it cannot move, else None.
+
+        Spatial indexes bucket a node only while its mobility is
+        :class:`Static`; any other model makes the position a function of
+        time and the node is scanned linearly instead.
+        """
+        mobility = self.mobility
+        if type(mobility) is Static:
+            return mobility.position
+        return None
+
     def distance_to(self, other: "WorldNode") -> float:
         """Current distance to another node in meters."""
         return self.position.distance_to(other.position)
@@ -29,10 +47,12 @@ class WorldNode:
     def move_to(self, position: Position) -> None:
         """Teleport the node by replacing its mobility model with Static."""
         self.mobility = Static(position)
+        self.world._mobility_changed(self)
 
     def set_mobility(self, mobility: MobilityModel) -> None:
         """Replace the node's mobility model."""
         self.mobility = mobility
+        self.world._mobility_changed(self)
 
     def __repr__(self) -> str:
         return f"WorldNode({self.name!r}, at={self.position})"
@@ -44,6 +64,22 @@ class World:
     def __init__(self, kernel: Kernel) -> None:
         self.kernel = kernel
         self._nodes: Dict[str, WorldNode] = {}
+        self._index = UniformGridIndex(WORLD_GRID_CELL_M)
+        self._move_listeners: List[Callable[[WorldNode], None]] = []
+
+    def add_move_listener(self, listener: Callable[[WorldNode], None]) -> None:
+        """Register ``listener(node)`` for mobility-model changes.
+
+        Fired by :meth:`WorldNode.move_to` / :meth:`WorldNode.set_mobility`;
+        spatial indexes layered over the world (e.g. the radio medium's)
+        re-bucket the node's artifacts on this signal.
+        """
+        self._move_listeners.append(listener)
+
+    def _mobility_changed(self, node: WorldNode) -> None:
+        self._index.update(node, node.static_position)
+        for listener in list(self._move_listeners):
+            listener(node)
 
     def add_node(
         self,
@@ -62,13 +98,15 @@ class World:
             raise ValueError("provide position or mobility, not both")
         node = WorldNode(self, name, mobility)
         self._nodes[name] = node
+        self._index.insert(node, node.static_position)
         return node
 
     def remove_node(self, name: str) -> None:
         """Unregister a node (e.g. a device leaving the scenario)."""
         if name not in self._nodes:
             raise KeyError(f"no node named {name!r}")
-        del self._nodes[name]
+        node = self._nodes.pop(name)
+        self._index.remove(node)
 
     def node(self, name: str) -> WorldNode:
         """Look up a node by name."""
@@ -84,10 +122,20 @@ class World:
         return len(self._nodes)
 
     def nodes_within(self, center: WorldNode, radius: float) -> List[WorldNode]:
-        """All other nodes within ``radius`` meters of ``center``, by name order."""
+        """All other nodes within ``radius`` meters of ``center``, by name order.
+
+        Served from the uniform grid: only nodes in cells overlapping the
+        query disk (plus mobile nodes) take the exact distance test, instead
+        of every node in the world.
+        """
         origin = center.position
-        return [
-            node
-            for name, node in sorted(self._nodes.items())
-            if node is not center and origin.distance_to(node.position) <= radius
-        ]
+        candidates = self._index.query(origin, radius)
+        return sorted(
+            (
+                node
+                for node in candidates
+                if node is not center
+                and origin.distance_to(node.position) <= radius
+            ),
+            key=lambda node: node.name,
+        )

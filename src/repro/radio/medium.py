@@ -5,14 +5,23 @@ One :class:`Medium` instance per simulation carries every technology; each
 medium decides *who can hear* a transmission; receiver radios decide what to
 do with it (scan-window gating, mesh membership, etc.) via
 ``_accepts_frame``.
+
+Frame fan-out is served from a per-technology uniform-grid spatial index:
+a broadcast only distance-tests the radios bucketed in grid cells within
+the technology's range (plus radios on mobile nodes), instead of every
+attached radio.  The pruning is exact — a pruned radio is one the
+propagation model gives delivery probability 0, which neither receives the
+frame nor consumes randomness — so indexed and linear scans produce
+bit-identical simulations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
+from repro.phy.index import UniformGridIndex
 from repro.phy.propagation import PropagationModel, UnitDisk, frame_delivered
-from repro.phy.world import World
+from repro.phy.world import World, WorldNode
 from repro.radio.base import Radio
 from repro.radio.frame import Frame, RadioKind
 from repro.sim.kernel import Kernel
@@ -30,6 +39,32 @@ DEFAULT_RANGES = {
 PROPAGATION_DELAY_S = 5e-6
 
 
+class _Delivery:
+    """One scheduled frame arrival: a preallocated callable.
+
+    Replaces the per-delivery closure ``broadcast`` used to build; a slotted
+    instance binds the receiver and frame with less allocation and keeps the
+    delivery-time re-check (the receiver may have been disabled, or stopped
+    scanning, during the frame's airtime).
+    """
+
+    __slots__ = ("medium", "receiver", "frame", "distance")
+
+    def __init__(self, medium: "Medium", receiver: Radio, frame: Frame,
+                 distance: float) -> None:
+        self.medium = medium
+        self.receiver = receiver
+        self.frame = frame
+        self.distance = distance
+
+    def __call__(self) -> None:
+        if self.receiver._accepts_frame(self.frame):
+            self.medium.frames_delivered += 1
+            self.receiver._deliver(self.frame, self.distance)
+        else:
+            self.medium.frames_dropped += 1
+
+
 class Medium:
     """Routes frames from a transmitting radio to in-range receivers."""
 
@@ -39,6 +74,7 @@ class Medium:
         world: World,
         propagation: Optional[Dict[RadioKind, PropagationModel]] = None,
         rng: Optional[SeededRng] = None,
+        use_spatial_index: bool = True,
     ) -> None:
         self.kernel = kernel
         self.world = world
@@ -52,6 +88,23 @@ class Medium:
         self._adhoc_mesh = None
         self.frames_sent = 0
         self.frames_delivered = 0
+        self.frames_dropped = 0
+        # Spatial index: one grid per technology with a hard range cutoff.
+        # A technology whose model has no cutoff (max_range() is None) keeps
+        # the exhaustive scan — pruning there would skip RNG draws the
+        # linear scan performs and de-synchronise seed streams.
+        self._attach_seq = 0
+        self._grids: Dict[RadioKind, Optional[UniformGridIndex]] = {}
+        self._node_radios: Dict[WorldNode, List[Radio]] = {}
+        if use_spatial_index:
+            for kind, model in self.propagation.items():
+                cutoff = model.max_range()
+                self._grids[kind] = (
+                    UniformGridIndex(cutoff) if cutoff else None
+                )
+            world.add_move_listener(self._node_moved)
+        else:
+            self._grids = {kind: None for kind in RadioKind}
 
     def adhoc_mesh(self):
         """The shared ad-hoc mesh that fast peerings converge on.
@@ -68,15 +121,49 @@ class Medium:
 
     def attach(self, radio: Radio) -> None:
         """Register a radio; called by the Radio constructor."""
+        radio._medium_seq = self._attach_seq
+        self._attach_seq += 1
         self._radios[radio.kind].append(radio)
+        grid = self._grids.get(radio.kind)
+        if grid is not None:
+            grid.insert(radio, radio.node.static_position)
+            self._node_radios.setdefault(radio.node, []).append(radio)
 
     def detach(self, radio: Radio) -> None:
         """Unregister a radio (device leaving the simulation)."""
         self._radios[radio.kind].remove(radio)
+        grid = self._grids.get(radio.kind)
+        if grid is not None and radio in grid:
+            grid.remove(radio)
+            siblings = self._node_radios[radio.node]
+            siblings.remove(radio)
+            if not siblings:
+                del self._node_radios[radio.node]
+
+    def _node_moved(self, node: WorldNode) -> None:
+        """Re-bucket a node's radios after a mobility-model change."""
+        position = node.static_position
+        for radio in self._node_radios.get(node, ()):
+            self._grids[radio.kind].update(radio, position)
 
     def radios(self, kind: RadioKind) -> List[Radio]:
         """All attached radios of ``kind`` (enabled or not)."""
         return list(self._radios[kind])
+
+    def _candidates(self, kind: RadioKind, origin, cutoff: Optional[float]) -> List[Radio]:
+        """Radios that might be within ``cutoff`` of ``origin``, attach order.
+
+        Falls back to every attached radio of ``kind`` when the technology
+        is unindexed.  Sorting the (few) grid candidates by attach sequence
+        reproduces the exact iteration order of the exhaustive scan, which
+        is what keeps RNG draws and delivery callbacks in the same order.
+        """
+        grid = self._grids.get(kind)
+        if grid is None or cutoff is None:
+            return self._radios[kind]
+        candidates = grid.query(origin, cutoff)
+        candidates.sort(key=_attach_order)
+        return candidates
 
     def in_range(self, a: Radio, b: Radio) -> bool:
         """True if radios ``a`` and ``b`` are within their technology's range."""
@@ -91,7 +178,7 @@ class Medium:
         origin = sender.node.position
         return [
             radio
-            for radio in self._radios[sender.kind]
+            for radio in self._candidates(sender.kind, origin, model.max_range())
             if radio is not sender
             and radio.enabled
             and model.in_range(origin.distance_to(radio.node.position))
@@ -107,28 +194,26 @@ class Medium:
         model = self.propagation[sender.kind]
         origin = sender.node.position
         scheduled = 0
-        for receiver in self._radios[sender.kind]:
+        is_unit_disk = type(model) is UnitDisk
+        radius = model.radius if is_unit_disk else None
+        delay = frame.airtime + PROPAGATION_DELAY_S
+        for receiver in self._candidates(sender.kind, origin, model.max_range()):
             if receiver is sender:
                 continue
             distance = origin.distance_to(receiver.node.position)
-            if not frame_delivered(model, distance, self.rng):
+            if is_unit_disk:
+                # In-range under UnitDisk means certain delivery: skip the
+                # probability machinery (no RNG draw happens either way).
+                if distance > radius:
+                    continue
+            elif not frame_delivered(model, distance, self.rng):
                 continue
             if not receiver._accepts_frame(frame):
                 continue
-            delay = frame.airtime + PROPAGATION_DELAY_S
-            self.kernel.call_in(
-                delay,
-                self._make_delivery(receiver, frame, distance),
-            )
+            self.kernel.call_in(delay, _Delivery(self, receiver, frame, distance))
             scheduled += 1
         return scheduled
 
-    def _make_delivery(self, receiver: Radio, frame: Frame, distance: float):
-        def deliver() -> None:
-            # Re-check state at delivery time: the receiver may have been
-            # disabled (or stopped scanning) during the frame's airtime.
-            if receiver._accepts_frame(frame):
-                self.frames_delivered += 1
-                receiver._deliver(frame, distance)
 
-        return deliver
+def _attach_order(radio: Radio) -> int:
+    return radio._medium_seq

@@ -1,0 +1,26 @@
+"""The parallel experiment runner.
+
+Describes every evaluation artifact (Table 3/4/5, Fig 7, the ablations) as
+a flat list of independent, picklable *jobs* — one simulation cell at one
+seed each — fans them out over a process pool, and merges the results back
+in declaration order.  Because every cell builds its own ``Testbed`` from
+its own seed, parallel and serial runs are field-for-field identical.
+
+Entry points:
+
+- ``python -m repro.runner table4 --workers 4`` (CLI; writes
+  ``BENCH_runner.json`` with per-cell and total wall-clock), and
+- :func:`run_experiment` (library; returns a :class:`RunReport`).
+"""
+
+from repro.runner.engine import JobOutcome, RunReport, run_experiment
+from repro.runner.jobs import EXPERIMENTS, Job, jobs_for
+
+__all__ = [
+    "EXPERIMENTS",
+    "Job",
+    "JobOutcome",
+    "RunReport",
+    "jobs_for",
+    "run_experiment",
+]

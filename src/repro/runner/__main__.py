@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.runner``."""
+
+import sys
+
+from repro.runner.cli import main
+
+sys.exit(main())

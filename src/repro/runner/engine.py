@@ -1,0 +1,200 @@
+"""The fan-out engine: jobs → process pool → declaration-ordered results.
+
+Every job is an independent simulation (fresh kernel, fresh seed), so the
+pool needs no shared state and results can be merged purely by job index.
+Worker processes are forked where the platform allows it: the parent has
+already imported the simulator, so a forked worker starts hot instead of
+re-importing ~160 modules per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.jobs import Job, jobs_for
+
+#: JSON schema tag for BENCH_runner.json, bumped on layout changes.
+BENCH_SCHEMA = "repro.runner/bench.v1"
+
+
+@dataclass
+class JobOutcome:
+    """One finished cell: its structured result plus the wall-clock spent."""
+
+    experiment: str
+    cell: str
+    seed: Optional[int]
+    result: Any
+    wall_s: float
+
+    @property
+    def result_digest(self) -> str:
+        """A short stable fingerprint of the structured result.
+
+        Driver results are dataclasses of floats/strings, whose ``repr`` is
+        deterministic, so equal results hash equal across runs and modes.
+        """
+        return hashlib.sha256(repr(self.result).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class RunReport:
+    """Everything one runner invocation produced, in declaration order."""
+
+    experiment: str
+    seeds: List[Optional[int]]
+    workers: int  # 0 means in-process serial execution
+    start_method: Optional[str]
+    total_wall_s: float
+    outcomes: List[JobOutcome]
+    serial_wall_s: Optional[float] = None  # set by --compare-serial
+
+    @property
+    def mode(self) -> str:
+        return "serial" if self.workers == 0 else "parallel"
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.serial_wall_s is None or self.total_wall_s <= 0.0:
+            return None
+        return self.serial_wall_s / self.total_wall_s
+
+    @property
+    def results(self) -> List[Any]:
+        """Structured results in declaration order (all seeds, seed-major)."""
+        return [outcome.result for outcome in self.outcomes]
+
+    def results_by_seed(self) -> List[List[Any]]:
+        """One declaration-ordered result list per requested seed.
+
+        Jobs are enumerated seed-major in equal-sized blocks, so the flat
+        outcome list splits evenly back into per-seed grids.
+        """
+        block = len(self.outcomes) // max(1, len(self.seeds))
+        return [
+            [o.result for o in self.outcomes[i * block:(i + 1) * block]]
+            for i in range(len(self.seeds))
+        ]
+
+    def to_bench_dict(self) -> Dict[str, Any]:
+        """The BENCH_runner.json payload (see EXPERIMENTS.md for the schema)."""
+        payload: Dict[str, Any] = {
+            "schema": BENCH_SCHEMA,
+            "experiment": self.experiment,
+            "seeds": self.seeds,
+            "mode": self.mode,
+            "workers": self.workers,
+            "start_method": self.start_method,
+            "total_wall_s": self.total_wall_s,
+            "cells": [
+                {
+                    "experiment": outcome.experiment,
+                    "cell": outcome.cell,
+                    "seed": outcome.seed,
+                    "wall_s": outcome.wall_s,
+                    "result_digest": outcome.result_digest,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+        if self.serial_wall_s is not None:
+            payload["serial_wall_s"] = self.serial_wall_s
+            payload["speedup"] = self.speedup
+        return payload
+
+
+def _timed_run(indexed_job: Tuple[int, Job]) -> Tuple[int, Any, float]:
+    """Worker entry point: run one job, report (index, result, wall)."""
+    index, job = indexed_job
+    start = time.perf_counter()
+    result = job.run()
+    return index, result, time.perf_counter() - start
+
+
+def _pick_start_method(requested: Optional[str]) -> str:
+    if requested:
+        return requested
+    # fork starts hot (inherits the parent's imports); fall back to the
+    # platform default where fork is unavailable (e.g. Windows).
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return multiprocessing.get_start_method()
+
+
+def execute_jobs(
+    jobs: Sequence[Job],
+    workers: Optional[int] = None,
+    serial: bool = False,
+    start_method: Optional[str] = None,
+) -> Tuple[List[JobOutcome], float, Optional[str]]:
+    """Run ``jobs``; return (declaration-ordered outcomes, wall, method)."""
+    start = time.perf_counter()
+    method: Optional[str] = None
+    slots: List[Optional[Tuple[Any, float]]] = [None] * len(jobs)
+    if serial or not jobs:
+        for index, job in enumerate(jobs):
+            _, result, wall = _timed_run((index, job))
+            slots[index] = (result, wall)
+    else:
+        method = _pick_start_method(start_method)
+        context = multiprocessing.get_context(method)
+        pool_size = workers or context.cpu_count()
+        with ProcessPoolExecutor(max_workers=pool_size, mp_context=context) as pool:
+            for index, result, wall in pool.map(
+                _timed_run, enumerate(jobs), chunksize=1
+            ):
+                slots[index] = (result, wall)
+    outcomes = [
+        JobOutcome(
+            experiment=job.experiment,
+            cell=job.cell,
+            seed=job.seed,
+            result=slots[index][0],
+            wall_s=slots[index][1],
+        )
+        for index, job in enumerate(jobs)
+    ]
+    return outcomes, time.perf_counter() - start, method
+
+
+def run_experiment(
+    experiment: str,
+    seeds: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
+    serial: bool = False,
+    start_method: Optional[str] = None,
+    compare_serial: bool = False,
+) -> RunReport:
+    """Run one experiment grid (or "all") across ``seeds``.
+
+    ``seeds=None`` runs each experiment at its canonical default seed —
+    the exact grid the serial drivers produce.  With ``serial=True`` (or
+    ``workers`` in {0, 1} semantics via the CLI) everything runs in this
+    process; otherwise jobs fan out over ``workers`` forked processes.
+    ``compare_serial=True`` additionally replays the grid serially and
+    records the parallel-vs-serial wall-clock ratio.
+    """
+    seed_list: List[Optional[int]] = list(seeds) if seeds else [None]
+    jobs: List[Job] = []
+    for seed in seed_list:
+        jobs.extend(jobs_for(experiment, seed))
+    outcomes, total_wall, method = execute_jobs(
+        jobs, workers=workers, serial=serial, start_method=start_method
+    )
+    report = RunReport(
+        experiment=experiment,
+        seeds=seed_list,
+        workers=0 if serial else (workers or multiprocessing.cpu_count()),
+        start_method=method,
+        total_wall_s=total_wall,
+        outcomes=outcomes,
+    )
+    if compare_serial and not serial:
+        _, serial_wall, _ = execute_jobs(jobs, serial=True)
+        report.serial_wall_s = serial_wall
+    return report

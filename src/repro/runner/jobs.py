@@ -1,0 +1,160 @@
+"""Experiment cells as picklable jobs.
+
+A :class:`Job` names one simulation cell — a module-level driver function
+plus arguments — so a worker process can reconstruct and run it from a
+pickle.  The per-experiment factories below enumerate cells in the same
+declaration order as the serial drivers (``run_table4`` & co.), which is
+the order the engine merges results back into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.experiments import (
+    ablations,
+    baseline_current,
+    controlled,
+    disseminate_exp,
+    prophet_exp,
+)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One experiment cell at one seed; picklable by construction."""
+
+    experiment: str
+    cell: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def run(self) -> Any:
+        """Execute the cell in-process and return its structured result."""
+        return self.fn(*self.args, **self.kwargs)
+
+
+def _table3_jobs(seed: Optional[int]) -> List[Job]:
+    seed = 3 if seed is None else seed
+    return [
+        Job(
+            experiment="table3",
+            cell=baseline_current.OPERATIONS[index].__name__.replace("measure_", ""),
+            fn=baseline_current.measure_operation,
+            args=(index,),
+            kwargs={"seed": seed},
+            seed=seed,
+        )
+        for index in baseline_current.iter_cells()
+    ]
+
+
+def _table4_jobs(seed: Optional[int]) -> List[Job]:
+    seed = 1 if seed is None else seed
+    jobs = []
+    for system, context_tech, data_tech, response_bytes in controlled.iter_cells():
+        size = "30B" if response_bytes == controlled.SMALL_RESPONSE_BYTES else "25MB"
+        jobs.append(
+            Job(
+                experiment="table4",
+                cell=f"{system}:{context_tech}/{data_tech}/{size}",
+                fn=controlled.run_cell,
+                args=(system, context_tech, data_tech, response_bytes),
+                kwargs={"seed": seed},
+                seed=seed,
+            )
+        )
+    return jobs
+
+
+def _table5_jobs(seed: Optional[int]) -> List[Job]:
+    seed = 11 if seed is None else seed
+    return [
+        Job(
+            experiment="table5",
+            cell=f"{variant}@{rate_kbps:g}KBps",
+            fn=disseminate_exp.run_cell,
+            args=(variant, rate_kbps),
+            kwargs={"seed": seed},
+            seed=seed,
+        )
+        for variant, rate_kbps in disseminate_exp.iter_cells()
+    ]
+
+
+def _fig7_jobs(seed: Optional[int]) -> List[Job]:
+    seed = 21 if seed is None else seed
+    return [
+        Job(
+            experiment="fig7",
+            cell=variant,
+            fn=prophet_exp.run_variant,
+            args=(variant,),
+            kwargs={"seed": seed},
+            seed=seed,
+        )
+        for variant in prophet_exp.iter_cells()
+    ]
+
+
+#: (section name, point function, grid of point arguments, canonical seed).
+_ABLATION_SECTIONS = [
+    ("beacon_interval", ablations.beacon_interval_point,
+     ablations.BEACON_INTERVALS, 31),
+    ("secondary_listen", ablations.secondary_listen_point,
+     ablations.LISTEN_PERIODS, 32),
+    ("context_technology", ablations.context_technology_point,
+     ablations.CONTEXT_TECHS, 33),
+    ("selection_policy", ablations.selection_policy_point,
+     ablations.SELECTION_POLICIES, 34),
+    ("adaptive_beacon", ablations.adaptive_beacon_point,
+     ablations.BEACON_MODES, 35),
+]
+
+
+def _ablations_jobs(seed: Optional[int]) -> List[Job]:
+    jobs = []
+    for section, fn, grid, default_seed in _ABLATION_SECTIONS:
+        section_seed = default_seed if seed is None else seed
+        for value in grid:
+            jobs.append(
+                Job(
+                    experiment="ablations",
+                    cell=f"{section}/{value}",
+                    fn=fn,
+                    args=(value,),
+                    kwargs={"seed": section_seed},
+                    seed=section_seed,
+                )
+            )
+    return jobs
+
+
+#: experiment name -> factory(seed) -> declaration-ordered job list.
+EXPERIMENTS: Dict[str, Callable[[Optional[int]], List[Job]]] = {
+    "table3": _table3_jobs,
+    "table4": _table4_jobs,
+    "table5": _table5_jobs,
+    "fig7": _fig7_jobs,
+    "ablations": _ablations_jobs,
+}
+
+
+def jobs_for(experiment: str, seed: Optional[int] = None) -> List[Job]:
+    """Enumerate the jobs of ``experiment`` (or of every one, for "all")."""
+    if experiment == "all":
+        jobs = []
+        for factory in EXPERIMENTS.values():
+            jobs.extend(factory(seed))
+        return jobs
+    try:
+        factory = EXPERIMENTS[experiment]
+    except KeyError:
+        known = ", ".join([*EXPERIMENTS, "all"])
+        raise ValueError(
+            f"unknown experiment {experiment!r} (choose from: {known})"
+        ) from None
+    return factory(seed)

@@ -13,13 +13,16 @@ from typing import Any, Callable, Optional
 class EventHandle:
     """A cancellable reference to one scheduled callback."""
 
-    __slots__ = ("time", "seq", "callback", "_cancelled")
+    __slots__ = ("time", "seq", "callback", "_cancelled", "_scheduler")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], Any]) -> None:
         self.time = time
         self.seq = seq
         self.callback: Optional[Callable[[], Any]] = callback
         self._cancelled = False
+        # Back-reference used for O(1) pending-event accounting; set by the
+        # scheduler on push, cleared when the event fires or is cancelled.
+        self._scheduler = None
 
     @property
     def cancelled(self) -> bool:
@@ -28,8 +31,14 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the callback from running. Idempotent."""
+        if self._cancelled:
+            return
         self._cancelled = True
         self.callback = None  # release closure references eagerly
+        scheduler = self._scheduler
+        if scheduler is not None:
+            self._scheduler = None
+            scheduler._event_cancelled()
 
     def __lt__(self, other: "EventHandle") -> bool:
         # heapq ordering: time first, then insertion order for determinism.

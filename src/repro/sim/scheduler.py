@@ -21,6 +21,7 @@ class EventScheduler:
         self._heap: List[EventHandle] = []
         self._seq = 0
         self._now = 0.0
+        self._pending = 0  # live count of non-cancelled events in the heap
 
     @property
     def now(self) -> float:
@@ -28,8 +29,17 @@ class EventScheduler:
         return self._now
 
     def __len__(self) -> int:
-        """Number of pending (non-cancelled) events."""
-        return sum(1 for handle in self._heap if not handle.cancelled)
+        """Number of pending (non-cancelled) events.
+
+        Maintained incrementally on push/pop/cancel, so this is O(1) — it
+        used to re-scan the whole heap, which made innocent-looking progress
+        checks (``while len(scheduler): ...``) quadratic.
+        """
+        return self._pending
+
+    def _event_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`EventHandle.cancel`."""
+        self._pending -= 1
 
     def schedule_at(self, time: float, callback: Callable[[], Any]) -> EventHandle:
         """Schedule ``callback`` to run at absolute simulation ``time``."""
@@ -38,7 +48,9 @@ class EventScheduler:
                 f"cannot schedule at t={time} (now is t={self._now})"
             )
         handle = EventHandle(time, self._seq, callback)
+        handle._scheduler = self
         self._seq += 1
+        self._pending += 1
         heapq.heappush(self._heap, handle)
         return handle
 
@@ -65,6 +77,8 @@ class EventScheduler:
         if not self._heap:
             return False
         handle = heapq.heappop(self._heap)
+        self._pending -= 1
+        handle._scheduler = None  # fired: a later cancel() must not decrement
         self._now = handle.time
         callback, handle.callback = handle.callback, None
         assert callback is not None  # non-cancelled head always has one

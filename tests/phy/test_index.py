@@ -1,0 +1,125 @@
+"""The uniform-grid spatial index and its wiring into the world."""
+
+import pytest
+
+from repro.phy.geometry import Position
+from repro.phy.index import UniformGridIndex
+from repro.phy.mobility import Linear, Static
+from repro.phy.world import World
+from repro.sim.kernel import Kernel
+
+
+def test_query_returns_superset_within_radius():
+    index = UniformGridIndex(10.0)
+    index.insert("near", Position(3.0, 4.0))
+    index.insert("far", Position(200.0, 200.0))
+    candidates = index.query(Position(0.0, 0.0), 10.0)
+    assert "near" in candidates
+    assert "far" not in candidates
+
+
+def test_boundary_item_is_always_a_candidate():
+    index = UniformGridIndex(30.0)
+    index.insert("edge", Position(30.0, 0.0))
+    assert "edge" in index.query(Position(0.0, 0.0), 30.0)
+
+
+def test_roaming_items_match_every_query():
+    index = UniformGridIndex(10.0)
+    index.insert("rover", None)
+    assert index.roaming_count == 1
+    assert "rover" in index.query(Position(1e6, 1e6), 0.001)
+
+
+def test_update_moves_between_cells():
+    index = UniformGridIndex(10.0)
+    index.insert("a", Position(0.0, 0.0))
+    index.update("a", Position(500.0, 500.0))
+    assert "a" not in index.query(Position(0.0, 0.0), 10.0)
+    assert "a" in index.query(Position(500.0, 500.0), 10.0)
+
+
+def test_update_to_and_from_roaming():
+    index = UniformGridIndex(10.0)
+    index.insert("a", Position(0.0, 0.0))
+    index.update("a", None)
+    assert index.roaming_count == 1
+    assert "a" in index.query(Position(900.0, 900.0), 1.0)
+    index.update("a", Position(900.0, 900.0))
+    assert index.roaming_count == 0
+    assert "a" in index.query(Position(900.0, 900.0), 1.0)
+
+
+def test_remove_and_reinsert():
+    index = UniformGridIndex(10.0)
+    index.insert("a", Position(0.0, 0.0))
+    index.remove("a")
+    assert "a" not in index
+    assert index.query(Position(0.0, 0.0), 10.0) == []
+    index.insert("a", Position(0.0, 0.0))
+    assert "a" in index
+
+
+def test_double_insert_rejected():
+    index = UniformGridIndex(10.0)
+    index.insert("a", Position(0.0, 0.0))
+    with pytest.raises(ValueError):
+        index.insert("a", Position(1.0, 1.0))
+
+
+def test_negative_coordinates_bucket_correctly():
+    index = UniformGridIndex(10.0)
+    index.insert("sw", Position(-5.0, -5.0))
+    assert "sw" in index.query(Position(0.0, 0.0), 10.0)
+    assert "sw" not in index.query(Position(50.0, 50.0), 10.0)
+
+
+def test_cell_size_must_be_positive():
+    with pytest.raises(ValueError):
+        UniformGridIndex(0.0)
+
+
+# -- world wiring ------------------------------------------------------------
+
+
+def test_nodes_within_tracks_move_to():
+    world = World(Kernel(seed=1))
+    center = world.add_node("center", position=Position(0.0, 0.0))
+    other = world.add_node("other", position=Position(500.0, 0.0))
+    assert world.nodes_within(center, 50.0) == []
+    other.move_to(Position(10.0, 0.0))
+    assert world.nodes_within(center, 50.0) == [other]
+    other.move_to(Position(400.0, 0.0))
+    assert world.nodes_within(center, 50.0) == []
+
+
+def test_nodes_within_sees_mobile_nodes():
+    kernel = Kernel(seed=1)
+    world = World(kernel)
+    center = world.add_node("center", position=Position(0.0, 0.0))
+    walker = world.add_node(
+        "walker", mobility=Linear(Position(200.0, 0.0), (-10.0, 0.0))
+    )
+    assert world.nodes_within(center, 30.0) == []
+    kernel.run_until(18.0)  # walker now at x=20
+    assert world.nodes_within(center, 30.0) == [walker]
+
+
+def test_mobile_node_pinned_by_move_to_is_reindexed():
+    kernel = Kernel(seed=1)
+    world = World(kernel)
+    center = world.add_node("center", position=Position(0.0, 0.0))
+    walker = world.add_node(
+        "walker", mobility=Linear(Position(200.0, 0.0), (-10.0, 0.0))
+    )
+    walker.move_to(Position(5.0, 0.0))
+    assert type(walker.mobility) is Static
+    assert world.nodes_within(center, 30.0) == [walker]
+
+
+def test_remove_node_leaves_index_consistent():
+    world = World(Kernel(seed=1))
+    center = world.add_node("center", position=Position(0.0, 0.0))
+    world.add_node("doomed", position=Position(5.0, 0.0))
+    world.remove_node("doomed")
+    assert world.nodes_within(center, 50.0) == []

@@ -106,6 +106,36 @@ def test_frame_counters(kernel, medium, make_device):
     kernel.run_until(1.0)
     assert medium.frames_sent == 1
     assert medium.frames_delivered == 1
+    assert medium.frames_dropped == 0
+
+
+def test_frames_dropped_counts_airtime_losses(kernel, medium, make_device):
+    # A delivery scheduled at broadcast time but rejected at arrival (the
+    # receiver stopped scanning during the airtime) lands in frames_dropped.
+    a = make_device("a", x=0)
+    b = make_device("b", x=5)
+    heard = []
+    _scan_all(b, heard)
+    a.radios[RadioKind.BLE].advertise_once(b"x")
+    b.radios[RadioKind.BLE].stop_scanning()
+    kernel.run_until(1.0)
+    assert heard == []
+    assert medium.frames_sent == 1
+    assert medium.frames_delivered == 0
+    assert medium.frames_dropped == 1
+
+
+def test_broadcast_uses_spatial_pruning(kernel, medium, make_device):
+    # Far-away radios must not even be distance-tested: the grid candidate
+    # set for a BLE broadcast from the origin excludes them outright.
+    a = make_device("a", x=0)
+    make_device("b", x=10)
+    make_device("far", x=5000)
+    origin = a.radios[RadioKind.BLE].node.position
+    candidates = medium._candidates(RadioKind.BLE, origin, 30.0)
+    names = {radio.device.name for radio in candidates}
+    assert "far" not in names
+    assert "b" in names
 
 
 def test_adhoc_mesh_is_singleton(medium):

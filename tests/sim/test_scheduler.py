@@ -77,6 +77,43 @@ def test_len_counts_only_pending():
     assert len(scheduler) == 1
 
 
+def test_len_stays_exact_across_cancel_and_reschedule():
+    # Regression: __len__ is maintained incrementally now (it used to
+    # re-scan the heap), so every push/pop/cancel path must keep it exact —
+    # including cancelling an already-fired handle and double-cancels.
+    scheduler = EventScheduler()
+    first = scheduler.schedule(1.0, lambda: None)
+    second = scheduler.schedule(2.0, lambda: None)
+    assert len(scheduler) == 2
+    first.cancel()
+    assert len(scheduler) == 1
+    replacement = scheduler.schedule(1.5, lambda: None)
+    assert len(scheduler) == 2
+    replacement.cancel()
+    replacement.cancel()  # idempotent: must not double-decrement
+    assert len(scheduler) == 1
+    assert scheduler.step() is True  # fires `second`
+    assert len(scheduler) == 0
+    second.cancel()  # cancelling after firing must not go negative
+    assert len(scheduler) == 0
+    again = scheduler.schedule(1.0, lambda: None)
+    assert len(scheduler) == 1
+    scheduler.run()
+    assert len(scheduler) == 0
+
+
+def test_len_exact_while_cancelled_events_still_in_heap():
+    scheduler = EventScheduler()
+    handles = [scheduler.schedule(float(i + 1), lambda: None) for i in range(5)]
+    handles[3].cancel()
+    handles[1].cancel()
+    # The cancelled handles are still buried in the heap (lazy deletion),
+    # but the count must already exclude them.
+    assert len(scheduler) == 3
+    scheduler.run()
+    assert len(scheduler) == 0
+
+
 def test_scheduling_in_past_raises():
     scheduler = EventScheduler()
     scheduler.schedule(1.0, lambda: None)
