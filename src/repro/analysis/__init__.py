@@ -1,0 +1,46 @@
+"""Static determinism analysis + runtime RNG tripwire.
+
+The simulator's core claim — that SP/SA/Omni energy and latency differences
+emerge reproducibly from middleware behaviour — rests on bit-for-bit
+determinism.  This package enforces the invariants that determinism silently
+assumes, two ways:
+
+- **statically**: ``python -m repro.analysis src/repro`` walks the tree with
+  an AST pass and reports violations of the DET rules (global RNG use,
+  wall-clock reads, ``hash()``-derived seeds, unsorted set iteration, ...),
+  exiting nonzero on any finding not waived in the checked-in baseline;
+- **at runtime**: :mod:`repro.analysis.tripwire` monkeypatches the
+  module-level ``random`` (and ``numpy.random``) entry points to raise, so a
+  driver that touches global RNG state fails its cell loudly instead of
+  silently degrading cross-process determinism.  The runner engine installs
+  it around every cell.
+
+See EXPERIMENTS.md ("Determinism invariants") for the rule catalogue and the
+waiver workflow.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineError, Waiver
+from repro.analysis.rules import RULES, Finding, Rule
+from repro.analysis.tripwire import GlobalRngError, Tripwire, guard
+from repro.analysis.visitor import (
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    normalize_path,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "GlobalRngError",
+    "RULES",
+    "Rule",
+    "Tripwire",
+    "Waiver",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "guard",
+    "normalize_path",
+]

@@ -1,0 +1,152 @@
+"""The determinism baseline: per-line waivers with mandatory justifications.
+
+A baseline file lists findings the team has inspected and accepted, one per
+line::
+
+    repro/radio/wifi.py:162: DET005  # dedup only; result list is sorted by mesh.name
+
+The key is ``(path, line, code)`` — normalized path (see
+:func:`repro.analysis.visitor.normalize_path`), 1-based line, rule code — and
+the justification after ``#`` is **required**: a waiver nobody can explain is
+a finding, not a waiver.
+
+Waivers expire: when the code a waiver covered is fixed or moves, the waiver
+stops matching any finding and becomes *stale*.  Stale waivers fail the run
+(exit code 2) so the baseline can only shrink deliberately, never rot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.rules import RULES, Finding
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be parsed (or lacks a justification)."""
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One accepted finding."""
+
+    path: str
+    line: int
+    code: str
+    justification: str
+
+    @property
+    def key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.code)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code}  # {self.justification}"
+
+
+def _parse_line(raw: str, lineno: int, origin: str) -> Waiver:
+    body, _, comment = raw.partition("#")
+    justification = comment.strip()
+    if not justification:
+        raise BaselineError(
+            f"{origin}:{lineno}: waiver needs a one-line justification "
+            f"after '#': {raw.strip()!r}"
+        )
+    try:
+        location, code = body.rsplit(":", 1)
+        path, line_text = location.rsplit(":", 1)
+        waiver = Waiver(
+            path=path.strip(),
+            line=int(line_text),
+            code=code.strip(),
+            justification=justification,
+        )
+    except ValueError:
+        raise BaselineError(
+            f"{origin}:{lineno}: expected 'path:line: CODE  # why', "
+            f"got {raw.strip()!r}"
+        ) from None
+    if waiver.code not in RULES:
+        known = ", ".join(RULES)
+        raise BaselineError(
+            f"{origin}:{lineno}: unknown rule code {waiver.code!r} "
+            f"(known: {known})"
+        )
+    return waiver
+
+
+class Baseline:
+    """The set of waived findings, with application and serialisation."""
+
+    def __init__(self, waivers: Sequence[Waiver] = ()) -> None:
+        self.waivers: List[Waiver] = list(waivers)
+        duplicates = len(self.waivers) - len({w.key for w in self.waivers})
+        if duplicates:
+            raise BaselineError(f"baseline contains {duplicates} duplicate waiver(s)")
+
+    @classmethod
+    def parse(cls, text: str, origin: str = "<baseline>") -> "Baseline":
+        waivers = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            waivers.append(_parse_line(raw, lineno, origin))
+        return cls(waivers)
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        """Parse the baseline at ``path``; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        return cls.parse(path.read_text(encoding="utf-8"), origin=str(path))
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Waiver]]:
+        """Split ``findings`` against the baseline.
+
+        Returns ``(new_findings, stale_waivers)``: findings with no waiver,
+        and waivers that matched no finding (expired — the code they covered
+        changed).
+        """
+        waived = {waiver.key for waiver in self.waivers}
+        present = {finding.key for finding in findings}
+        new = [f for f in findings if f.key not in waived]
+        stale = [w for w in self.waivers if w.key not in present]
+        return new, stale
+
+    def justifications(self) -> Dict[Tuple[str, int, str], str]:
+        return {waiver.key: waiver.justification for waiver in self.waivers}
+
+
+_HEADER = """\
+# Determinism baseline — accepted findings of `python -m repro.analysis`.
+# One waiver per line: `path:line: CODE  # one-line justification`.
+# A waiver that stops matching a finding is *stale* and fails the lint,
+# so fixes must delete their waiver in the same change.
+"""
+
+
+def format_baseline(findings: Sequence[Finding], previous: Baseline) -> str:
+    """Render ``findings`` as a baseline file, keeping known justifications.
+
+    Findings the previous baseline had not waived get a ``TODO`` marker the
+    author must replace — the parser treats it as a justification so the file
+    round-trips, but review should not.
+    """
+    carried = previous.justifications()
+    lines = [_HEADER]
+    for finding in findings:
+        justification = carried.get(
+            finding.key, f"TODO: justify ({finding.message})"
+        )
+        lines.append(Waiver(
+            path=finding.path,
+            line=finding.line,
+            code=finding.code,
+            justification=justification,
+        ).render())
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,78 @@
+"""Rendering for analysis results — the text report and a JSON payload."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.baseline import Waiver
+from repro.analysis.rules import RULES, Finding
+
+#: Schema tag for ``--format json`` output, bumped on layout changes.
+REPORT_SCHEMA = "repro.analysis/report.v1"
+
+
+def render_text(
+    new: Sequence[Finding],
+    stale: Sequence[Waiver],
+    waived_count: int,
+) -> str:
+    """The human report: findings, then stale waivers, then a summary line."""
+    lines: List[str] = []
+    for finding in new:
+        lines.append(finding.render())
+        lines.append(f"    rule: {RULES[finding.code].name} — "
+                     f"{RULES[finding.code].suggestion}")
+    for waiver in stale:
+        lines.append(
+            f"{waiver.path}:{waiver.line}: stale waiver for {waiver.code} "
+            f"— no finding matches any more; delete it from the baseline"
+        )
+    verdict = "clean" if not new and not stale else "FAILED"
+    lines.append(
+        f"determinism lint: {verdict} — {len(new)} new finding(s), "
+        f"{waived_count} waived, {len(stale)} stale waiver(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Finding],
+    stale: Sequence[Waiver],
+    waived_count: int,
+) -> Dict[str, Any]:
+    return {
+        "schema": REPORT_SCHEMA,
+        "clean": not new and not stale,
+        "waived": waived_count,
+        "findings": [
+            {
+                "code": f.code,
+                "rule": RULES[f.code].name,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in new
+        ],
+        "stale_waivers": [
+            {
+                "code": w.code,
+                "path": w.path,
+                "line": w.line,
+                "justification": w.justification,
+            }
+            for w in stale
+        ],
+    }
+
+
+def render_rules() -> str:
+    """The catalogue listing for ``--list-rules``."""
+    lines = []
+    for rule in RULES.values():
+        lines.append(f"{rule.code} {rule.name}: {rule.summary}")
+        lines.append(f"    fix: {rule.suggestion}")
+        if rule.exempt_paths:
+            lines.append(f"    exempt by design: {', '.join(rule.exempt_paths)}")
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""The determinism rule catalogue.
+
+Each rule has a stable code (``DET001``...), a short kebab-case name used in
+reports, a statement of the invariant it protects, and the approved
+alternative.  The AST pass in :mod:`repro.analysis.visitor` decides *where* a
+rule fires; this module records *what* each rule means and which paths are
+exempt **by design** (the module that owns the invariant is allowed to
+implement it — ``repro.util.rng`` may import ``random``, the runner's timing
+code may read the clock, the tripwire may patch what it polices).
+
+Anything else that needs an exception takes a per-line waiver in the baseline
+file instead, with a one-line justification (see
+:mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One determinism invariant the linter enforces."""
+
+    code: str
+    name: str
+    summary: str
+    suggestion: str
+    #: Normalized-path prefixes where the rule never fires (the invariant's
+    #: own implementation).  Everything else must use a baseline waiver.
+    exempt_paths: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str  # normalized (posix, rooted at the repro package where possible)
+    line: int
+    col: int
+    message: str
+
+    @property
+    def key(self) -> Tuple[str, int, str]:
+        """The identity a baseline waiver matches on."""
+        return (self.path, self.line, self.code)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+_RULE_LIST = [
+    Rule(
+        code="DET001",
+        name="global-rng",
+        summary="use of the process-global random/numpy.random state",
+        suggestion="draw from a SeededRng stream (repro.util.rng), deriving "
+        "child streams with .child(...) where independence is needed",
+        exempt_paths=("repro/util/rng.py", "repro/analysis/"),
+    ),
+    Rule(
+        code="DET002",
+        name="wall-clock",
+        summary="wall-clock read inside simulation code",
+        suggestion="use kernel.now (simulated time); only the runner's "
+        "timing code may read the host clock",
+        exempt_paths=("repro/runner/engine.py",),
+    ),
+    Rule(
+        code="DET003",
+        name="builtin-hash",
+        summary="builtin hash() used for derivation (salted per process "
+        "via PYTHONHASHSEED)",
+        suggestion="derive seeds/identities with repro.util.rng.derive_seed "
+        "or hashlib",
+    ),
+    Rule(
+        code="DET004",
+        name="unsorted-set-iteration",
+        summary="iteration over a set in an ordering-sensitive position",
+        suggestion="wrap the set in sorted(...) at the point of iteration "
+        "(membership tests and order-insensitive reducers are fine)",
+    ),
+    Rule(
+        code="DET005",
+        name="id-ordering",
+        summary="id() — object addresses vary per process, so any ordering "
+        "or keying built on them does too",
+        suggestion="key on a stable attribute (a name, an address, a "
+        "sequence number) instead of the interpreter's object address",
+    ),
+    Rule(
+        code="DET006",
+        name="mutable-default",
+        summary="mutable default argument — state leaks across calls and "
+        "instances, diverging runs that share the function object",
+        suggestion="default to None and construct the container inside the "
+        "function body",
+    ),
+    Rule(
+        code="DET007",
+        name="environ-read",
+        summary="os.environ read inside simulation code — results would "
+        "depend on the host environment",
+        suggestion="thread configuration through explicit parameters "
+        "(scenario/config objects) instead of the environment",
+    ),
+]
+
+#: code -> rule, in catalogue order.
+RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULE_LIST}

@@ -1,0 +1,233 @@
+"""Runtime tripwire for process-global RNG state.
+
+The static pass catches global-RNG use in the repo's own tree; the tripwire
+catches it *anywhere* — third-party helpers, test scaffolding, future
+drivers — at the moment it would corrupt a run.  :func:`install` snapshots
+``random.getstate()`` (and ``numpy.random.get_state()`` when numpy is
+importable) and replaces the module-level entry points with raisers, so any
+call like ``random.random()`` fails loudly with the offending call site
+instead of silently desynchronising cross-process determinism.
+
+The runner engine wraps every cell in :func:`guard`, which additionally
+verifies on exit that the global state did not drift through some unpatched
+path (e.g. code holding a direct reference to the shared ``Random``
+instance).
+
+Constructing private ``random.Random(seed)`` instances — what
+:class:`repro.util.rng.SeededRng` does — never touches module state and
+stays allowed.
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+
+class GlobalRngError(RuntimeError):
+    """Simulation code touched the process-global RNG state."""
+
+
+#: Module-level ``random`` entry points that read or advance the shared
+#: stream.  Guarded with ``hasattr`` so the list tolerates version drift.
+_RANDOM_NAMES = (
+    "random",
+    "uniform",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "betavariate",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "getrandbits",
+    "lognormvariate",
+    "normalvariate",
+    "paretovariate",
+    "randbytes",
+    "seed",
+    "setstate",
+    "triangular",
+    "vonmisesvariate",
+    "weibullvariate",
+    "binomialvariate",
+)
+
+#: ``numpy.random`` legacy entry points bound to the global RandomState.
+_NUMPY_NAMES = (
+    "random",
+    "random_sample",
+    "rand",
+    "randn",
+    "randint",
+    "ranf",
+    "sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "exponential",
+    "poisson",
+    "binomial",
+    "seed",
+    "set_state",
+)
+
+
+def _numpy_random() -> Optional[Any]:
+    try:
+        import numpy  # noqa: PLC0415 - optional, gated import
+    except ImportError:
+        return None
+    return numpy.random
+
+
+#: This module's own file, excluded when hunting for the offending frame.
+_THIS_FILE = __file__
+
+
+def _caller_site() -> str:
+    """``file:line`` of the nearest frame outside this module."""
+    for frame in reversed(traceback.extract_stack()[:-2]):
+        if frame.filename != _THIS_FILE:
+            return f"{frame.filename}:{frame.lineno}"
+    return "<unknown>"
+
+
+def _make_raiser(module_name: str, attr: str, label: Optional[str]):
+    def blocked(*_args: Any, **_kwargs: Any) -> Any:
+        cell = f" while running {label}" if label else ""
+        raise GlobalRngError(
+            f"{module_name}.{attr}() called at {_caller_site()}{cell}: "
+            "the process-global RNG is off limits in simulation code — "
+            "draw from a repro.util.rng.SeededRng stream instead"
+        )
+
+    blocked.__name__ = f"tripwire_blocked_{attr}"
+    return blocked
+
+
+class Tripwire:
+    """One installed tripwire; prefer the :func:`guard` context manager."""
+
+    def __init__(self, label: Optional[str] = None) -> None:
+        self.label = label
+        self.installed = False
+        self._saved_random: Dict[str, Any] = {}
+        self._saved_numpy: Dict[str, Any] = {}
+        self._random_state: Any = None
+        self._numpy_state: Any = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def install(self) -> "Tripwire":
+        """Snapshot global RNG state and patch the entry points to raise."""
+        global _active
+        if _active is not None:
+            raise RuntimeError("a Tripwire is already installed")
+        self._random_state = random.getstate()
+        for name in _RANDOM_NAMES:
+            if hasattr(random, name):
+                self._saved_random[name] = getattr(random, name)
+                setattr(random, name, _make_raiser("random", name, self.label))
+        numpy_random = _numpy_random()
+        if numpy_random is not None:
+            self._numpy_state = numpy_random.get_state()
+            for name in _NUMPY_NAMES:
+                if hasattr(numpy_random, name):
+                    self._saved_numpy[name] = getattr(numpy_random, name)
+                    setattr(
+                        numpy_random, name,
+                        _make_raiser("numpy.random", name, self.label),
+                    )
+        self.installed = True
+        _active = self
+        return self
+
+    def verify(self) -> None:
+        """Fail if the snapshotted global state drifted since install.
+
+        The raisers stop the module-level entry points, but code holding a
+        direct reference to the shared generator bypasses them; comparing
+        ``getstate()`` closes that hole at cell boundaries.
+        """
+        if not self.installed:
+            raise RuntimeError("Tripwire not installed")
+        cell = f" while running {self.label}" if self.label else ""
+        if random.getstate() != self._random_state:
+            raise GlobalRngError(
+                f"global random state drifted{cell}: something advanced the "
+                "shared random.Random instance through a direct reference"
+            )
+        numpy_random = _numpy_random()
+        if numpy_random is not None and self._numpy_state is not None:
+            state = numpy_random.get_state()
+            if not _numpy_states_equal(state, self._numpy_state):
+                raise GlobalRngError(
+                    f"global numpy.random state drifted{cell}: something "
+                    "advanced the shared RandomState through a direct "
+                    "reference"
+                )
+
+    def uninstall(self) -> None:
+        """Restore the original entry points (idempotent)."""
+        global _active
+        if not self.installed:
+            return
+        for name, original in self._saved_random.items():
+            setattr(random, name, original)
+        self._saved_random.clear()
+        numpy_random = _numpy_random()
+        if numpy_random is not None:
+            for name, original in self._saved_numpy.items():
+                setattr(numpy_random, name, original)
+        self._saved_numpy.clear()
+        self.installed = False
+        if _active is self:
+            _active = None
+
+
+#: The currently installed tripwire, if any (one per process).
+_active: Optional[Tripwire] = None
+
+
+def _numpy_states_equal(state_a: Any, state_b: Any) -> bool:
+    """Compare ``numpy.random.get_state()`` tuples (arrays defeat ``==``)."""
+    if len(state_a) != len(state_b):
+        return False
+    for part_a, part_b in zip(state_a, state_b):
+        if hasattr(part_a, "tolist"):
+            part_a = part_a.tolist()
+        if hasattr(part_b, "tolist"):
+            part_b = part_b.tolist()
+        if part_a != part_b:
+            return False
+    return True
+
+
+def install(label: Optional[str] = None) -> Tripwire:
+    """Install and return a tripwire (raises if one is already active)."""
+    return Tripwire(label).install()
+
+
+def active() -> Optional[Tripwire]:
+    """The tripwire currently installed in this process, if any."""
+    return _active
+
+
+@contextmanager
+def guard(label: Optional[str] = None) -> Iterator[Tripwire]:
+    """Run a block with the tripwire installed; verify state on clean exit."""
+    tripwire = Tripwire(label).install()
+    try:
+        yield tripwire
+        tripwire.verify()
+    finally:
+        tripwire.uninstall()

@@ -1,0 +1,432 @@
+"""The AST pass behind ``python -m repro.analysis``.
+
+One :class:`DeterminismVisitor` walks one module and emits
+:class:`~repro.analysis.rules.Finding` objects.  The pass is deliberately
+syntactic — no type inference, no cross-module dataflow — with two small
+doses of context so the common safe idioms stay quiet:
+
+- **set tracking** (DET004): names and attributes assigned or annotated as
+  sets in the module are remembered, so ``for tech in self._engaged:`` is
+  flagged even though the expression itself is just an attribute;
+- **reducer suppression** (DET004): iteration that happens *inside* an
+  order-insensitive consumer — ``sorted(...)``, ``min``/``max``, ``sum``,
+  ``len``, ``any``/``all``, ``set``/``frozenset`` — is not a hazard, so
+  ``sorted(t.value for t in tried)`` is clean while
+  ``[t.value for t in tried]`` is not.
+
+False positives are expected in the tail (that is what the baseline's
+per-line waivers are for); false negatives are the thing to minimise.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.rules import RULES, Finding
+
+#: Dotted-name suffixes that read the host clock (DET002).
+_WALL_CLOCK_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: Module-level callables whose defaults must not be mutable (DET006).
+_MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "deque",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+}
+
+#: Consumers for which iteration order cannot matter (DET004 suppression).
+_ORDER_INSENSITIVE_CALLS = {
+    "sorted",
+    "min",
+    "max",
+    "sum",
+    "len",
+    "any",
+    "all",
+    "set",
+    "frozenset",
+    "Counter",
+}
+
+#: Annotation heads that denote a set type (DET004 tracking).
+_SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "MutableSet", "AbstractSet"}
+
+#: Ordering-sensitive materialisers of an iterable (DET004 sinks).
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate"}
+
+
+def normalize_path(path) -> str:
+    """A stable posix path key, rooted at the ``repro`` package when inside it.
+
+    ``/root/repo/src/repro/radio/wifi.py`` → ``repro/radio/wifi.py`` whatever
+    the checkout location or working directory, so baseline waivers written on
+    one machine match findings produced on another.  Files outside the package
+    (test fixtures) fall back to a cwd-relative posix path.
+    """
+    parts = Path(path).as_posix().split("/")
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[index:])
+    resolved = Path(path).resolve()
+    try:
+        return resolved.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """The trailing identifier of the called object (``sorted``, ``list``)."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _annotation_head(node: ast.AST) -> Optional[str]:
+    """The head identifier of an annotation (``Set[int]`` → ``Set``)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation: take the head up to the first bracket.
+        return node.value.split("[", 1)[0].strip().rsplit(".", 1)[-1] or None
+    dotted = _dotted_name(node)
+    if dotted is None:
+        return None
+    return dotted.rsplit(".", 1)[-1]
+
+
+def _target_name(node: ast.AST) -> Optional[str]:
+    """The bindable identifier of an assignment target (``self.x`` → ``x``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class _SetNameCollector(ast.NodeVisitor):
+    """First pass: which names/attributes in this module hold sets?"""
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+    def _is_set_annotation(self, annotation: ast.AST) -> bool:
+        return _annotation_head(annotation) in _SET_ANNOTATIONS
+
+    def _is_set_value(self, value: Optional[ast.AST]) -> bool:
+        if value is None:
+            return False
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            return _call_name(value) in {"set", "frozenset"}
+        return False
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        name = _target_name(node.target)
+        if name and (self._is_set_annotation(node.annotation)
+                     or self._is_set_value(node.value)):
+            self.set_names.add(name)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_value(node.value):
+            for target in node.targets:
+                name = _target_name(target)
+                if name:
+                    self.set_names.add(name)
+        self.generic_visit(node)
+
+    def _collect_args(self, node) -> None:
+        args = list(node.args.args) + list(node.args.kwonlyargs)
+        args += getattr(node.args, "posonlyargs", [])
+        for arg in args:
+            if arg.annotation is not None and self._is_set_annotation(arg.annotation):
+                self.set_names.add(arg.arg)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._collect_args(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._collect_args(node)
+        self.generic_visit(node)
+
+    # Dataclass-style fields: `tried: Set[TechType]` inside a class body is
+    # an AnnAssign and already covered above.
+
+
+class DeterminismVisitor(ast.NodeVisitor):
+    """Second pass: emit findings for one module."""
+
+    def __init__(self, path: str, set_names: Set[str]) -> None:
+        self.path = path
+        self.set_names = set_names
+        self.findings: List[Finding] = []
+        self._reducer_depth = 0  # inside an order-insensitive call's args
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _emit(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                code=code,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    # -- DET001: global RNG ---------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("numpy.random"):
+                self._emit(
+                    "DET001", node,
+                    f"import of {alias.name!r} (global RNG state); "
+                    "use repro.util.rng.SeededRng",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module == "random" or module.startswith("numpy.random"):
+            self._emit(
+                "DET001", node,
+                f"import from {module!r} (global RNG state); "
+                "use repro.util.rng.SeededRng",
+            )
+        elif module == "numpy" and any(a.name == "random" for a in node.names):
+            self._emit(
+                "DET001", node,
+                "import of numpy.random (global RNG state); "
+                "use repro.util.rng.SeededRng",
+            )
+        self.generic_visit(node)
+
+    # -- call-shaped rules ----------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            if dotted.startswith("random.") or ".random." in f".{dotted}.":
+                root = dotted.split(".", 1)[0]
+                if root in {"random", "numpy", "np"}:
+                    self._emit(
+                        "DET001", node,
+                        f"call to {dotted}() draws from the process-global "
+                        "RNG; use a SeededRng stream",
+                    )
+            if any(dotted == s or dotted.endswith("." + s)
+                   for s in _WALL_CLOCK_SUFFIXES):
+                self._emit(
+                    "DET002", node,
+                    f"{dotted}() reads the host clock; simulation code must "
+                    "use kernel.now",
+                )
+            if dotted == "os.getenv":
+                self._emit(
+                    "DET007", node,
+                    "os.getenv() makes results depend on the host "
+                    "environment; pass configuration explicitly",
+                )
+        if isinstance(node.func, ast.Name):
+            if node.func.id == "hash" and node.args:
+                self._emit(
+                    "DET003", node,
+                    "builtin hash() is salted per process; use derive_seed "
+                    "or hashlib for stable derivation",
+                )
+            if node.func.id == "id" and node.args:
+                self._emit(
+                    "DET005", node,
+                    "id() yields per-process object addresses; key on a "
+                    "stable attribute instead",
+                )
+            if (
+                node.func.id in _ORDER_SENSITIVE_CALLS
+                and node.args
+                and self._reducer_depth == 0
+                and self._is_set_expr(node.args[0])
+            ):
+                self._emit(
+                    "DET004", node,
+                    f"{node.func.id}() materialises a set in arbitrary "
+                    "order; use sorted(...)",
+                )
+        call_name = _call_name(node)
+        if call_name in _ORDER_INSENSITIVE_CALLS:
+            self._reducer_depth += 1
+            self.generic_visit(node)
+            self._reducer_depth -= 1
+        else:
+            self.generic_visit(node)
+
+    # -- DET007: os.environ ---------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if _dotted_name(node) == "os.environ":
+            self._emit(
+                "DET007", node,
+                "os.environ read makes results depend on the host "
+                "environment; pass configuration explicitly",
+            )
+        self.generic_visit(node)
+
+    # -- DET006: mutable defaults ---------------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if self._is_mutable_literal(default):
+                self._emit(
+                    "DET006", default,
+                    f"mutable default argument in {node.name}(); default to "
+                    "None and construct inside the body",
+                )
+
+    @staticmethod
+    def _is_mutable_literal(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and _call_name(node) in _MUTABLE_CONSTRUCTORS)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- DET004: unsorted set iteration ---------------------------------------
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return _call_name(node) in {"set", "frozenset"}
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.set_names
+        return False
+
+    def _check_iteration(self, iterable: ast.AST, node: ast.AST) -> None:
+        if self._reducer_depth == 0 and self._is_set_expr(iterable):
+            self._emit(
+                "DET004", node,
+                "iteration over a set in an ordering-sensitive position; "
+                "wrap in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            self._check_iteration(generator.iter, node)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        # Dict insertion order follows iteration order, so a DictComp over a
+        # set bakes arbitrary order into the result.
+        self._visit_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # The result is a set again: iteration order cannot escape unless the
+        # element expression has side effects, which the pass does not model.
+        self._reducer_depth += 1
+        self.generic_visit(node)
+        self._reducer_depth -= 1
+
+
+def analyze_source(source: str, path: str) -> List[Finding]:
+    """Lint one module's source; ``path`` is used for reporting only."""
+    normalized = normalize_path(path)
+    tree = ast.parse(source, filename=str(path))
+    collector = _SetNameCollector()
+    collector.visit(tree)
+    visitor = DeterminismVisitor(normalized, collector.set_names)
+    visitor.visit(tree)
+    return [
+        finding
+        for finding in visitor.findings
+        if not any(
+            finding.path.startswith(prefix)
+            for prefix in RULES[finding.code].exempt_paths
+        )
+    ]
+
+
+def analyze_file(path) -> List[Finding]:
+    """Lint one file from disk."""
+    source = Path(path).read_text(encoding="utf-8")
+    return analyze_source(source, str(path))
+
+
+def iter_python_files(root) -> Iterable[Path]:
+    """Every ``.py`` under ``root`` (or ``root`` itself), sorted for stability."""
+    root = Path(root)
+    if root.is_file():
+        yield root
+        return
+    yield from sorted(root.rglob("*.py"))
+
+
+def analyze_paths(paths: Sequence) -> List[Finding]:
+    """Lint files/trees; findings sorted by (path, line, col, code)."""
+    findings: List[Finding] = []
+    for path in paths:
+        for file_path in iter_python_files(path):
+            findings.extend(analyze_file(file_path))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings

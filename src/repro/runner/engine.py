@@ -16,6 +16,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.tripwire import guard as rng_tripwire
 from repro.runner.jobs import Job, jobs_for
 
 #: JSON schema tag for BENCH_runner.json, bumped on layout changes.
@@ -108,11 +109,21 @@ class RunReport:
         return payload
 
 
-def _timed_run(indexed_job: Tuple[int, Job]) -> Tuple[int, Any, float]:
-    """Worker entry point: run one job, report (index, result, wall)."""
-    index, job = indexed_job
+def _timed_run(work_item: Tuple[int, Job, bool]) -> Tuple[int, Any, float]:
+    """Worker entry point: run one job, report (index, result, wall).
+
+    With the tripwire armed, a driver that touches process-global RNG state
+    (``random.*`` / ``numpy.random.*``) fails its cell with a
+    :class:`repro.analysis.tripwire.GlobalRngError` naming the call site,
+    instead of silently degrading cross-process determinism.
+    """
+    index, job, tripwire = work_item
     start = time.perf_counter()
-    result = job.run()
+    if tripwire:
+        with rng_tripwire(label=f"{job.experiment}:{job.cell}"):
+            result = job.run()
+    else:
+        result = job.run()
     return index, result, time.perf_counter() - start
 
 
@@ -131,23 +142,23 @@ def execute_jobs(
     workers: Optional[int] = None,
     serial: bool = False,
     start_method: Optional[str] = None,
+    tripwire: bool = True,
 ) -> Tuple[List[JobOutcome], float, Optional[str]]:
     """Run ``jobs``; return (declaration-ordered outcomes, wall, method)."""
     start = time.perf_counter()
     method: Optional[str] = None
     slots: List[Optional[Tuple[Any, float]]] = [None] * len(jobs)
+    work = [(index, job, tripwire) for index, job in enumerate(jobs)]
     if serial or not jobs:
-        for index, job in enumerate(jobs):
-            _, result, wall = _timed_run((index, job))
+        for item in work:
+            index, result, wall = _timed_run(item)
             slots[index] = (result, wall)
     else:
         method = _pick_start_method(start_method)
         context = multiprocessing.get_context(method)
         pool_size = workers or context.cpu_count()
         with ProcessPoolExecutor(max_workers=pool_size, mp_context=context) as pool:
-            for index, result, wall in pool.map(
-                _timed_run, enumerate(jobs), chunksize=1
-            ):
+            for index, result, wall in pool.map(_timed_run, work, chunksize=1):
                 slots[index] = (result, wall)
     outcomes = [
         JobOutcome(
@@ -169,6 +180,7 @@ def run_experiment(
     serial: bool = False,
     start_method: Optional[str] = None,
     compare_serial: bool = False,
+    tripwire: bool = True,
 ) -> RunReport:
     """Run one experiment grid (or "all") across ``seeds``.
 
@@ -177,14 +189,16 @@ def run_experiment(
     ``workers`` in {0, 1} semantics via the CLI) everything runs in this
     process; otherwise jobs fan out over ``workers`` forked processes.
     ``compare_serial=True`` additionally replays the grid serially and
-    records the parallel-vs-serial wall-clock ratio.
+    records the parallel-vs-serial wall-clock ratio.  Every cell runs under
+    the global-RNG tripwire unless ``tripwire=False``.
     """
     seed_list: List[Optional[int]] = list(seeds) if seeds else [None]
     jobs: List[Job] = []
     for seed in seed_list:
         jobs.extend(jobs_for(experiment, seed))
     outcomes, total_wall, method = execute_jobs(
-        jobs, workers=workers, serial=serial, start_method=start_method
+        jobs, workers=workers, serial=serial, start_method=start_method,
+        tripwire=tripwire,
     )
     report = RunReport(
         experiment=experiment,
@@ -195,6 +209,6 @@ def run_experiment(
         outcomes=outcomes,
     )
     if compare_serial and not serial:
-        _, serial_wall, _ = execute_jobs(jobs, serial=True)
+        _, serial_wall, _ = execute_jobs(jobs, serial=True, tripwire=tripwire)
         report.serial_wall_s = serial_wall
     return report

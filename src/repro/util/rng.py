@@ -20,13 +20,16 @@ def derive_seed(base_seed: int, *names: str) -> int:
 
     The derivation is a SHA-256 hash, so child streams are statistically
     independent of each other and of the parent, and the mapping is stable
-    across Python versions (unlike ``hash``).
+    across Python versions (unlike ``hash``).  Each name is length-prefixed
+    before hashing so the name *list* is unambiguous: ``("a", "b")``,
+    ``("a/b",)`` and ``("a", "", "b")`` all derive distinct seeds.
     """
     hasher = hashlib.sha256()
     hasher.update(str(base_seed).encode("utf-8"))
     for name in names:
-        hasher.update(b"/")
-        hasher.update(name.encode("utf-8"))
+        encoded = name.encode("utf-8")
+        hasher.update(len(encoded).to_bytes(4, "big"))
+        hasher.update(encoded)
     return int.from_bytes(hasher.digest()[:8], "big")
 
 

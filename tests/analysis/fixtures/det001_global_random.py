@@ -1,0 +1,10 @@
+"""Fixture: global RNG use (DET001).  Linted, never imported."""
+
+import random
+from random import choice
+import numpy.random
+from numpy import random as np_random
+
+
+def roll():
+    return random.random() + len([choice, np_random, numpy])

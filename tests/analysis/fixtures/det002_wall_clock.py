@@ -1,0 +1,11 @@
+"""Fixture: wall-clock reads (DET002).  Linted, never imported."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()
+    tick = time.monotonic()
+    now = datetime.now()
+    return started, tick, now

@@ -1,0 +1,5 @@
+"""Fixture: builtin hash() for derivation (DET003).  Linted, never imported."""
+
+
+def seed_for(name):
+    return hash(name) % 1000

@@ -1,0 +1,23 @@
+"""Fixture: unsorted set iteration (DET004).  Linted, never imported."""
+
+from typing import Set
+
+
+def emit(events: Set[str]):
+    for event in events:
+        print(event)
+
+
+def materialise():
+    order = list({"b", "a"})
+    doubles = [item * 2 for item in set(order)]
+    return order, doubles
+
+
+def clean(events: Set[str]):
+    total = sum(len(event) for event in events)
+    if "boot" in events:
+        total += 1
+    for event in sorted(events):
+        print(event)
+    return total

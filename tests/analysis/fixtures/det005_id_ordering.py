@@ -1,0 +1,5 @@
+"""Fixture: id()-based ordering (DET005).  Linted, never imported."""
+
+
+def rank(objects):
+    return sorted(objects, key=lambda obj: id(obj))

@@ -1,0 +1,10 @@
+"""Fixture: mutable default arguments (DET006).  Linted, never imported."""
+
+
+def record(event, log=[]):
+    log.append(event)
+    return log
+
+
+def tally(counts={}):
+    return counts

@@ -1,0 +1,9 @@
+"""Fixture: host-environment reads (DET007).  Linted, never imported."""
+
+import os
+
+
+def debug_enabled():
+    flag = os.environ.get("REPRO_DEBUG")
+    fallback = os.getenv("REPRO_MODE")
+    return flag or fallback

@@ -1,0 +1,32 @@
+"""Tier-1 gate: the shipped tree is clean against the checked-in baseline.
+
+Any new determinism finding — or any waiver whose code has since been fixed
+(stale) — fails this test, mirroring `python -m repro.analysis src/repro`
+in CI.
+"""
+
+from pathlib import Path
+
+from repro.analysis import Baseline, analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "DETERMINISM_BASELINE.txt"
+
+
+def test_shipped_tree_has_no_new_findings_and_no_stale_waivers():
+    findings = analyze_paths([REPO_ROOT / "src" / "repro"])
+    new, stale = Baseline.load(BASELINE).apply(findings)
+    assert not new, "new determinism findings:\n" + "\n".join(
+        f.render() for f in new
+    )
+    assert not stale, "stale waivers (delete from baseline):\n" + "\n".join(
+        w.render() for w in stale
+    )
+
+
+def test_checked_in_waivers_carry_real_justifications():
+    baseline = Baseline.load(BASELINE)
+    assert baseline.waivers, "baseline should document the accepted findings"
+    for waiver in baseline.waivers:
+        assert waiver.justification
+        assert not waiver.justification.startswith("TODO"), waiver.render()

