@@ -1,0 +1,80 @@
+"""Microbenchmark: bytes crossing the pool queue, per transport.
+
+The artifact redesign's acceptance bar: per-cell queue traffic must be
+handle-sized — independent of how much a cell traced — when shared memory
+carries the data plane.  This bench pickles one exported cell result (what
+``ProcessPoolExecutor`` actually enqueues) at growing trace lengths and pits
+the shared-memory transport against keeping the bytes inline, timing the
+full worker→parent round trip (encode + export + fetch + decode) as well.
+
+Run with ``pytest benchmarks/test_perf_artifacts.py -s`` to see the table.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.runner.artifacts import (
+    CellResult,
+    attach,
+    fetch_cell_artifacts,
+    export_cell_artifacts,
+    make_run_token,
+    shared_memory_available,
+    sweep_segments,
+)
+
+TICK_COUNTS = (100, 1_000, 10_000, 100_000)
+#: The acceptance bar: across a 1000× spread of trace lengths the pickled
+#: queue payload of a shared-memory cell may vary by at most this many bytes
+#: (a longer length integer, a wider digit in the segment name — not data).
+MAX_QUEUE_BYTES_SPREAD = 64
+
+
+def _cell(ticks: int) -> CellResult:
+    trace = {
+        "format": "synthetic/v1",
+        "events": [[index * 0.1, "node", "tick", {"n": index}]
+                   for index in range(ticks)],
+        "dropped": 0,
+    }
+    return CellResult.from_raw("bench", f"t{ticks}", 0,
+                               attach({"ticks": ticks}, trace=trace))
+
+
+@pytest.mark.skipif(not shared_memory_available(),
+                    reason="no shared memory on this host")
+def test_queue_bytes_stay_handle_sized():
+    print()
+    print(f"{'ticks':>8}  {'inline queue':>13}  {'shm queue':>10}  "
+          f"{'round trip':>10}")
+    token = make_run_token()
+    shm_sizes = {}
+    try:
+        for position, ticks in enumerate(TICK_COUNTS):
+            inline_bytes = len(pickle.dumps(_cell(ticks)))
+            start = time.perf_counter()
+            exported = export_cell_artifacts(_cell(ticks), f"{token}j{position:x}")
+            shm_bytes = len(pickle.dumps(exported))
+            fetch_cell_artifacts(exported)
+            payload = exported.artifact("trace").load()
+            elapsed = time.perf_counter() - start
+            assert len(payload["events"]) == ticks
+            shm_sizes[ticks] = shm_bytes
+            print(f"{ticks:>8}  {inline_bytes:>12}B  {shm_bytes:>9}B"
+                  f"  {elapsed * 1e3:>8.1f}ms")
+    finally:
+        sweep_segments(token)
+    spread = max(shm_sizes.values()) - min(shm_sizes.values())
+    assert spread < MAX_QUEUE_BYTES_SPREAD, (
+        f"shared-memory queue payload varied by {spread}B across a "
+        f"{TICK_COUNTS[-1] // TICK_COUNTS[0]}× trace-length spread"
+    )
+    # And the inline baseline really does scale with the trace — the bound
+    # above is the transport working, not the workload being trivial.
+    assert len(pickle.dumps(_cell(TICK_COUNTS[-1]))) > 100 * shm_sizes[
+        TICK_COUNTS[-1]
+    ]

@@ -92,6 +92,7 @@ class DisseminateNode:
         assigned_chunks: List[int],
         infra_rate_bps: float,
         meter,
+        trace=None,
     ) -> None:
         self.kernel = kernel
         self.transport = transport
@@ -100,6 +101,10 @@ class DisseminateNode:
         self.assigned = list(assigned_chunks)
         self.infra_rate_bps = infra_rate_bps
         self.meter = meter
+        # Optional TraceRecorder (duck-typed: anything with .record()); when
+        # set, every chunk gain and the completion instant are traced — the
+        # per-chunk dissemination log the runner can ship as an artifact.
+        self.trace = trace
         self.have: Set[int] = set()
         self.peer_have: Dict[int, Set[int]] = {}
         self._sent: Set[tuple] = set()  # (peer_id, chunk) pairs already sent
@@ -148,6 +153,9 @@ class DisseminateNode:
         def on_done(_waitable) -> None:
             if index not in self.have:
                 self.chunks_from_infra += 1
+                if self.trace is not None:
+                    self.trace.record(self.meter.name, "chunk_from_infra",
+                                      chunk=index)
                 self._gain_chunk(index)
             self._download_next()
 
@@ -226,6 +234,9 @@ class DisseminateNode:
         if index is None or index in self.have:
             return
         self.chunks_from_peers += 1
+        if self.trace is not None:
+            self.trace.record(self.meter.name, "chunk_from_peer",
+                              chunk=index, peer=peer_id)
         self._gain_chunk(index)
 
     @staticmethod
@@ -243,4 +254,8 @@ class DisseminateNode:
         if self.completed.done or len(self.have) < self.plan.chunk_count:
             return
         self.completed_at = self.kernel.now
+        if self.trace is not None:
+            self.trace.record(self.meter.name, "file_complete",
+                              from_infra=self.chunks_from_infra,
+                              from_peers=self.chunks_from_peers)
         self.completed.succeed(self.kernel.now)

@@ -12,10 +12,14 @@ is exact.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import warnings
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.kernel import Kernel
 from repro.util.validation import check_non_negative
+
+#: Payload format tag for :meth:`EnergyMeter.timeline_payload`.
+ENERGY_TIMELINE_FORMAT = "repro.energy.timeline/v1"
 
 
 class DrawToken:
@@ -50,6 +54,7 @@ class EnergyMeter:
         self._charge_mas = 0.0
         self._last_update = kernel.now
         self._peak_ma = 0.0
+        self._timeline: Optional[List[Tuple[float, str, float]]] = None
 
     # -- component draws -----------------------------------------------------
 
@@ -61,6 +66,8 @@ class EnergyMeter:
             self._draws.pop(component, None)
         else:
             self._draws[component] = milliamps
+        if self._timeline is not None:
+            self._timeline.append((self.kernel.now, component, milliamps))
         self._peak_ma = max(self._peak_ma, self.current_ma)
 
     def draw(self, component: str, milliamps: float) -> DrawToken:
@@ -82,6 +89,46 @@ class EnergyMeter:
     def _release(self, component: str) -> None:
         self._integrate()
         self._draws.pop(component, None)
+        if self._timeline is not None:
+            self._timeline.append((self.kernel.now, component, 0.0))
+
+    # -- timeline (opt-in; feeds the runner's artifact transport) ------------
+
+    def enable_timeline(self) -> None:
+        """Start recording every component transition as ``(t, name, mA)``.
+
+        Opt-in: without it the meter stays a pair of floats.  The first
+        entries snapshot the components already drawing, so the timeline is
+        self-contained from its enable instant.  Idempotent.
+        """
+        if self._timeline is not None:
+            return
+        self._timeline = [
+            (self.kernel.now, component, milliamps)
+            for component, milliamps in self._draws.items()
+        ]
+
+    @property
+    def timeline_enabled(self) -> bool:
+        """True once :meth:`enable_timeline` has been called."""
+        return self._timeline is not None
+
+    def timeline_events(self) -> List[Tuple[float, str, float]]:
+        """A copy of the recorded transitions (empty if never enabled)."""
+        return list(self._timeline or [])
+
+    def timeline_payload(self) -> Dict[str, Any]:
+        """The artifact-transport form of the per-component timeline.
+
+        One compact ``(time, component, mA)`` tuple per transition (``mA``
+        of 0 means the component stopped drawing) — the piecewise-constant
+        signal the meter integrates, reconstructable exactly.
+        """
+        return {
+            "format": ENERGY_TIMELINE_FORMAT,
+            "device": self.name,
+            "events": self.timeline_events(),
+        }
 
     # -- readings -----------------------------------------------------------
 
@@ -95,8 +142,49 @@ class EnergyMeter:
         self._integrate()
         return self._charge_mas
 
-    def average_ma(self, since_time: float, since_charge_mas: float) -> float:
-        """Average draw since a snapshot taken with :meth:`snapshot`."""
+    def average_ma(
+        self,
+        since_time: Optional[float] = None,
+        since_charge_mas: Optional[float] = None,
+        *,
+        since: Optional["EnergySnapshot"] = None,
+        floor_ma: float = 0.0,
+    ) -> float:
+        """Average draw over a window, snapshot-based.
+
+        Preferred form: ``meter.average_ma(since=snapshot, floor_ma=...)``
+        with a snapshot from :meth:`snapshot`; ``floor_ma`` subtracts a
+        baseline (the paper reports draws relative to WiFi standby).  A
+        zero-length window degenerates to the instantaneous draw.
+
+        The bare two-float form ``average_ma(since_time, since_charge_mas)``
+        is deprecated — it made callers carry the snapshot's fields around
+        loose, with no floor support; it keeps its exact old behaviour under
+        a :class:`DeprecationWarning` shim.
+        """
+        if since is not None:
+            if since_time is not None or since_charge_mas is not None:
+                raise TypeError(
+                    "pass either since=<EnergySnapshot> or the deprecated "
+                    "(since_time, since_charge_mas) floats, not both"
+                )
+            elapsed = self.kernel.now - since.time
+            if elapsed <= 0:
+                return self.current_ma - floor_ma
+            charge = self.total_charge_mas() - since.charge_mas
+            return charge / elapsed - floor_ma
+        if since_time is None or since_charge_mas is None:
+            raise TypeError(
+                "average_ma() needs since=<EnergySnapshot> (or the "
+                "deprecated since_time + since_charge_mas pair)"
+            )
+        warnings.warn(
+            "EnergyMeter.average_ma(since_time, since_charge_mas) is "
+            "deprecated; take a meter.snapshot() and call "
+            "average_ma(since=snapshot, floor_ma=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         elapsed = self.kernel.now - since_time
         if elapsed <= 0:
             return self.current_ma

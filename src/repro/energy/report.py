@@ -48,7 +48,7 @@ class EnergyWindow:
         if self._start is None:
             raise RuntimeError("EnergyWindow.report() called before start()")
         window = self._start.elapsed()
-        absolute = self._start.average_ma()
+        absolute = self.meter.average_ma(since=self._start)
         return EnergyReport(
             device=self.meter.name,
             window_s=window,

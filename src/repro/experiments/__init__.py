@@ -8,7 +8,12 @@ from repro.experiments.ablations import (
     sweep_secondary_listen,
 )
 from repro.experiments.baseline_current import OperationResult, run_table3
-from repro.experiments.controlled import CellResult, run_cell, run_table4
+from repro.experiments.controlled import (
+    CellResult,  # deprecated alias of Table4Cell
+    Table4Cell,
+    run_cell,
+    run_table4,
+)
 from repro.experiments.disseminate_exp import (
     DisseminateResult,
     run_collaborative,
@@ -37,6 +42,7 @@ __all__ = [
     "OMNI_TECHS_WIFI_ONLY",
     "OperationResult",
     "ProphetResult",
+    "Table4Cell",
     "Testbed",
     "ablate_adaptive_beacon",
     "ablate_context_technology",

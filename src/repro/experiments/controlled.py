@@ -54,7 +54,7 @@ SYSTEMS = ["SP", "SA", "Omni"]
 
 
 @dataclass
-class CellResult:
+class Table4Cell:
     """One (row, system) measurement of Table 4."""
 
     context_tech: str
@@ -69,6 +69,12 @@ class CellResult:
         size = "30B" if self.response_bytes == SMALL_RESPONSE_BYTES else "25MB"
         suffix = f"$_{{{size}}}$" if self.data_tech == "WiFi" else ""
         return f"{self.context_tech}/{self.data_tech}{size if self.data_tech == 'WiFi' else ''}"
+
+
+#: Former name of :class:`Table4Cell`; kept so existing imports keep working.
+#: The unqualified name now belongs to :class:`repro.runner.CellResult`, the
+#: structured per-cell envelope the runner returns.
+CellResult = Table4Cell
 
 
 class _ServiceInteraction:
@@ -183,9 +189,9 @@ def _build_pair(testbed: Testbed, system: str, context_tech: str, data_tech: str
 
 
 def run_cell(system: str, context_tech: str, data_tech: str, response_bytes: int,
-             seed: int = 1) -> CellResult:
+             seed: int = 1) -> Table4Cell:
     """Run one (row, system) cell of Table 4 in a fresh simulation."""
-    not_applicable = CellResult(
+    not_applicable = Table4Cell(
         context_tech, data_tech, response_bytes, system, None, None
     )
     if context_tech == "WiFi" and data_tech == "BLE":
@@ -212,7 +218,7 @@ def run_cell(system: str, context_tech: str, data_tech: str, response_bytes: int
         if interaction.response_received_at is not None or interaction.failure:
             break
     report = window.report()
-    return CellResult(
+    return Table4Cell(
         context_tech=context_tech,
         data_tech=data_tech,
         response_bytes=response_bytes,
@@ -244,7 +250,7 @@ def iter_cells() -> List[tuple]:
     ]
 
 
-def run_table4(seed: int = 1) -> List[CellResult]:
+def run_table4(seed: int = 1) -> List[Table4Cell]:
     """Run the full Table 4 grid (energy: Fig 4; latency: Fig 5)."""
     return [
         run_cell(system, context_tech, data_tech, response_bytes, seed=seed)

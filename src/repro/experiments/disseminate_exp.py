@@ -24,6 +24,7 @@ from repro.apps.disseminate import DisseminateNode, FilePlan
 from repro.energy.report import EnergyWindow
 from repro.experiments.scenario import OMNI_TECHS_BLE_WIFI, Testbed
 from repro.phy.geometry import Position
+from repro.trace.recorder import TraceRecorder
 from repro.util.units import KBPS, MB
 
 FILE_BYTES = 30 * MB
@@ -59,28 +60,60 @@ def _assignments() -> List[List[int]]:
     ]
 
 
-def run_direct(rate_kbps: float, seed: int = 11) -> DisseminateResult:
-    """The no-collaboration bound: download the whole file alone."""
+def run_direct(rate_kbps: float, seed: int = 11, attach_trace: bool = False,
+               attach_energy_timeline: bool = False):
+    """The no-collaboration bound: download the whole file alone.
+
+    With either attach flag set, returns an
+    :class:`~repro.runner.artifacts.AttachedResult` carrying the requested
+    artifacts next to the usual :class:`DisseminateResult`.
+    """
     testbed = Testbed(seed=seed)
     device = testbed.add_device("solo", position=Position(0.0, 0.0))
+    recorder = TraceRecorder(testbed.kernel) if attach_trace else None
+    if attach_energy_timeline:
+        device.meter.enable_timeline()
     done = testbed.infra.download(device.meter, FILE_BYTES, rate_kbps * KBPS)
+    if recorder is not None:
+        recorder.record("solo", "download_start", bytes=FILE_BYTES,
+                        rate_kbps=rate_kbps)
     testbed.kernel.run_until_complete(done, timeout=FILE_BYTES / (rate_kbps * KBPS) + 10)
-    return DisseminateResult(
+    if recorder is not None:
+        recorder.record("solo", "download_done")
+    result = DisseminateResult(
         variant="direct",
         rate_kbps=rate_kbps,
         time_to_complete_s=testbed.kernel.now,
         energy_avg_ma=None,  # the paper reports N/A for direct download
     )
+    if not (attach_trace or attach_energy_timeline):
+        return result
+    # Imported here, not at module top: the runner package imports this
+    # driver, and only artifact-opted runs need the attachment container.
+    from repro.runner.artifacts import attach
+
+    payloads = {}
+    if recorder is not None:
+        payloads["trace"] = recorder.to_payload()
+    if attach_energy_timeline:
+        payloads["energy_timeline"] = device.meter.timeline_payload()
+    return attach(result, **payloads)
 
 
 def run_collaborative(variant: str, rate_kbps: float, seed: int = 11,
-                      measure_all: bool = False):
+                      measure_all: bool = False, attach_trace: bool = False,
+                      attach_energy_timeline: bool = False):
     """Run SP/SA/Omni collaboration; returns the device-0 result.
 
     With ``measure_all`` the per-device results are returned as a list
-    (used by tests asserting symmetry).
+    (used by tests asserting symmetry).  ``attach_trace`` records the
+    per-chunk dissemination log plus a per-tick progress stream and
+    ``attach_energy_timeline`` records device 0's component transitions;
+    either flag wraps the return value in an
+    :class:`~repro.runner.artifacts.AttachedResult`.
     """
     testbed = Testbed(seed=seed)
+    recorder = TraceRecorder(testbed.kernel) if attach_trace else None
     plan = FilePlan(FILE_BYTES, CHUNK_COUNT)
     rate_bps = rate_kbps * KBPS
     positions = [Position(0.0, 0.0), Position(8.0, 0.0), Position(4.0, 6.0)]
@@ -88,6 +121,8 @@ def run_collaborative(variant: str, rate_kbps: float, seed: int = 11,
         testbed.add_device(f"dev{index}", position=positions[index])
         for index in range(DEVICE_COUNT)
     ]
+    if attach_energy_timeline:
+        devices[0].meter.enable_timeline()
     transports = []
     for device in devices:
         if variant == "Omni":
@@ -107,6 +142,7 @@ def run_collaborative(variant: str, rate_kbps: float, seed: int = 11,
             assigned,
             rate_bps,
             device.meter,
+            trace=recorder,
         )
         for transport, assigned, device in zip(transports, _assignments(), devices)
     ]
@@ -130,6 +166,14 @@ def run_collaborative(variant: str, rate_kbps: float, seed: int = 11,
     while time < deadline and not all(node.completed.done for node in nodes):
         time += 1.0
         testbed.kernel.run_until(time)
+        if recorder is not None:
+            # The per-tick progress stream: chunk counts per device, each
+            # simulated second — the bulk of the trace artifact.
+            recorder.record(
+                "grid", "tick",
+                have=[len(node.have) for node in nodes],
+                draw_ma=round(devices[0].meter.current_ma, 6),
+            )
     results = []
     for node, report in zip(nodes, reports):
         if node.completed_at is None or report is None:
@@ -140,7 +184,17 @@ def run_collaborative(variant: str, rate_kbps: float, seed: int = 11,
                 variant, rate_kbps, node.completed_at, report.average_ma_relative
             )
         )
-    return results if measure_all else results[0]
+    value = results if measure_all else results[0]
+    if not (attach_trace or attach_energy_timeline):
+        return value
+    from repro.runner.artifacts import attach
+
+    payloads = {}
+    if recorder is not None:
+        payloads["trace"] = recorder.to_payload()
+    if attach_energy_timeline:
+        payloads["energy_timeline"] = devices[0].meter.timeline_payload()
+    return attach(value, **payloads)
 
 
 def iter_cells() -> List[tuple]:
@@ -148,11 +202,20 @@ def iter_cells() -> List[tuple]:
     return [(variant, rate) for rate in RATES_KBPS for variant in VARIANTS]
 
 
-def run_cell(variant: str, rate_kbps: float, seed: int = 11) -> DisseminateResult:
-    """Run one Table 5 cell; the picklable unit the parallel runner fans out."""
+def run_cell(variant: str, rate_kbps: float, seed: int = 11,
+             attach_trace: bool = False, attach_energy_timeline: bool = False):
+    """Run one Table 5 cell; the picklable unit the parallel runner fans out.
+
+    Returns a bare :class:`DisseminateResult`, or an
+    :class:`~repro.runner.artifacts.AttachedResult` around one when either
+    attach flag asks for artifacts (``trace`` / ``energy_timeline``).
+    """
     if variant == "direct":
-        return run_direct(rate_kbps, seed=seed)
-    return run_collaborative(variant, rate_kbps, seed=seed)
+        return run_direct(rate_kbps, seed=seed, attach_trace=attach_trace,
+                          attach_energy_timeline=attach_energy_timeline)
+    return run_collaborative(variant, rate_kbps, seed=seed,
+                             attach_trace=attach_trace,
+                             attach_energy_timeline=attach_energy_timeline)
 
 
 def run_table5(seed: int = 11) -> List[DisseminateResult]:

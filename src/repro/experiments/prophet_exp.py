@@ -27,6 +27,7 @@ from repro.experiments.scenario import OMNI_TECHS_BLE_WIFI, Testbed
 from repro.net.payload import VirtualPayload
 from repro.phy.geometry import Position
 from repro.phy.mobility import WaypointPath
+from repro.trace.recorder import TraceRecorder
 from repro.util.units import KB
 
 FILE_BYTES = 1 * KB
@@ -66,9 +67,18 @@ def _transport(testbed: Testbed, variant: str, device) -> D2DTransport:
     raise ValueError(f"unknown variant {variant!r}")
 
 
-def run_variant(variant: str, seed: int = 21) -> ProphetResult:
-    """Run the ferry scenario under one implementation option."""
+def run_variant(variant: str, seed: int = 21, attach_trace: bool = False,
+                attach_energy_timeline: bool = False):
+    """Run the ferry scenario under one implementation option.
+
+    ``attach_trace`` records the bundle milestones plus a per-tick ferry
+    stream; ``attach_energy_timeline`` records the relay's (device B's)
+    component transitions.  Either flag wraps the usual
+    :class:`ProphetResult` in an
+    :class:`~repro.runner.artifacts.AttachedResult`.
+    """
     testbed = Testbed(seed=seed)
+    recorder = TraceRecorder(testbed.kernel) if attach_trace else None
     radio_kinds = {"wifi"} if variant == "SP" else {"ble", "wifi"}
     device_a = testbed.add_device("A", position=POS_A, radio_kinds=radio_kinds)
     device_b = testbed.add_device("B", position=FERRY_START, radio_kinds=radio_kinds)
@@ -80,8 +90,16 @@ def run_variant(variant: str, seed: int = 21) -> ProphetResult:
         nodes[name] = ProphetNode(testbed.kernel, transport, ProphetConfig())
 
     delivery_time: List[float] = []
-    nodes["C"].on_delivered(lambda bundle: delivery_time.append(testbed.kernel.now))
 
+    def on_delivered(bundle) -> None:
+        delivery_time.append(testbed.kernel.now)
+        if recorder is not None:
+            recorder.record("C", "bundle_delivered")
+
+    nodes["C"].on_delivered(on_delivered)
+
+    if attach_energy_timeline:
+        device_b.meter.enable_timeline()
     window_b = EnergyWindow(device_b.meter)
     window_a = EnergyWindow(device_a.meter)
     created_at: List[float] = []
@@ -95,6 +113,8 @@ def run_variant(variant: str, seed: int = 21) -> ProphetResult:
         # B has historically encountered C (high predictability); A has not.
         nodes["B"].seed_predictability(nodes["C"].local_id, 0.90)
         created_at.append(testbed.kernel.now)
+        if recorder is not None:
+            recorder.record("A", "bundle_created", bytes=FILE_BYTES)
         nodes["A"].send_bundle(
             nodes["C"].local_id, VirtualPayload(FILE_BYTES, tag="prophet-file")
         )
@@ -110,6 +130,8 @@ def run_variant(variant: str, seed: int = 21) -> ProphetResult:
             return
         departed.append(testbed.kernel.now)
         now = testbed.kernel.now
+        if recorder is not None:
+            recorder.record("B", "ferry_departed")
         device_b.node.set_mobility(
             WaypointPath([(now, FERRY_START), (now + FERRY_TRAVEL_S, FERRY_END)])
         )
@@ -121,16 +143,37 @@ def run_variant(variant: str, seed: int = 21) -> ProphetResult:
     while time < deadline and not delivery_time:
         time += 0.25
         testbed.kernel.run_until(time)
+        if recorder is not None:
+            # Per-tick ferry stream: relay position and buffered bundles.
+            position = device_b.node.position
+            recorder.record(
+                "B", "tick",
+                x=round(position.x, 6),
+                buffered=len(nodes["B"].buffer),
+                relay_ma=round(device_b.meter.current_ma, 6),
+            )
 
     report_b = window_b.report()
     report_a = window_a.report()
     latency = delivery_time[0] - created_at[0] if delivery_time else None
-    return ProphetResult(
+    result = ProphetResult(
         variant=variant,
         delivery_latency_s=latency,
         relay_energy_avg_ma=report_b.average_ma_relative,
         source_energy_avg_ma=report_a.average_ma_relative,
     )
+    if not (attach_trace or attach_energy_timeline):
+        return result
+    # Imported here, not at module top: the runner package imports this
+    # driver, and only artifact-opted runs need the attachment container.
+    from repro.runner.artifacts import attach
+
+    payloads = {}
+    if recorder is not None:
+        payloads["trace"] = recorder.to_payload()
+    if attach_energy_timeline:
+        payloads["energy_timeline"] = device_b.meter.timeline_payload()
+    return attach(result, **payloads)
 
 
 def iter_cells() -> List[str]:

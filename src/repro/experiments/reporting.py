@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence
 
 from repro.experiments.baseline_current import OperationResult
-from repro.experiments.controlled import CellResult, SYSTEMS
+from repro.experiments.controlled import SYSTEMS, Table4Cell
 from repro.experiments.disseminate_exp import DisseminateResult
 from repro.experiments.prophet_exp import ProphetResult
 
@@ -29,7 +29,7 @@ def render_table3(results: Sequence[OperationResult]) -> str:
     return "\n".join(lines)
 
 
-def render_table4(results: Sequence[CellResult]) -> str:
+def render_table4(results: Sequence[Table4Cell]) -> str:
     """Table 4: energy and latency grid, rows in the paper's order."""
     lines = [
         "Context Data         | Total Energy (avg. mA)      | Service Latency (ms)",

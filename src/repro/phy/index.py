@@ -37,7 +37,13 @@ class UniformGridIndex:
         self.cell_size = cell_size
         self._cells: Dict[_Cell, List[Hashable]] = {}
         self._where: Dict[Hashable, Optional[_Cell]] = {}
+        # The roaming set as a list (query order) plus an item → slot map, so
+        # removal is O(1) swap-pop instead of an O(n) list.remove scan —
+        # mobility-heavy scenarios churn this on every reindex.  Order is
+        # a deterministic function of the insert/remove sequence (a removed
+        # item's slot is refilled by the then-last item).
         self._roaming: List[Hashable] = []
+        self._roaming_slot: Dict[Hashable, int] = {}
 
     def _cell_of(self, position: Position) -> _Cell:
         size = self.cell_size
@@ -60,6 +66,7 @@ class UniformGridIndex:
             raise ValueError(f"item {item!r} already indexed")
         if position is None:
             self._where[item] = None
+            self._roaming_slot[item] = len(self._roaming)
             self._roaming.append(item)
             return
         cell = self._cell_of(position)
@@ -70,7 +77,11 @@ class UniformGridIndex:
         """Remove ``item``; raises ``KeyError`` if absent."""
         cell = self._where.pop(item)
         if cell is None:
-            self._roaming.remove(item)
+            slot = self._roaming_slot.pop(item)
+            last = self._roaming.pop()
+            if slot < len(self._roaming):  # not the tail: refill its slot
+                self._roaming[slot] = last
+                self._roaming_slot[last] = slot
             return
         bucket = self._cells[cell]
         bucket.remove(item)

@@ -4,13 +4,19 @@ Examples::
 
     python -m repro.runner table4 --workers 4
     python -m repro.runner table5 --seeds 11 12 --serial
+    python -m repro.runner fig7 --workers 2 --compare-serial \\
+        --attach-trace --attach-energy-timeline
     python -m repro.runner all --workers 8 --bench-out /tmp/bench.json
     python -m repro.runner --list
 
 Every run (unless ``--no-bench``) writes ``BENCH_runner.json`` with the
 per-cell and total wall-clock plus a digest of each cell's structured
-result, so two runs can be diffed for determinism without re-serialising
-whole result objects.
+result (and of each attached artifact), so two runs can be diffed for
+determinism without re-serialising whole result objects.
+
+With ``--compare-serial`` the run exits nonzero if any cell's result or
+artifact digest differs between the parallel run and the serial replay —
+the CI determinism gate.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ import sys
 from typing import List, Optional
 
 from repro.runner.engine import RunReport, run_experiment
-from repro.runner.jobs import EXPERIMENTS, jobs_for
+from repro.runner.jobs import ATTACH_CAPABLE, EXPERIMENTS, jobs_for
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,7 +72,27 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--compare-serial",
         action="store_true",
-        help="after the parallel run, replay serially and report the speedup",
+        help="after the parallel run, replay serially, report the speedup, "
+        "and fail (exit 1) unless every result and artifact digest matches",
+    )
+    parser.add_argument(
+        "--attach-trace",
+        action="store_true",
+        help="attach per-tick trace-event artifacts on the experiments that "
+        f"support them ({', '.join(ATTACH_CAPABLE)})",
+    )
+    parser.add_argument(
+        "--attach-energy-timeline",
+        action="store_true",
+        help="attach per-component energy-timeline artifacts on the "
+        f"experiments that support them ({', '.join(ATTACH_CAPABLE)})",
+    )
+    parser.add_argument(
+        "--no-shared-memory",
+        action="store_true",
+        help="keep artifacts inline on the pool result queue instead of "
+        "moving them through shared-memory segments (identical results; "
+        "the fallback used automatically where shared memory is missing)",
     )
     parser.add_argument(
         "--bench-out",
@@ -102,10 +128,21 @@ def _build_parser() -> argparse.ArgumentParser:
 def _print_listing() -> None:
     for name in [*EXPERIMENTS, "all"]:
         jobs = jobs_for(name)
-        print(f"{name}: {len(jobs)} cells")
+        artifacts = " [artifact-capable]" if name in ATTACH_CAPABLE else ""
+        print(f"{name}: {len(jobs)} cells{artifacts}")
         if name != "all":
             for job in jobs:
                 print(f"  {job.cell} (seed {job.seed})")
+
+
+def _artifact_summary(outcome) -> str:
+    if not outcome.artifacts:
+        return ""
+    parts = [
+        f"{key}={artifact.length}B/{artifact.transport}"
+        for key, artifact in outcome.artifacts.items()
+    ]
+    return "  " + ",".join(parts)
 
 
 def _print_report(report: RunReport, quiet: bool) -> None:
@@ -116,6 +153,7 @@ def _print_report(report: RunReport, quiet: bool) -> None:
             print(
                 f"{outcome.cell:<{width}}  {outcome.seed!s:>6}  "
                 f"{outcome.wall_s * 1e3:>7.1f}ms  {outcome.result_digest}"
+                f"{_artifact_summary(outcome)}"
             )
     mode = report.mode if report.workers == 0 else (
         f"{report.mode}, {report.workers} workers"
@@ -129,6 +167,13 @@ def _print_report(report: RunReport, quiet: bool) -> None:
             f"serial replay: {report.serial_wall_s:.3f}s "
             f"→ speedup ×{report.speedup:.2f}"
         )
+    if report.digest_match is not None:
+        if report.digest_match:
+            print("digests: parallel == serial (values and artifacts)")
+        else:
+            print("DIGEST MISMATCH between parallel and serial runs:")
+            for line in report.digest_mismatches:
+                print(f"  {line}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -149,6 +194,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         start_method=args.start_method,
         compare_serial=args.compare_serial,
         tripwire=not args.no_tripwire,
+        attach_trace=args.attach_trace,
+        attach_energy_timeline=args.attach_energy_timeline,
+        use_shared_memory=not args.no_shared_memory,
     )
     _print_report(report, args.quiet)
     if not args.no_bench:
@@ -156,7 +204,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(report.to_bench_dict(), handle, indent=2)
             handle.write("\n")
         print(f"wrote {args.bench_out}")
-    return 0
+    return 1 if report.digest_match is False else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -5,6 +5,12 @@ plus arguments — so a worker process can reconstruct and run it from a
 pickle.  The per-experiment factories below enumerate cells in the same
 declaration order as the serial drivers (``run_table4`` & co.), which is
 the order the engine merges results back into.
+
+Running a job yields a structured :class:`~repro.runner.artifacts.CellResult`:
+the driver's scalar result plus any artifacts the driver attached (drivers
+that support it take ``attach_trace=`` / ``attach_energy_timeline=`` and
+return an :class:`~repro.runner.artifacts.AttachedResult`; see
+:data:`ATTACH_CAPABLE`).
 """
 
 from __future__ import annotations
@@ -19,6 +25,13 @@ from repro.experiments import (
     disseminate_exp,
     prophet_exp,
 )
+from repro.runner.artifacts import CellResult
+
+#: Experiments whose drivers accept ``attach_trace`` /
+#: ``attach_energy_timeline`` keyword arguments.  ``jobs_for`` forwards the
+#: flags only to these; asking for artifacts on any other grid is a no-op
+#: (the cells simply carry no artifacts).
+ATTACH_CAPABLE = ("table5", "fig7")
 
 
 @dataclass(frozen=True)
@@ -32,12 +45,28 @@ class Job:
     kwargs: Dict[str, Any] = field(default_factory=dict)
     seed: Optional[int] = None
 
-    def run(self) -> Any:
-        """Execute the cell in-process and return its structured result."""
-        return self.fn(*self.args, **self.kwargs)
+    def run(self) -> CellResult:
+        """Execute the cell in-process; return its structured result.
+
+        Bare driver returns become artifact-less cell results; drivers that
+        attached payloads come back with them encoded (inline — the engine
+        decides per run whether they move to shared memory).
+        """
+        raw = self.fn(*self.args, **self.kwargs)
+        return CellResult.from_raw(self.experiment, self.cell, self.seed, raw)
 
 
-def _table3_jobs(seed: Optional[int]) -> List[Job]:
+def _attach_kwargs(attach_trace: bool,
+                   attach_energy_timeline: bool) -> Dict[str, bool]:
+    kwargs: Dict[str, bool] = {}
+    if attach_trace:
+        kwargs["attach_trace"] = True
+    if attach_energy_timeline:
+        kwargs["attach_energy_timeline"] = True
+    return kwargs
+
+
+def _table3_jobs(seed: Optional[int], attach: Dict[str, bool]) -> List[Job]:
     seed = 3 if seed is None else seed
     return [
         Job(
@@ -52,7 +81,7 @@ def _table3_jobs(seed: Optional[int]) -> List[Job]:
     ]
 
 
-def _table4_jobs(seed: Optional[int]) -> List[Job]:
+def _table4_jobs(seed: Optional[int], attach: Dict[str, bool]) -> List[Job]:
     seed = 1 if seed is None else seed
     jobs = []
     for system, context_tech, data_tech, response_bytes in controlled.iter_cells():
@@ -70,7 +99,7 @@ def _table4_jobs(seed: Optional[int]) -> List[Job]:
     return jobs
 
 
-def _table5_jobs(seed: Optional[int]) -> List[Job]:
+def _table5_jobs(seed: Optional[int], attach: Dict[str, bool]) -> List[Job]:
     seed = 11 if seed is None else seed
     return [
         Job(
@@ -78,14 +107,14 @@ def _table5_jobs(seed: Optional[int]) -> List[Job]:
             cell=f"{variant}@{rate_kbps:g}KBps",
             fn=disseminate_exp.run_cell,
             args=(variant, rate_kbps),
-            kwargs={"seed": seed},
+            kwargs={"seed": seed, **attach},
             seed=seed,
         )
         for variant, rate_kbps in disseminate_exp.iter_cells()
     ]
 
 
-def _fig7_jobs(seed: Optional[int]) -> List[Job]:
+def _fig7_jobs(seed: Optional[int], attach: Dict[str, bool]) -> List[Job]:
     seed = 21 if seed is None else seed
     return [
         Job(
@@ -93,7 +122,7 @@ def _fig7_jobs(seed: Optional[int]) -> List[Job]:
             cell=variant,
             fn=prophet_exp.run_variant,
             args=(variant,),
-            kwargs={"seed": seed},
+            kwargs={"seed": seed, **attach},
             seed=seed,
         )
         for variant in prophet_exp.iter_cells()
@@ -115,7 +144,7 @@ _ABLATION_SECTIONS = [
 ]
 
 
-def _ablations_jobs(seed: Optional[int]) -> List[Job]:
+def _ablations_jobs(seed: Optional[int], attach: Dict[str, bool]) -> List[Job]:
     jobs = []
     for section, fn, grid, default_seed in _ABLATION_SECTIONS:
         section_seed = default_seed if seed is None else seed
@@ -133,8 +162,10 @@ def _ablations_jobs(seed: Optional[int]) -> List[Job]:
     return jobs
 
 
-#: experiment name -> factory(seed) -> declaration-ordered job list.
-EXPERIMENTS: Dict[str, Callable[[Optional[int]], List[Job]]] = {
+#: experiment name -> factory(seed, attach) -> declaration-ordered job list.
+EXPERIMENTS: Dict[
+    str, Callable[[Optional[int], Dict[str, bool]], List[Job]]
+] = {
     "table3": _table3_jobs,
     "table4": _table4_jobs,
     "table5": _table5_jobs,
@@ -143,12 +174,22 @@ EXPERIMENTS: Dict[str, Callable[[Optional[int]], List[Job]]] = {
 }
 
 
-def jobs_for(experiment: str, seed: Optional[int] = None) -> List[Job]:
-    """Enumerate the jobs of ``experiment`` (or of every one, for "all")."""
+def jobs_for(
+    experiment: str,
+    seed: Optional[int] = None,
+    attach_trace: bool = False,
+    attach_energy_timeline: bool = False,
+) -> List[Job]:
+    """Enumerate the jobs of ``experiment`` (or of every one, for "all").
+
+    The attach flags are forwarded to the drivers of
+    :data:`ATTACH_CAPABLE` experiments; other grids ignore them.
+    """
+    attach = _attach_kwargs(attach_trace, attach_energy_timeline)
     if experiment == "all":
         jobs = []
-        for factory in EXPERIMENTS.values():
-            jobs.extend(factory(seed))
+        for name, factory in EXPERIMENTS.items():
+            jobs.extend(factory(seed, attach if name in ATTACH_CAPABLE else {}))
         return jobs
     try:
         factory = EXPERIMENTS[experiment]
@@ -157,4 +198,4 @@ def jobs_for(experiment: str, seed: Optional[int] = None) -> List[Job]:
         raise ValueError(
             f"unknown experiment {experiment!r} (choose from: {known})"
         ) from None
-    return factory(seed)
+    return factory(seed, attach if experiment in ATTACH_CAPABLE else {})

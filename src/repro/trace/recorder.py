@@ -4,6 +4,11 @@ A :class:`TraceRecorder` collects timestamped events from anywhere in the
 stack; experiments and tests use it to assert on behaviour ("exactly one
 scan happened", "the beacon fired 120 times") and to dump readable logs of
 a run.  Recording is opt-in and costs nothing when no recorder is attached.
+
+Traces round-trip through a compact payload (:meth:`TraceRecorder.to_payload`
+/ :meth:`TraceRecorder.from_payload`) — tuples per event, not per-event
+dicts — which is what the runner's artifact transport ships out of worker
+processes; every query helper works identically on a rehydrated trace.
 """
 
 from __future__ import annotations
@@ -12,6 +17,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.sim.kernel import Kernel
+
+#: Payload format tag; bumped if the tuple layout ever changes.
+TRACE_PAYLOAD_FORMAT = "repro.trace/v1"
 
 
 @dataclass(frozen=True)
@@ -29,9 +37,15 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceEvent` items in simulation order."""
+    """Collects :class:`TraceEvent` items in simulation order.
 
-    def __init__(self, kernel: Kernel, capacity: Optional[int] = None) -> None:
+    ``kernel`` may be ``None`` for a recorder that only *holds* events — the
+    rehydrated form :meth:`from_payload` returns; recording new events then
+    raises, but every query helper works.
+    """
+
+    def __init__(self, kernel: Optional[Kernel] = None,
+                 capacity: Optional[int] = None) -> None:
         self.kernel = kernel
         self.capacity = capacity
         self.events: List[TraceEvent] = []
@@ -44,6 +58,11 @@ class TraceRecorder:
 
     def record(self, source: str, kind: str, **detail: Any) -> None:
         """Record an event at the current simulation time."""
+        if self.kernel is None:
+            raise RuntimeError(
+                "this TraceRecorder has no kernel (rehydrated from a "
+                "payload?) — it can be queried but not recorded into"
+            )
         event = TraceEvent(self.kernel.now, source, kind, detail)
         for predicate in self._filters:
             if not predicate(event):
@@ -52,6 +71,46 @@ class TraceRecorder:
             self.dropped += 1
             return
         self.events.append(event)
+
+    # -- payload round-trip --------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The artifact-transport form: one compact tuple per event.
+
+        ``{"format": ..., "events": [(time, source, kind, detail), ...],
+        "dropped": n}`` — deterministic for a deterministic run, so the
+        payload bytes (and their digest) are identical between serial and
+        parallel executions of the same cell.
+        """
+        return {
+            "format": TRACE_PAYLOAD_FORMAT,
+            "events": [
+                (event.time, event.source, event.kind, event.detail)
+                for event in self.events
+            ],
+            "dropped": self.dropped,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "TraceRecorder":
+        """Rehydrate a recorder from :meth:`to_payload` output.
+
+        Accepts tuples or lists per event (JSON transports return lists).
+        The result has no kernel: query it, iterate it, dump it — but new
+        events cannot be recorded into it.
+        """
+        if payload.get("format") != TRACE_PAYLOAD_FORMAT:
+            raise ValueError(
+                f"not a {TRACE_PAYLOAD_FORMAT} payload: "
+                f"format={payload.get('format')!r}"
+            )
+        recorder = cls(kernel=None)
+        for time, source, kind, detail in payload["events"]:
+            recorder.events.append(
+                TraceEvent(float(time), source, kind, dict(detail))
+            )
+        recorder.dropped = int(payload.get("dropped", 0))
+        return recorder
 
     # -- queries -----------------------------------------------------------
 

@@ -134,3 +134,85 @@ def test_property_charge_is_monotonic(draws):
         charge = meter.total_charge_mas()
         assert charge >= last - 1e-12
         last = charge
+
+
+# -- the redesigned average_ma surface ----------------------------------------
+
+
+def test_average_ma_snapshot_form(kernel):
+    meter = EnergyMeter(kernel)
+    meter.set_draw("base", 5.0)
+    kernel.run_until(10.0)
+    snapshot = meter.snapshot()
+    meter.set_draw("extra", 15.0)
+    kernel.run_until(20.0)
+    assert meter.average_ma(since=snapshot) == pytest.approx(20.0)
+    assert meter.average_ma(since=snapshot, floor_ma=5.0) == pytest.approx(15.0)
+
+
+def test_average_ma_zero_window_degenerates_to_current(kernel):
+    meter = EnergyMeter(kernel)
+    meter.set_draw("x", 7.0)
+    snapshot = meter.snapshot()
+    assert meter.average_ma(since=snapshot, floor_ma=2.0) == pytest.approx(5.0)
+
+
+def test_average_ma_two_float_form_warns_but_still_works(kernel):
+    meter = EnergyMeter(kernel)
+    meter.set_draw("x", 4.0)
+    kernel.run_until(5.0)
+    with pytest.warns(DeprecationWarning, match="snapshot"):
+        value = meter.average_ma(0.0, 0.0)
+    assert value == pytest.approx(4.0)
+
+
+def test_average_ma_rejects_mixed_and_missing_forms(kernel):
+    meter = EnergyMeter(kernel)
+    snapshot = meter.snapshot()
+    with pytest.raises(TypeError):
+        meter.average_ma(0.0, 0.0, since=snapshot)
+    with pytest.raises(TypeError):
+        meter.average_ma()
+
+
+# -- the opt-in component timeline --------------------------------------------
+
+
+def test_timeline_off_by_default(kernel):
+    meter = EnergyMeter(kernel)
+    meter.set_draw("x", 1.0)
+    assert not meter.timeline_enabled
+    assert meter.timeline_events() == []
+
+
+def test_timeline_records_transitions(kernel):
+    meter = EnergyMeter(kernel)
+    meter.enable_timeline()
+    meter.enable_timeline()  # idempotent
+    meter.set_draw("radio", 10.0)
+    kernel.run_until(1.0)
+    with meter.draw("op", 90.0):
+        kernel.run_until(1.5)
+    assert meter.timeline_events() == [
+        (0.0, "radio", 10.0),
+        (1.0, "op", 90.0),
+        (1.5, "op", 0.0),
+    ]
+
+
+def test_timeline_seeds_with_active_draws(kernel):
+    meter = EnergyMeter(kernel)
+    meter.set_draw("standby", 3.0)
+    kernel.run_until(2.0)
+    meter.enable_timeline()
+    assert meter.timeline_events() == [(2.0, "standby", 3.0)]
+
+
+def test_timeline_payload_shape(kernel):
+    meter = EnergyMeter(kernel, name="relay")
+    meter.enable_timeline()
+    meter.set_draw("x", 1.0)
+    payload = meter.timeline_payload()
+    assert payload["format"] == "repro.energy.timeline/v1"
+    assert payload["device"] == "relay"
+    assert payload["events"] == [(0.0, "x", 1.0)]

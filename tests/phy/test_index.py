@@ -123,3 +123,59 @@ def test_remove_node_leaves_index_consistent():
     world.add_node("doomed", position=Position(5.0, 0.0))
     world.remove_node("doomed")
     assert world.nodes_within(center, 50.0) == []
+
+
+# -- roaming bookkeeping: O(1) swap-pop removal -------------------------------
+
+
+def test_roaming_removal_from_middle_keeps_the_rest():
+    index = UniformGridIndex(10.0)
+    for name in ("r0", "r1", "r2", "r3"):
+        index.insert(name, None)
+    index.remove("r1")
+    assert index.roaming_count == 3
+    candidates = index.query(Position(0.0, 0.0), 1.0)
+    assert set(candidates) == {"r0", "r2", "r3"}
+    # Swap-pop order: the then-last item fills the vacated slot.
+    assert candidates == ["r0", "r3", "r2"]
+
+
+def test_roaming_removal_of_tail():
+    index = UniformGridIndex(10.0)
+    index.insert("r0", None)
+    index.insert("r1", None)
+    index.remove("r1")
+    assert index.query(Position(0.0, 0.0), 1.0) == ["r0"]
+    index.remove("r0")
+    assert index.roaming_count == 0
+    assert index.query(Position(0.0, 0.0), 1.0) == []
+
+
+def test_roaming_query_order_is_deterministic():
+    def churn():
+        index = UniformGridIndex(5.0)
+        for item in range(8):
+            index.insert(item, None)
+        for item in (3, 0, 6):
+            index.remove(item)
+        index.insert(8, None)
+        index.update(4, Position(1.0, 1.0))  # roaming -> static
+        index.update(4, None)  # and back
+        return index.query(Position(100.0, 100.0), 1.0)
+
+    assert churn() == churn()
+
+
+def test_roaming_heavy_churn_stays_consistent():
+    index = UniformGridIndex(10.0)
+    alive = set()
+    for step in range(200):
+        item = step % 37
+        if item in alive:
+            index.remove(item)
+            alive.discard(item)
+        else:
+            index.insert(item, None)
+            alive.add(item)
+    assert index.roaming_count == len(alive)
+    assert set(index.query(Position(0.0, 0.0), 1.0)) == alive

@@ -47,3 +47,53 @@ def test_dump_is_readable(kernel):
     recorder.record("radio", "scan", n=1)
     text = recorder.dump()
     assert "radio" in text and "scan" in text and "n=1" in text
+
+
+# -- payload round-trip (the runner's artifact form) ---------------------------
+
+
+def test_payload_round_trip_preserves_queries(kernel):
+    recorder = TraceRecorder(kernel)
+    recorder.record("a", "tx", n=1)
+    kernel.call_in(2.0, lambda: recorder.record("b", "rx"))
+    kernel.run()
+    rehydrated = TraceRecorder.from_payload(recorder.to_payload())
+    assert len(rehydrated) == 2
+    assert rehydrated.count("tx") == 1
+    assert len(rehydrated.from_source("b")) == 1
+    assert rehydrated.events[0].detail == {"n": 1}
+    assert rehydrated.events[1].time == 2.0
+
+
+def test_payload_uses_compact_tuples(kernel):
+    recorder = TraceRecorder(kernel)
+    recorder.record("s", "e", x=1)
+    payload = recorder.to_payload()
+    assert payload["events"] == [(0.0, "s", "e", {"x": 1})]
+    assert payload["dropped"] == 0
+
+
+def test_payload_accepts_json_style_lists(kernel):
+    # JSON transports hand lists back where tuples went in.
+    payload = {"format": "repro.trace/v1", "dropped": 3,
+               "events": [[1.5, "s", "k", {}]]}
+    rehydrated = TraceRecorder.from_payload(payload)
+    assert rehydrated.events[0].time == 1.5
+    assert rehydrated.dropped == 3
+
+
+def test_payload_format_is_checked():
+    import pytest
+
+    with pytest.raises(ValueError, match="repro.trace/v1"):
+        TraceRecorder.from_payload({"format": "bogus", "events": []})
+
+
+def test_rehydrated_recorder_rejects_new_events(kernel):
+    import pytest
+
+    recorder = TraceRecorder(kernel)
+    recorder.record("s", "e")
+    rehydrated = TraceRecorder.from_payload(recorder.to_payload())
+    with pytest.raises(RuntimeError, match="no kernel"):
+        rehydrated.record("s", "e")
