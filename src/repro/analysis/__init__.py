@@ -1,14 +1,21 @@
-"""Static determinism analysis + runtime RNG tripwire.
+"""Scope-aware static analysis + runtime RNG tripwire.
 
 The simulator's core claim — that SP/SA/Omni energy and latency differences
 emerge reproducibly from middleware behaviour — rests on bit-for-bit
 determinism.  This package enforces the invariants that determinism silently
 assumes, two ways:
 
-- **statically**: ``python -m repro.analysis src/repro`` walks the tree with
-  an AST pass and reports violations of the DET rules (global RNG use,
-  wall-clock reads, ``hash()``-derived seeds, unsorted set iteration, ...),
-  exiting nonzero on any finding not waived in the checked-in baseline;
+- **statically**: ``python -m repro.analysis src/repro`` runs a multi-pass
+  framework — per-file scope/symbol tables (:mod:`repro.analysis.scopes`),
+  lightweight type/dataflow inference (:mod:`repro.analysis.dataflow`), and
+  the rule pass (:mod:`repro.analysis.visitor`) on top — covering the DET
+  determinism rules (global RNG use, wall-clock reads, ``hash()``-derived
+  seeds, unsorted set iteration, ...), SIM sim-time hygiene, FRK
+  fork/pickle safety in the parallel runner, and API deprecated-interface
+  contracts, exiting nonzero on any finding not waived in the checked-in
+  baseline.  Per-file findings are cached by content hash
+  (:mod:`repro.analysis.cache`), and cache misses can fan out over worker
+  processes — serial, parallel, and cache-warm runs are byte-identical;
 - **at runtime**: :mod:`repro.analysis.tripwire` monkeypatches the
   module-level ``random`` (and ``numpy.random``) entry points to raise, so a
   driver that touches global RNG state fails its cell loudly instead of
@@ -20,7 +27,13 @@ waiver workflow.
 """
 
 from repro.analysis.baseline import Baseline, BaselineError, Waiver
-from repro.analysis.rules import RULES, Finding, Rule
+from repro.analysis.cache import (
+    AnalysisCache,
+    AnalysisStats,
+    analyze_paths_incremental,
+)
+from repro.analysis.rules import RULES, RULESET_VERSION, Finding, Rule
+from repro.analysis.scopes import Scope, ScopeBuilder, Symbol, build_scopes
 from repro.analysis.tripwire import GlobalRngError, Tripwire, guard
 from repro.analysis.visitor import (
     analyze_file,
@@ -30,17 +43,25 @@ from repro.analysis.visitor import (
 )
 
 __all__ = [
+    "AnalysisCache",
+    "AnalysisStats",
     "Baseline",
     "BaselineError",
     "Finding",
     "GlobalRngError",
     "RULES",
+    "RULESET_VERSION",
     "Rule",
+    "Scope",
+    "ScopeBuilder",
+    "Symbol",
     "Tripwire",
     "Waiver",
     "analyze_file",
     "analyze_paths",
+    "analyze_paths_incremental",
     "analyze_source",
+    "build_scopes",
     "guard",
     "normalize_path",
 ]

@@ -1,0 +1,181 @@
+"""Incremental findings cache + deterministic parallel file analysis.
+
+``python -m repro.analysis`` stays fast as the tree grows two ways:
+
+- **content-hash cache** — per-file findings are stored under
+  ``.repro-analysis-cache/`` keyed on the SHA-256 of the file's bytes plus
+  :data:`repro.analysis.rules.RULESET_VERSION`; an unchanged file under an
+  unchanged ruleset is never re-parsed, and bumping ``ANALYSIS_VERSION``
+  (or editing any rule) busts every entry at once.  Delete the directory to
+  bust it by hand;
+- **parallel analysis** — cache misses fan out over a process pool
+  (``--jobs``), and results are merged back in sorted-file order, so
+  serial, parallel, and cache-warm runs produce byte-identical findings.
+
+Cache entries are JSON, one file per analyzed source file (named by the
+hash of its normalized path), self-describing and safe to delete at any
+time — a missing or corrupt entry is just a cache miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import rules
+from repro.analysis.rules import Finding
+from repro.analysis.visitor import analyze_source, iter_python_files, normalize_path
+
+__all__ = [
+    "AnalysisCache",
+    "AnalysisStats",
+    "DEFAULT_CACHE_DIR",
+    "analyze_paths_incremental",
+]
+
+#: Default cache location, relative to the working directory (git-ignored).
+DEFAULT_CACHE_DIR = ".repro-analysis-cache"
+
+#: Entry layout tag, bumped on format changes (doubles as a bust switch).
+CACHE_SCHEMA = "repro.analysis/cache.v1"
+
+
+@dataclass
+class AnalysisStats:
+    """What one incremental run did (reported on stderr, never in findings)."""
+
+    files: int = 0
+    cached: int = 0
+    analyzed: int = 0
+    jobs: int = 1
+
+    def render(self) -> str:
+        return (
+            f"analysis cache: {self.files} file(s), {self.cached} hit(s), "
+            f"{self.analyzed} analyzed, jobs={self.jobs}"
+        )
+
+
+def _source_digest(source: bytes) -> str:
+    ruleset = rules.RULESET_VERSION  # read dynamically so tests can bust it
+    return hashlib.sha256(
+        b"\x00".join((CACHE_SCHEMA.encode(), ruleset.encode(), source))
+    ).hexdigest()
+
+
+class AnalysisCache:
+    """Per-file findings keyed on source digest + rule version."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def _entry_path(self, normalized: str) -> Path:
+        name = hashlib.sha256(normalized.encode("utf-8")).hexdigest()[:32]
+        return self.root / f"{name}.json"
+
+    def lookup(self, normalized: str,
+               source: bytes) -> Optional[List[Finding]]:
+        """Cached findings for this exact source under this ruleset, or None."""
+        entry_path = self._entry_path(normalized)
+        try:
+            entry = json.loads(entry_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (entry.get("schema") != CACHE_SCHEMA
+                or entry.get("digest") != _source_digest(source)):
+            return None
+        try:
+            return [
+                Finding(
+                    code=raw["code"],
+                    path=raw["path"],
+                    line=int(raw["line"]),
+                    col=int(raw["col"]),
+                    message=raw["message"],
+                )
+                for raw in entry["findings"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, normalized: str, source: bytes,
+              findings: Sequence[Finding]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "path": normalized,
+            "digest": _source_digest(source),
+            "findings": [
+                {
+                    "code": f.code,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        }
+        entry_path = self._entry_path(normalized)
+        tmp_path = entry_path.with_suffix(".tmp")
+        tmp_path.write_text(
+            json.dumps(entry, sort_keys=True), encoding="utf-8")
+        tmp_path.replace(entry_path)  # atomic: readers see old or new, never half
+
+
+def _analyze_one(path_text: str) -> List[Finding]:
+    """Pool worker: lint one file (re-reads it in the worker process)."""
+    source = Path(path_text).read_bytes()
+    return analyze_source(source.decode("utf-8"), path_text)
+
+
+def analyze_paths_incremental(
+    paths: Sequence,
+    jobs: int = 1,
+    cache: Optional[AnalysisCache] = None,
+) -> Tuple[List[Finding], AnalysisStats]:
+    """Lint files/trees with the cache and ``jobs`` worker processes.
+
+    Returns findings sorted exactly as :func:`analyze_paths` sorts them —
+    the output is byte-identical whatever the job count or cache state.
+    """
+    files: List[Path] = []
+    for path in paths:
+        files.extend(iter_python_files(path))
+    stats = AnalysisStats(files=len(files), jobs=max(1, jobs))
+    per_file: Dict[int, List[Finding]] = {}
+    misses: List[Tuple[int, Path, bytes]] = []
+    for index, file_path in enumerate(files):
+        source = file_path.read_bytes()
+        if cache is not None:
+            hit = cache.lookup(normalize_path(file_path), source)
+            if hit is not None:
+                per_file[index] = hit
+                stats.cached += 1
+                continue
+        misses.append((index, file_path, source))
+    stats.analyzed = len(misses)
+    if misses:
+        if stats.jobs > 1 and len(misses) > 1:
+            with ProcessPoolExecutor(max_workers=stats.jobs) as pool:
+                results = pool.map(
+                    _analyze_one, [str(p) for _, p, _ in misses])
+                for (index, _, _), findings in zip(misses, results):
+                    per_file[index] = findings
+        else:
+            for index, file_path, source in misses:
+                per_file[index] = analyze_source(
+                    source.decode("utf-8"), str(file_path))
+        if cache is not None:
+            for index, file_path, source in misses:
+                cache.store(
+                    normalize_path(file_path), source, per_file[index])
+    findings: List[Finding] = []
+    for index in range(len(files)):
+        findings.extend(per_file.get(index, []))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings, stats

@@ -1,28 +1,43 @@
-"""``python -m repro.analysis`` — the determinism lint command line.
+"""``python -m repro.analysis`` — the static analysis command line.
 
 Examples::
 
     python -m repro.analysis src/repro
     python -m repro.analysis src/repro --format json
+    python -m repro.analysis src/repro --format github   # CI annotations
+    python -m repro.analysis src/repro --jobs 0          # parallel (cpu count)
+    python -m repro.analysis src/repro --no-cache
     python -m repro.analysis src/repro --write-baseline
     python -m repro.analysis --list-rules
 
-Exit codes: 0 clean, 1 new findings, 2 stale waivers only (the baseline
-lists waivers whose code has since been fixed — delete them), 3 bad
-baseline file.
+Findings go to stdout and are byte-identical between serial, parallel, and
+cache-warm runs; cache statistics go to stderr.  Exit codes: 0 clean, 1 new
+findings, 2 stale waivers only (the baseline lists waivers whose code has
+since been fixed — delete them), 3 bad baseline file.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.baseline import Baseline, BaselineError, format_baseline
-from repro.analysis.report import render_json, render_rules, render_text
-from repro.analysis.visitor import analyze_paths
+from repro.analysis.cache import (
+    DEFAULT_CACHE_DIR,
+    AnalysisCache,
+    analyze_paths_incremental,
+)
+from repro.analysis.report import (
+    render_github,
+    render_json,
+    render_rules,
+    render_text,
+)
 
 #: Default baseline filename, looked up relative to the working directory.
 DEFAULT_BASELINE = "DETERMINISM_BASELINE.txt"
@@ -36,9 +51,11 @@ EXIT_BAD_BASELINE = 3
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Statically enforce the simulator's determinism "
-        "invariants (seeded RNG only, no wall clock, no hash()-derived "
-        "seeds, no unsorted set iteration, ...).",
+        description="Statically enforce the simulator's invariants: "
+        "determinism (DET: seeded RNG only, no wall clock, no hash()-derived "
+        "seeds, no unsorted set iteration, ...), sim-time hygiene (SIM), "
+        "fork/pickle safety in the parallel runner (FRK), and in-repo "
+        "deprecated API use (API).",
     )
     parser.add_argument(
         "paths",
@@ -65,9 +82,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "github"],
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; github emits workflow-command "
+        "annotations for CI)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze cache misses with N worker processes "
+        "(default: 1 = serial; 0 = cpu count); findings are identical "
+        "whatever N is",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the incremental findings cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"incremental cache directory (default: {DEFAULT_CACHE_DIR}; "
+        "delete it, or bump rules.ANALYSIS_VERSION, to bust)",
     )
     parser.add_argument(
         "--list-rules",
@@ -91,7 +130,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     for path in paths:
         if not Path(path).exists():
             parser.error(f"no such path: {path}")
-    findings = analyze_paths(paths)
+    cache = None if args.no_cache else AnalysisCache(args.cache_dir)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    started = time.perf_counter()
+    findings, stats = analyze_paths_incremental(paths, jobs=jobs, cache=cache)
+    elapsed = time.perf_counter() - started
+    print(f"{stats.render()}, {elapsed:.3f}s", file=sys.stderr)
     try:
         baseline = Baseline.load(args.baseline)
     except BaselineError as error:
@@ -106,6 +150,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     waived_count = len(findings) - len(new)
     if args.format == "json":
         print(json.dumps(render_json(new, stale, waived_count), indent=2))
+    elif args.format == "github":
+        print(render_github(new, stale, waived_count))
     else:
         print(render_text(new, stale, waived_count))
     if new:

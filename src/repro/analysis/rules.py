@@ -1,27 +1,40 @@
-"""The determinism rule catalogue.
+"""The analysis rule catalogue: determinism, sim-time, fork-safety, API.
 
-Each rule has a stable code (``DET001``...), a short kebab-case name used in
-reports, a statement of the invariant it protects, and the approved
-alternative.  The AST pass in :mod:`repro.analysis.visitor` decides *where* a
-rule fires; this module records *what* each rule means and which paths are
-exempt **by design** (the module that owns the invariant is allowed to
-implement it — ``repro.util.rng`` may import ``random``, the runner's timing
-code may read the clock, the tripwire may patch what it polices).
+Each rule has a stable code, a short kebab-case name used in reports, a
+statement of the invariant it protects, and the approved alternative.  The
+multi-pass framework (:mod:`repro.analysis.scopes` →
+:mod:`repro.analysis.dataflow` → :mod:`repro.analysis.visitor`) decides
+*where* a rule fires; this module records *what* each rule means and which
+paths are exempt **by design** (the module that owns the invariant is
+allowed to implement it — ``repro.util.rng`` may import ``random``, the
+runner's timing code may read the clock, the artifact helpers may allocate
+shared memory, the analysis tooling may time itself).
 
-Anything else that needs an exception takes a per-line waiver in the baseline
-file instead, with a one-line justification (see
+Rules with ``only_paths`` fire nowhere else: the FRK fork-safety family is
+scoped to ``repro/runner/``, where code actually crosses process
+boundaries — a module-level registry in single-process simulation code is
+ordinary Python, not a hazard.
+
+Anything else that needs an exception takes a per-line waiver in the
+baseline file instead, with a one-line justification (see
 :mod:`repro.analysis.baseline`).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Tuple
+
+#: Bumped whenever the analysis passes change behaviour; folded into the
+#: incremental cache key so stale cached findings can never survive a rule
+#: change (see :mod:`repro.analysis.cache`).
+ANALYSIS_VERSION = 2
 
 
 @dataclass(frozen=True)
 class Rule:
-    """One determinism invariant the linter enforces."""
+    """One invariant the linter enforces."""
 
     code: str
     name: str
@@ -30,6 +43,16 @@ class Rule:
     #: Normalized-path prefixes where the rule never fires (the invariant's
     #: own implementation).  Everything else must use a baseline waiver.
     exempt_paths: Tuple[str, ...] = ()
+    #: When non-empty, the rule fires *only* under these normalized-path
+    #: prefixes (e.g. fork-safety rules are runner-scoped).
+    only_paths: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if any(path.startswith(prefix) for prefix in self.exempt_paths):
+            return False
+        if self.only_paths:
+            return any(path.startswith(prefix) for prefix in self.only_paths)
+        return True
 
 
 @dataclass(frozen=True)
@@ -52,6 +75,7 @@ class Finding:
 
 
 _RULE_LIST = [
+    # -- DET: determinism -----------------------------------------------------
     Rule(
         code="DET001",
         name="global-rng",
@@ -65,8 +89,8 @@ _RULE_LIST = [
         name="wall-clock",
         summary="wall-clock read inside simulation code",
         suggestion="use kernel.now (simulated time); only the runner's "
-        "timing code may read the host clock",
-        exempt_paths=("repro/runner/engine.py",),
+        "timing code and the analysis tooling may read the host clock",
+        exempt_paths=("repro/runner/engine.py", "repro/analysis/"),
     ),
     Rule(
         code="DET003",
@@ -81,7 +105,8 @@ _RULE_LIST = [
         name="unsorted-set-iteration",
         summary="iteration over a set in an ordering-sensitive position",
         suggestion="wrap the set in sorted(...) at the point of iteration "
-        "(membership tests and order-insensitive reducers are fine)",
+        "(membership tests, order-insensitive reducers, and pure bitwise "
+        "accumulation are fine)",
     ),
     Rule(
         code="DET005",
@@ -89,7 +114,11 @@ _RULE_LIST = [
         summary="id() — object addresses vary per process, so any ordering "
         "or keying built on them does too",
         suggestion="key on a stable attribute (a name, an address, a "
-        "sequence number) instead of the interpreter's object address",
+        "sequence number); pure in-scope dedup whose output is sorted "
+        "afterwards is recognised as safe",
+        # The analysis passes key AST nodes by id() within one in-process
+        # walk (identity, never ordering) — the tooling owns this invariant.
+        exempt_paths=("repro/analysis/",),
     ),
     Rule(
         code="DET006",
@@ -107,7 +136,99 @@ _RULE_LIST = [
         suggestion="thread configuration through explicit parameters "
         "(scenario/config objects) instead of the environment",
     ),
+    # -- SIM: sim-time hygiene ------------------------------------------------
+    Rule(
+        code="SIM001",
+        name="host-sleep",
+        summary="time.sleep() inside simulation code — blocks the host "
+        "thread without advancing simulated time",
+        suggestion="schedule with kernel.call_in(delay, fn) or yield "
+        "repro.sim.process.sleep(delay) inside a sim process",
+        exempt_paths=("repro/runner/", "repro/analysis/"),
+    ),
+    Rule(
+        code="SIM002",
+        name="sim-time-accumulation",
+        summary="a name seeded from kernel.now is advanced with float += — "
+        "accumulated rounding drifts from the kernel's exact event clock",
+        suggestion="re-read kernel.now where the current instant is needed "
+        "instead of integrating deltas by hand",
+        exempt_paths=("repro/runner/", "repro/analysis/"),
+    ),
+    Rule(
+        code="SIM003",
+        name="time-domain-mixing",
+        summary="an expression combines kernel.now-derived sim-time with a "
+        "wall-clock value — the result is meaningless in either domain",
+        suggestion="keep host timing in the runner; simulation code compares "
+        "and subtracts sim-time only",
+        exempt_paths=("repro/runner/", "repro/analysis/"),
+    ),
+    # -- FRK: fork/pickle safety in the parallel runner -----------------------
+    Rule(
+        code="FRK001",
+        name="fork-shared-module-state",
+        summary="module-level mutable state mutated inside runner "
+        "functions — each forked/spawned worker mutates its own copy, "
+        "silently diverging from the parent",
+        suggestion="keep per-run state on Job/engine objects that cross the "
+        "pool explicitly, or derive it from the run token",
+        exempt_paths=("repro/runner/artifacts.py",),
+        only_paths=("repro/runner/",),
+    ),
+    Rule(
+        code="FRK002",
+        name="unpicklable-worker-callable",
+        summary="a lambda or nested function is submitted to a process "
+        "pool — it cannot be pickled into a spawned worker",
+        suggestion="submit a module-level function (carry context in a "
+        "picklable Job dataclass, as repro.runner.jobs does)",
+    ),
+    Rule(
+        code="FRK003",
+        name="raw-shared-memory",
+        summary="SharedMemory segment created outside the run-scoped "
+        "artifact helpers — it escapes the runner's prefix sweep and can "
+        "leak on worker death",
+        suggestion="move artifact bytes with repro.runner.artifacts "
+        "(export_cell_artifacts / fetch_cell_artifacts), which name "
+        "segments under a swept run token",
+        exempt_paths=("repro/runner/artifacts.py",),
+    ),
+    # -- API: in-repo deprecated interfaces -----------------------------------
+    Rule(
+        code="API001",
+        name="deprecated-average-ma",
+        summary="EnergyMeter.average_ma(since_time, since_charge_mas) — the "
+        "deprecated two-float window form",
+        suggestion="take snapshot = meter.snapshot() and call "
+        "meter.average_ma(since=snapshot, floor_ma=...)",
+        exempt_paths=("repro/energy/meter.py",),
+    ),
+    Rule(
+        code="API002",
+        name="deprecated-cellresult-alias",
+        summary="repro.experiments CellResult — the deprecated alias of "
+        "Table4Cell (the name now belongs to repro.runner.CellResult)",
+        suggestion="import Table4Cell for the Table-4 measurement, or "
+        "repro.runner.CellResult for the runner's cell envelope",
+        exempt_paths=("repro/experiments/__init__.py",
+                      "repro/experiments/controlled.py"),
+    ),
 ]
 
 #: code -> rule, in catalogue order.
 RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULE_LIST}
+
+
+def _ruleset_digest() -> str:
+    payload = repr((ANALYSIS_VERSION, sorted(
+        (r.code, r.name, r.summary, r.suggestion, r.exempt_paths, r.only_paths)
+        for r in _RULE_LIST
+    )))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+#: Cache key component: changes whenever the catalogue or ANALYSIS_VERSION
+#: does, so `.repro-analysis-cache/` entries from an older ruleset miss.
+RULESET_VERSION = f"{ANALYSIS_VERSION}:{_ruleset_digest()}"

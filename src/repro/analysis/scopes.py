@@ -1,0 +1,397 @@
+"""The scope/symbol-table pass under ``python -m repro.analysis``.
+
+One :class:`ScopeBuilder` walk turns a module into a tree of
+:class:`Scope` objects — module, class bodies, functions, lambdas, and
+comprehensions each get their own — with a :class:`Symbol` per bound name
+recording *every* binding site (assignment, annotation, parameter, import,
+``for`` target, ...).  Rule passes resolve names through this tree with
+Python's actual lookup semantics (class bodies are invisible to nested
+functions, ``global``/``nonlocal`` redirect, comprehensions shadow), so a
+``List[int]`` parameter no longer inherits set-ness from an unrelated set
+of the same name three functions away.
+
+The pass is purely syntactic bookkeeping; what a binding *means* (is this
+symbol a set? does this value carry sim-time or wall-clock?) is the job of
+:mod:`repro.analysis.dataflow`, which consumes the recorded binding nodes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "AttributeBinding",
+    "Binding",
+    "Scope",
+    "ScopeBuilder",
+    "Symbol",
+    "build_scopes",
+]
+
+
+@dataclass
+class Binding:
+    """One site that binds a name in a scope."""
+
+    #: 'assign' | 'annassign' | 'augassign' | 'param' | 'import' | 'function'
+    #: | 'class' | 'for' | 'with' | 'except' | 'comprehension' | 'walrus'
+    kind: str
+    lineno: int
+    #: RHS expression for assignment-like bindings (None when unknown, e.g.
+    #: tuple-unpacking elements).
+    value: Optional[ast.AST] = None
+    annotation: Optional[ast.AST] = None
+    #: AugAssign operator node for 'augassign' bindings.
+    op: Optional[ast.AST] = None
+    #: The binding statement/expression node itself (for precise findings).
+    node: Optional[ast.AST] = None
+    #: Dotted origin for 'import' bindings (``from time import sleep`` →
+    #: ``time.sleep``; ``import numpy as np`` → ``numpy``).
+    origin: Optional[str] = None
+
+
+@dataclass
+class AttributeBinding:
+    """One ``obj.attr = value`` site (attributes are tracked module-wide)."""
+
+    attr: str
+    lineno: int
+    value: Optional[ast.AST] = None
+    annotation: Optional[ast.AST] = None
+
+
+@dataclass
+class Symbol:
+    """One name bound in one scope, with all its binding sites."""
+
+    name: str
+    bindings: List[Binding] = field(default_factory=list)
+    is_global: bool = False
+    is_nonlocal: bool = False
+
+    @property
+    def import_origin(self) -> Optional[str]:
+        for binding in self.bindings:
+            if binding.kind == "import":
+                return binding.origin
+        return None
+
+
+class Scope:
+    """One lexical scope and the symbols it binds."""
+
+    def __init__(self, kind: str, name: str, node: ast.AST,
+                 parent: Optional["Scope"] = None) -> None:
+        self.kind = kind  # 'module' | 'class' | 'function' | 'lambda' | 'comprehension'
+        self.name = name
+        self.node = node
+        self.parent = parent
+        self.children: List["Scope"] = []
+        self.symbols: Dict[str, Symbol] = {}
+        if parent is not None:
+            parent.children.append(self)
+
+    def __repr__(self) -> str:
+        return f"Scope({self.kind} {self.qualname()!r}, {sorted(self.symbols)})"
+
+    def qualname(self) -> str:
+        parts: List[str] = []
+        scope: Optional[Scope] = self
+        while scope is not None and scope.kind != "module":
+            parts.append(scope.name)
+            scope = scope.parent
+        return ".".join(reversed(parts)) or "<module>"
+
+    def module(self) -> "Scope":
+        scope = self
+        while scope.parent is not None:
+            scope = scope.parent
+        return scope
+
+    def declare(self, name: str, binding: Binding) -> Symbol:
+        symbol = self.symbols.get(name)
+        if symbol is None:
+            symbol = self.symbols[name] = Symbol(name)
+        symbol.bindings.append(binding)
+        return symbol
+
+    def mark(self, name: str, *, is_global: bool = False,
+             is_nonlocal: bool = False) -> Symbol:
+        symbol = self.symbols.get(name)
+        if symbol is None:
+            symbol = self.symbols[name] = Symbol(name)
+        symbol.is_global = symbol.is_global or is_global
+        symbol.is_nonlocal = symbol.is_nonlocal or is_nonlocal
+        return symbol
+
+    def resolve(self, name: str) -> Optional[Tuple["Scope", Symbol]]:
+        """Where ``name`` read from this scope actually binds.
+
+        Follows Python's rules: the local scope first, then enclosing
+        *function* scopes (class bodies are skipped — they are invisible to
+        code nested inside them), then the module.  ``global`` jumps the
+        lookup to the module scope; ``nonlocal`` skips past the declaring
+        scope into the nearest enclosing function that binds the name.
+        """
+        scope: Optional[Scope] = self
+        origin = True
+        while scope is not None:
+            if origin or scope.kind != "class":
+                symbol = scope.symbols.get(name)
+                if symbol is not None:
+                    if symbol.is_global:
+                        module = scope.module()
+                        target = module.symbols.get(name)
+                        return (module, target) if target else (module, symbol)
+                    if not symbol.is_nonlocal:
+                        return scope, symbol
+                    # nonlocal: keep climbing into enclosing functions.
+            origin = False
+            scope = scope.parent
+        return None
+
+
+class ScopeBuilder(ast.NodeVisitor):
+    """Build the scope tree for one module.
+
+    After :meth:`build`, ``module_scope`` is the root, ``scopes`` maps every
+    scope-introducing AST node (FunctionDef, Lambda, ClassDef, the four
+    comprehension forms, Module) to its :class:`Scope`, and
+    ``attribute_bindings`` lists every ``obj.attr = ...`` site in the module
+    (attributes have no lexical scope, so they stay module-wide).
+    """
+
+    def __init__(self) -> None:
+        self.module_scope: Optional[Scope] = None
+        self.scopes: Dict[ast.AST, Scope] = {}
+        self.attribute_bindings: List[AttributeBinding] = []
+        self._stack: List[Scope] = []
+
+    # -- entry ----------------------------------------------------------------
+
+    def build(self, tree: ast.Module) -> Scope:
+        self.module_scope = Scope("module", "<module>", tree)
+        self.scopes[tree] = self.module_scope
+        self._stack = [self.module_scope]
+        for statement in tree.body:
+            self.visit(statement)
+        return self.module_scope
+
+    @property
+    def current(self) -> Scope:
+        return self._stack[-1]
+
+    def _enter(self, kind: str, name: str, node: ast.AST) -> Scope:
+        scope = Scope(kind, name, node, parent=self.current)
+        self.scopes[node] = scope
+        self._stack.append(scope)
+        return scope
+
+    def _exit(self) -> None:
+        self._stack.pop()
+
+    # -- binding targets ------------------------------------------------------
+
+    def _bind_target(self, target: ast.AST, binding: Binding) -> None:
+        if isinstance(target, ast.Name):
+            self.current.declare(target.id, binding)
+        elif isinstance(target, ast.Attribute):
+            self.attribute_bindings.append(AttributeBinding(
+                attr=target.attr,
+                lineno=binding.lineno,
+                value=binding.value,
+                annotation=binding.annotation,
+            ))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                # Unpacked elements lose the RHS: record an unknown binding.
+                self._bind_target(element, Binding(
+                    kind=binding.kind, lineno=binding.lineno, node=binding.node,
+                ))
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, binding)
+        # Subscript stores bind nothing.
+
+    # -- statements -----------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._bind_target(target, Binding(
+                kind="assign", lineno=node.lineno, value=node.value, node=node,
+            ))
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._bind_target(node.target, Binding(
+            kind="annassign", lineno=node.lineno, value=node.value,
+            annotation=node.annotation, node=node,
+        ))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self.current.declare(node.target.id, Binding(
+                kind="augassign", lineno=node.lineno, value=node.value,
+                op=node.op, node=node,
+            ))
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._bind_target(node.target, Binding(
+            kind="for", lineno=node.lineno, node=node,
+        ))
+        self.generic_visit(node)
+
+    visit_AsyncFor = visit_For
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if item.optional_vars is not None:
+                self._bind_target(item.optional_vars, Binding(
+                    kind="with", lineno=node.lineno,
+                    value=item.context_expr, node=node,
+                ))
+        self.generic_visit(node)
+
+    visit_AsyncWith = visit_With
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self.current.declare(node.name, Binding(
+                kind="except", lineno=node.lineno, node=node,
+            ))
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".", 1)[0]
+            self.current.declare(bound, Binding(
+                kind="import", lineno=node.lineno, node=node,
+                origin=alias.name if alias.asname else alias.name.split(".", 1)[0],
+            ))
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self.current.declare(alias.asname or alias.name, Binding(
+                kind="import", lineno=node.lineno, node=node,
+                origin=f"{module}.{alias.name}" if module else alias.name,
+            ))
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self.current.mark(name, is_global=True)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        for name in node.names:
+            self.current.mark(name, is_nonlocal=True)
+
+    # -- scope-introducing nodes ----------------------------------------------
+
+    def _declare_params(self, args: ast.arguments) -> None:
+        params = list(getattr(args, "posonlyargs", [])) + list(args.args)
+        params += list(args.kwonlyargs)
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None:
+                params.append(extra)
+        for arg in params:
+            self.current.declare(arg.arg, Binding(
+                kind="param", lineno=arg.lineno,
+                annotation=arg.annotation, node=arg,
+            ))
+
+    def _visit_function(self, node, kind: str = "function") -> None:
+        self.current.declare(node.name, Binding(
+            kind="function", lineno=node.lineno, node=node,
+        ))
+        # Decorators, defaults, and annotations evaluate in the enclosing
+        # scope.
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            self.visit(default)
+        self._enter(kind, node.name, node)
+        self._declare_params(node.args)
+        for statement in node.body:
+            self.visit(statement)
+        self._exit()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._enter("lambda", "<lambda>", node)
+        self._declare_params(node.args)
+        self.visit(node.body)
+        self._exit()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.current.declare(node.name, Binding(
+            kind="class", lineno=node.lineno, node=node,
+        ))
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        for base in node.bases:
+            self.visit(base)
+        self._enter("class", node.name, node)
+        for statement in node.body:
+            self.visit(statement)
+        self._exit()
+
+    def _visit_comprehension(self, node, name: str) -> None:
+        self._enter("comprehension", name, node)
+        for generator in node.generators:
+            self._bind_target(generator.target, Binding(
+                kind="comprehension", lineno=node.lineno, node=node,
+            ))
+            self.visit(generator.iter)
+            for condition in generator.ifs:
+                self.visit(condition)
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)
+        self._exit()
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node, "<listcomp>")
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node, "<setcomp>")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node, "<dictcomp>")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node, "<genexpr>")
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        # PEP 572: the walrus binds in the nearest enclosing non-comprehension
+        # scope.
+        scope = self.current
+        while scope.kind == "comprehension" and scope.parent is not None:
+            scope = scope.parent
+        if isinstance(node.target, ast.Name):
+            scope.declare(node.target.id, Binding(
+                kind="walrus", lineno=node.lineno, value=node.value, node=node,
+            ))
+        self.visit(node.value)
+
+
+def build_scopes(tree: ast.Module) -> ScopeBuilder:
+    """Run the scope pass over ``tree``; returns the populated builder."""
+    builder = ScopeBuilder()
+    builder.build(tree)
+    return builder

@@ -1,18 +1,30 @@
-"""The AST pass behind ``python -m repro.analysis``.
+"""The rule pass behind ``python -m repro.analysis``.
 
-One :class:`DeterminismVisitor` walks one module and emits
-:class:`~repro.analysis.rules.Finding` objects.  The pass is deliberately
-syntactic — no type inference, no cross-module dataflow — with two small
-doses of context so the common safe idioms stay quiet:
+Analysis of one module is three passes:
 
-- **set tracking** (DET004): names and attributes assigned or annotated as
-  sets in the module are remembered, so ``for tech in self._engaged:`` is
-  flagged even though the expression itself is just an attribute;
-- **reducer suppression** (DET004): iteration that happens *inside* an
-  order-insensitive consumer — ``sorted(...)``, ``min``/``max``, ``sum``,
-  ``len``, ``any``/``all``, ``set``/``frozenset`` — is not a hazard, so
-  ``sorted(t.value for t in tried)`` is clean while
-  ``[t.value for t in tried]`` is not.
+1. :class:`~repro.analysis.scopes.ScopeBuilder` builds the scope tree — a
+   symbol table per module/class/function/lambda/comprehension scope with
+   every binding site recorded;
+2. :mod:`repro.analysis.dataflow` interprets those bindings — which symbols
+   are set-typed *in their own scope*, which values carry sim-time vs
+   wall-clock, which sets are pure dedup accumulators, which callables
+   cannot cross a pickle boundary;
+3. :class:`AnalysisVisitor` (this module) walks the tree with a scope stack
+   and emits :class:`~repro.analysis.rules.Finding` objects for the DET,
+   SIM, FRK, and API rule families.
+
+Scope-accuracy is the point: a ``List[int]`` parameter that shares a name
+with a set in another function is a list here, shadowing works, and the
+safe idioms stay quiet —
+
+- **reducer suppression** (DET004): iteration *inside* an order-insensitive
+  consumer (``sorted``, ``min``/``max``, ``sum``, ``len``, ``any``/``all``,
+  ``set``/``frozenset``) is not a hazard;
+- **commutative accumulation** (DET004): a loop body of pure bitwise
+  ``|=``/``&=``/``^=`` builds the same value in any order;
+- **dedup sets** (DET005): ``id()`` keys that only feed an in-scope
+  membership set whose surrounding result is sorted cannot leak address
+  order.
 
 False positives are expected in the tail (that is what the baseline's
 per-line waivers are for); false negatives are the thing to minimise.
@@ -24,21 +36,9 @@ import ast
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set
 
+from repro.analysis import dataflow
 from repro.analysis.rules import RULES, Finding
-
-#: Dotted-name suffixes that read the host clock (DET002).
-_WALL_CLOCK_SUFFIXES = (
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "datetime.now",
-    "datetime.utcnow",
-    "datetime.today",
-    "date.today",
-)
+from repro.analysis.scopes import Scope, ScopeBuilder, build_scopes
 
 #: Module-level callables whose defaults must not be mutable (DET006).
 _MUTABLE_CONSTRUCTORS = {
@@ -66,11 +66,17 @@ _ORDER_INSENSITIVE_CALLS = {
     "Counter",
 }
 
-#: Annotation heads that denote a set type (DET004 tracking).
-_SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "MutableSet", "AbstractSet"}
-
 #: Ordering-sensitive materialisers of an iterable (DET004 sinks).
 _ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate"}
+
+#: ImportFrom modules whose ``CellResult`` is the deprecated alias (API002).
+_DEPRECATED_CELLRESULT_MODULES = {
+    "repro.experiments",
+    "repro.experiments.controlled",
+    "experiments",
+    "experiments.controlled",
+    "controlled",
+}
 
 
 def normalize_path(path) -> str:
@@ -113,90 +119,27 @@ def _call_name(node: ast.Call) -> Optional[str]:
     return None
 
 
-def _annotation_head(node: ast.AST) -> Optional[str]:
-    """The head identifier of an annotation (``Set[int]`` → ``Set``)."""
-    if isinstance(node, ast.Subscript):
-        node = node.value
-    if isinstance(node, ast.Constant) and isinstance(node.value, str):
-        # String annotation: take the head up to the first bracket.
-        return node.value.split("[", 1)[0].strip().rsplit(".", 1)[-1] or None
-    dotted = _dotted_name(node)
-    if dotted is None:
-        return None
-    return dotted.rsplit(".", 1)[-1]
+class AnalysisVisitor(ast.NodeVisitor):
+    """Emit findings for one module, resolving names through its scope tree."""
 
-
-def _target_name(node: ast.AST) -> Optional[str]:
-    """The bindable identifier of an assignment target (``self.x`` → ``x``)."""
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    return None
-
-
-class _SetNameCollector(ast.NodeVisitor):
-    """First pass: which names/attributes in this module hold sets?"""
-
-    def __init__(self) -> None:
-        self.set_names: Set[str] = set()
-
-    def _is_set_annotation(self, annotation: ast.AST) -> bool:
-        return _annotation_head(annotation) in _SET_ANNOTATIONS
-
-    def _is_set_value(self, value: Optional[ast.AST]) -> bool:
-        if value is None:
-            return False
-        if isinstance(value, (ast.Set, ast.SetComp)):
-            return True
-        if isinstance(value, ast.Call):
-            return _call_name(value) in {"set", "frozenset"}
-        return False
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        name = _target_name(node.target)
-        if name and (self._is_set_annotation(node.annotation)
-                     or self._is_set_value(node.value)):
-            self.set_names.add(name)
-        self.generic_visit(node)
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        if self._is_set_value(node.value):
-            for target in node.targets:
-                name = _target_name(target)
-                if name:
-                    self.set_names.add(name)
-        self.generic_visit(node)
-
-    def _collect_args(self, node) -> None:
-        args = list(node.args.args) + list(node.args.kwonlyargs)
-        args += getattr(node.args, "posonlyargs", [])
-        for arg in args:
-            if arg.annotation is not None and self._is_set_annotation(arg.annotation):
-                self.set_names.add(arg.arg)
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._collect_args(node)
-        self.generic_visit(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._collect_args(node)
-        self.generic_visit(node)
-
-    # Dataclass-style fields: `tried: Set[TechType]` inside a class body is
-    # an AnnAssign and already covered above.
-
-
-class DeterminismVisitor(ast.NodeVisitor):
-    """Second pass: emit findings for one module."""
-
-    def __init__(self, path: str, set_names: Set[str]) -> None:
+    def __init__(self, path: str, builder: ScopeBuilder) -> None:
         self.path = path
-        self.set_names = set_names
+        self.builder = builder
+        self.attr_set_names = dataflow.attribute_set_names(
+            builder.attribute_bindings)
+        self.module_mutables = dataflow.module_mutable_names(
+            builder.module_scope)
         self.findings: List[Finding] = []
+        self._scope_stack: List[Scope] = [builder.module_scope]
         self._reducer_depth = 0  # inside an order-insensitive call's args
+        self._dedup_suppressed: Set[int] = set()
+        self._enter_scope_checks(builder.module_scope)
 
     # -- plumbing -------------------------------------------------------------
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope_stack[-1]
 
     def _emit(self, code: str, node: ast.AST, message: str) -> None:
         self.findings.append(
@@ -208,6 +151,28 @@ class DeterminismVisitor(ast.NodeVisitor):
                 message=message,
             )
         )
+
+    def _push(self, node: ast.AST) -> bool:
+        scope = self.builder.scopes.get(node)
+        if scope is None:
+            return False
+        self._scope_stack.append(scope)
+        self._enter_scope_checks(scope)
+        return True
+
+    def _pop(self) -> None:
+        self._scope_stack.pop()
+
+    def _enter_scope_checks(self, scope: Scope) -> None:
+        """Per-scope dataflow findings, computed once on scope entry."""
+        for node in dataflow.sim_time_accumulations(scope):
+            self._emit(
+                "SIM002", node,
+                "this name was seeded from kernel.now but is advanced with "
+                "+=; re-read kernel.now instead of integrating floats",
+            )
+        self._dedup_suppressed |= dataflow.dedup_suppressed_id_calls(
+            scope.node, scope)
 
     # -- DET001: global RNG ---------------------------------------------------
 
@@ -235,6 +200,15 @@ class DeterminismVisitor(ast.NodeVisitor):
                 "import of numpy.random (global RNG state); "
                 "use repro.util.rng.SeededRng",
             )
+        if module in _DEPRECATED_CELLRESULT_MODULES and any(
+            alias.name == "CellResult" for alias in node.names
+        ):
+            self._emit(
+                "API002", node,
+                f"import of the deprecated CellResult alias from {module!r}; "
+                "use Table4Cell (or repro.runner.CellResult for the "
+                "runner envelope)",
+            )
         self.generic_visit(node)
 
     # -- call-shaped rules ----------------------------------------------------
@@ -251,7 +225,7 @@ class DeterminismVisitor(ast.NodeVisitor):
                         "RNG; use a SeededRng stream",
                     )
             if any(dotted == s or dotted.endswith("." + s)
-                   for s in _WALL_CLOCK_SUFFIXES):
+                   for s in dataflow.WALL_CLOCK_SUFFIXES):
                 self._emit(
                     "DET002", node,
                     f"{dotted}() reads the host clock; simulation code must "
@@ -263,6 +237,20 @@ class DeterminismVisitor(ast.NodeVisitor):
                     "os.getenv() makes results depend on the host "
                     "environment; pass configuration explicitly",
                 )
+            if dotted == "time.sleep" or dotted.endswith(".time.sleep"):
+                self._emit(
+                    "SIM001", node,
+                    "time.sleep() blocks the host thread without advancing "
+                    "simulated time; use kernel.call_in or a sim-process "
+                    "sleep",
+                )
+            if dotted == "SharedMemory" or dotted.endswith(".SharedMemory"):
+                self._emit(
+                    "FRK003", node,
+                    "raw SharedMemory segment escapes the runner's "
+                    "run-scoped prefix sweep; go through "
+                    "repro.runner.artifacts",
+                )
         if isinstance(node.func, ast.Name):
             if node.func.id == "hash" and node.args:
                 self._emit(
@@ -270,11 +258,19 @@ class DeterminismVisitor(ast.NodeVisitor):
                     "builtin hash() is salted per process; use derive_seed "
                     "or hashlib for stable derivation",
                 )
-            if node.func.id == "id" and node.args:
+            if (node.func.id == "id" and node.args
+                    and id(node) not in self._dedup_suppressed):
                 self._emit(
                     "DET005", node,
                     "id() yields per-process object addresses; key on a "
                     "stable attribute instead",
+                )
+            if node.func.id == "sleep" and self._resolves_to_time_sleep(node):
+                self._emit(
+                    "SIM001", node,
+                    "sleep() (imported from time) blocks the host thread "
+                    "without advancing simulated time; use kernel.call_in "
+                    "or a sim-process sleep",
                 )
             if (
                 node.func.id in _ORDER_SENSITIVE_CALLS
@@ -287,6 +283,28 @@ class DeterminismVisitor(ast.NodeVisitor):
                     f"{node.func.id}() materialises a set in arbitrary "
                     "order; use sorted(...)",
                 )
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "average_ma" and self._is_deprecated_average_ma(node):
+                self._emit(
+                    "API001", node,
+                    "deprecated two-float average_ma(since_time, "
+                    "since_charge_mas); use "
+                    "average_ma(since=snapshot, floor_ma=...)",
+                )
+        captured = dataflow.unpicklable_worker_callable(node, self.scope)
+        if captured is not None:
+            kind = ("lambda" if isinstance(captured, ast.Lambda)
+                    else "nested function")
+            self._emit(
+                "FRK002", node,
+                f"{kind} handed to a process-pool submission API cannot be "
+                "pickled into a spawned worker; submit a module-level "
+                "callable",
+            )
+        mutated = dataflow.mutates_module_state(
+            node, self.scope, self.module_mutables)
+        if mutated is not None:
+            self._emit_frk001(node, mutated)
         call_name = _call_name(node)
         if call_name in _ORDER_INSENSITIVE_CALLS:
             self._reducer_depth += 1
@@ -295,18 +313,88 @@ class DeterminismVisitor(ast.NodeVisitor):
         else:
             self.generic_visit(node)
 
-    # -- DET007: os.environ ---------------------------------------------------
+    def _resolves_to_time_sleep(self, node: ast.Call) -> bool:
+        resolved = self.scope.resolve(node.func.id)
+        if resolved is None:
+            return False
+        return resolved[1].import_origin == "time.sleep"
+
+    @staticmethod
+    def _is_deprecated_average_ma(node: ast.Call) -> bool:
+        if len(node.args) >= 2:
+            return True
+        keywords = {keyword.arg for keyword in node.keywords}
+        return bool(keywords & {"since_time", "since_charge_mas"})
+
+    def _emit_frk001(self, node: ast.AST, name: str) -> None:
+        self._emit(
+            "FRK001", node,
+            f"module-level mutable {name!r} mutated inside a function; "
+            "forked/spawned workers hold diverging copies — carry per-run "
+            "state on Job/engine objects",
+        )
+
+    # -- DET007 / API002: attribute reads -------------------------------------
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
-        if _dotted_name(node) == "os.environ":
+        dotted = _dotted_name(node)
+        if dotted == "os.environ":
             self._emit(
                 "DET007", node,
                 "os.environ read makes results depend on the host "
                 "environment; pass configuration explicitly",
             )
+        if dotted is not None and node.attr == "CellResult":
+            base = dotted.rsplit(".", 1)[0]
+            if base in _DEPRECATED_CELLRESULT_MODULES or base.endswith(
+                (".experiments", ".controlled")
+            ):
+                self._emit(
+                    "API002", node,
+                    f"{dotted} is the deprecated alias of Table4Cell; "
+                    "use Table4Cell (or repro.runner.CellResult)",
+                )
         self.generic_visit(node)
 
-    # -- DET006: mutable defaults ---------------------------------------------
+    # -- FRK001: module-state mutation sinks ----------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        mutated = dataflow.mutates_module_state(
+            node, self.scope, self.module_mutables)
+        if mutated is not None:
+            self._emit_frk001(node, mutated)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        mutated = dataflow.mutates_module_state(
+            node, self.scope, self.module_mutables)
+        if mutated is not None:
+            self._emit_frk001(node, mutated)
+        self.generic_visit(node)
+
+    # -- SIM003: time-domain mixing -------------------------------------------
+
+    def _check_domain_mixing(self, node: ast.AST,
+                             sides: Sequence[ast.AST]) -> None:
+        domains = {dataflow.expr_time_domain(side, self.scope)
+                   for side in sides}
+        if dataflow.SIM_TIME in domains and dataflow.WALL_CLOCK in domains:
+            self._emit(
+                "SIM003", node,
+                "expression mixes kernel.now-derived sim-time with a "
+                "wall-clock value; keep host timing in the runner",
+            )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_domain_mixing(node, (node.left, node.right))
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        self._check_domain_mixing(node, [node.left] + list(node.comparators))
+        self.generic_visit(node)
+
+    # -- DET006: mutable defaults + scope entry -------------------------------
 
     def _check_defaults(self, node) -> None:
         defaults = list(node.args.defaults) + [
@@ -328,13 +416,42 @@ class DeterminismVisitor(ast.NodeVisitor):
         return (isinstance(node, ast.Call)
                 and _call_name(node) in _MUTABLE_CONSTRUCTORS)
 
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+    def _visit_function(self, node) -> None:
         self._check_defaults(node)
-        self.generic_visit(node)
+        # Decorators and defaults evaluate in the enclosing scope.
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            self.visit(default)
+        if self._push(node):
+            for statement in node.body:
+                self.visit(statement)
+            self._pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_defaults(node)
-        self.generic_visit(node)
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        if self._push(node):
+            self.visit(node.body)
+            self._pop()
+        else:  # pragma: no cover - builder always maps lambdas
+            self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        for base in node.bases + [kw.value for kw in node.keywords]:
+            self.visit(base)
+        if self._push(node):
+            for statement in node.body:
+                self.visit(statement)
+            self._pop()
 
     # -- DET004: unsorted set iteration ---------------------------------------
 
@@ -348,9 +465,12 @@ class DeterminismVisitor(ast.NodeVisitor):
         ):
             return self._is_set_expr(node.left) or self._is_set_expr(node.right)
         if isinstance(node, ast.Name):
-            return node.id in self.set_names
+            resolved = self.scope.resolve(node.id)
+            if resolved is None:
+                return False
+            return "set" in dataflow.symbol_types(resolved[1])
         if isinstance(node, ast.Attribute):
-            return node.attr in self.set_names
+            return node.attr in self.attr_set_names
         return False
 
     def _check_iteration(self, iterable: ast.AST, node: ast.AST) -> None:
@@ -362,13 +482,17 @@ class DeterminismVisitor(ast.NodeVisitor):
             )
 
     def visit_For(self, node: ast.For) -> None:
-        self._check_iteration(node.iter, node)
+        if not dataflow.is_commutative_accumulation_loop(node):
+            self._check_iteration(node.iter, node)
         self.generic_visit(node)
 
     def _visit_comprehension(self, node) -> None:
+        pushed = self._push(node)
         for generator in node.generators:
             self._check_iteration(generator.iter, node)
         self.generic_visit(node)
+        if pushed:
+            self._pop()
 
     def visit_ListComp(self, node: ast.ListComp) -> None:
         self._visit_comprehension(node)
@@ -385,26 +509,24 @@ class DeterminismVisitor(ast.NodeVisitor):
         # The result is a set again: iteration order cannot escape unless the
         # element expression has side effects, which the pass does not model.
         self._reducer_depth += 1
-        self.generic_visit(node)
+        self._visit_comprehension(node)
         self._reducer_depth -= 1
 
 
 def analyze_source(source: str, path: str) -> List[Finding]:
-    """Lint one module's source; ``path`` is used for reporting only."""
+    """Lint one module's source; ``path`` is used for reporting and scoping."""
     normalized = normalize_path(path)
     tree = ast.parse(source, filename=str(path))
-    collector = _SetNameCollector()
-    collector.visit(tree)
-    visitor = DeterminismVisitor(normalized, collector.set_names)
+    builder = build_scopes(tree)
+    visitor = AnalysisVisitor(normalized, builder)
     visitor.visit(tree)
-    return [
+    findings = [
         finding
         for finding in visitor.findings
-        if not any(
-            finding.path.startswith(prefix)
-            for prefix in RULES[finding.code].exempt_paths
-        )
+        if RULES[finding.code].applies_to(finding.path)
     ]
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
 
 
 def analyze_file(path) -> List[Finding]:
@@ -423,7 +545,12 @@ def iter_python_files(root) -> Iterable[Path]:
 
 
 def analyze_paths(paths: Sequence) -> List[Finding]:
-    """Lint files/trees; findings sorted by (path, line, col, code)."""
+    """Lint files/trees; findings sorted by (path, line, col, code).
+
+    Serial and uncached — the CLI goes through
+    :func:`repro.analysis.cache.analyze_paths_incremental` for the cached,
+    parallel version; both produce byte-identical findings.
+    """
     findings: List[Finding] = []
     for path in paths:
         for file_path in iter_python_files(path):

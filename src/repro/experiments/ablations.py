@@ -273,11 +273,12 @@ def adaptive_beacon_point(mode: str, seed: int = 35,
     omni_new.enable()
     appeared_at = testbed.kernel.now
     discovered: Optional[float] = None
-    deadline = appeared_at + 30.0
-    time = appeared_at
-    while time < deadline:
-        time += 0.1
-        testbed.kernel.run_until(time)
+    poll_s = 0.1
+    # Derive each poll instant from the origin (appeared_at + step * poll_s)
+    # rather than accumulating += poll_s: repeated float adds drift from the
+    # kernel's exact event clock (SIM002).
+    for step in range(1, int(30.0 / poll_s) + 1):
+        testbed.kernel.run_until(appeared_at + step * poll_s)
         if omni_a.omni_address in omni_new.peer_table:
             discovered = testbed.kernel.now - appeared_at
             break

@@ -1,0 +1,10 @@
+"""Fixture: deprecated two-float average_ma form (API001).  Never imported."""
+
+
+def report(meter, start_time, start_charge):
+    stale = meter.average_ma(start_time, start_charge)
+    keyed = meter.average_ma(since_time=start_time,
+                             since_charge_mas=start_charge)
+    snapshot = meter.snapshot()
+    fresh = meter.average_ma(since=snapshot, floor_ma=1.0)
+    return stale, keyed, fresh

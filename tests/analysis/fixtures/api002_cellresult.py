@@ -1,0 +1,9 @@
+"""Fixture: deprecated CellResult alias (API002).  Linted, never imported."""
+
+from repro.experiments import CellResult
+from repro.experiments.controlled import CellResult as OldCell
+from repro.runner.artifacts import CellResult as RunnerCell
+
+
+def label(controlled, cell):
+    return controlled.CellResult, OldCell, RunnerCell, CellResult

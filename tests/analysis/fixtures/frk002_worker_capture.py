@@ -1,0 +1,18 @@
+"""Fixture: unpicklable callables shipped to workers (FRK002).  Never imported."""
+
+from multiprocessing import Process
+
+
+def run_job(job):
+    return job.run()
+
+
+def fan_out(pool, jobs):
+    def run_one(job):
+        return job.run()
+
+    nested = [pool.submit(run_one, job) for job in jobs]
+    inline = pool.submit(lambda: 1)
+    spawned = Process(target=lambda: None)
+    clean = pool.submit(run_job, jobs[0])
+    return nested, inline, spawned, clean

@@ -1,0 +1,9 @@
+"""Fixture: raw shared-memory segment (FRK003).  Linted, never imported."""
+
+from multiprocessing import shared_memory
+
+
+def stash(payload: bytes) -> str:
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    return segment.name

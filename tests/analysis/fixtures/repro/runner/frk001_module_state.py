@@ -1,0 +1,16 @@
+"""Fixture: module-level mutable state mutated in runner code (FRK001)."""
+
+RESULTS = []
+_SEEN = {}
+
+
+def record(cell):
+    RESULTS.append(cell)
+    _SEEN[cell.name] = True
+
+
+def reset(fresh=None):
+    RESULTS.clear()
+    local = []
+    local.append(fresh)
+    return local

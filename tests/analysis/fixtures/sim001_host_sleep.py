@@ -1,0 +1,10 @@
+"""Fixture: host sleep inside sim code (SIM001).  Linted, never imported."""
+
+import time
+from time import sleep
+
+
+def wait_for_beacon(kernel):
+    time.sleep(0.5)
+    sleep(0.1)
+    kernel.call_in(0.5, lambda: None)

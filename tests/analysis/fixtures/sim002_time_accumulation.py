@@ -1,0 +1,13 @@
+"""Fixture: sim-time float accumulation (SIM002).  Linted, never imported."""
+
+
+def poll(kernel, deadline_s: float):
+    t = kernel.now
+    while t < deadline_s:
+        t += 0.1
+        kernel.run_until(t)
+
+
+def clean(kernel, deadline_s: float):
+    for step in range(int(deadline_s / 0.1)):
+        kernel.run_until((step + 1) * 0.1)

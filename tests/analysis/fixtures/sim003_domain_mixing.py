@@ -1,0 +1,13 @@
+"""Fixture: sim-time mixed with wall-clock (SIM003).  Linted, never imported."""
+
+import time
+
+
+def skew(kernel):
+    wall = time.time()
+    return kernel.now - wall
+
+
+def late(kernel, wall_deadline):
+    wall_deadline = time.monotonic()
+    return kernel.now > wall_deadline

@@ -1,0 +1,103 @@
+"""The incremental cache: hits, busts, corruption, and parallel identity."""
+
+from repro.analysis import AnalysisCache, analyze_paths
+from repro.analysis.cache import CACHE_SCHEMA, analyze_paths_incremental
+
+
+BAD_SOURCE = (
+    "import random\n"
+    "\n"
+    "\n"
+    "def pick(options):\n"
+    "    return random.choice(options)\n"
+)
+
+
+def write_tree(root):
+    tree = root / "pkg"
+    tree.mkdir()
+    (tree / "bad.py").write_text(BAD_SOURCE, encoding="utf-8")
+    (tree / "clean.py").write_text("VALUE = 1\n", encoding="utf-8")
+    return tree
+
+
+def test_cold_then_warm_runs_are_identical(tmp_path):
+    tree = write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache")
+    cold, cold_stats = analyze_paths_incremental([tree], cache=cache)
+    warm, warm_stats = analyze_paths_incremental([tree], cache=cache)
+    assert cold == warm == analyze_paths([tree])
+    assert cold_stats.analyzed == 2 and cold_stats.cached == 0
+    assert warm_stats.analyzed == 0 and warm_stats.cached == 2
+    assert [f.code for f in cold] == ["DET001", "DET001"]
+
+
+def test_source_change_busts_only_that_file(tmp_path):
+    tree = write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache")
+    analyze_paths_incremental([tree], cache=cache)
+    (tree / "clean.py").write_text("VALUE = 2\n", encoding="utf-8")
+    findings, stats = analyze_paths_incremental([tree], cache=cache)
+    assert stats.analyzed == 1 and stats.cached == 1
+    assert findings == analyze_paths([tree])
+
+
+def test_ruleset_version_change_busts_everything(tmp_path, monkeypatch):
+    from repro.analysis import rules
+
+    tree = write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache")
+    analyze_paths_incremental([tree], cache=cache)
+    monkeypatch.setattr(rules, "RULESET_VERSION",
+                        rules.RULESET_VERSION + ":bumped")
+    _, stats = analyze_paths_incremental([tree], cache=cache)
+    assert stats.analyzed == 2 and stats.cached == 0
+
+
+def test_corrupt_entry_is_a_cache_miss(tmp_path):
+    tree = write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache")
+    analyze_paths_incremental([tree], cache=cache)
+    for entry in cache.root.glob("*.json"):
+        entry.write_text("{not json", encoding="utf-8")
+    findings, stats = analyze_paths_incremental([tree], cache=cache)
+    assert stats.analyzed == 2 and stats.cached == 0
+    assert findings == analyze_paths([tree])
+    # ... and the re-store repaired the entries.
+    _, stats = analyze_paths_incremental([tree], cache=cache)
+    assert stats.cached == 2
+
+
+def test_parallel_and_serial_findings_are_identical(tmp_path):
+    tree = write_tree(tmp_path)
+    for extra in range(4):
+        (tree / f"extra_{extra}.py").write_text(
+            f"import random  # {extra}\n", encoding="utf-8")
+    serial, _ = analyze_paths_incremental([tree], jobs=1)
+    parallel, stats = analyze_paths_incremental([tree], jobs=3)
+    assert parallel == serial == analyze_paths([tree])
+    assert stats.jobs == 3
+
+
+def test_entries_are_self_describing(tmp_path):
+    import json
+
+    tree = write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache")
+    analyze_paths_incremental([tree], cache=cache)
+    entries = sorted(cache.root.glob("*.json"))
+    assert len(entries) == 2
+    for entry_path in entries:
+        entry = json.loads(entry_path.read_text(encoding="utf-8"))
+        assert entry["schema"] == CACHE_SCHEMA
+        assert entry["path"].endswith(".py")
+        assert "digest" in entry and "findings" in entry
+
+
+def test_stats_render_mentions_hits_and_jobs(tmp_path):
+    tree = write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache")
+    _, stats = analyze_paths_incremental([tree], jobs=2, cache=cache)
+    text = stats.render()
+    assert "2 file(s)" in text
+    assert "jobs=2" in text

@@ -16,6 +16,13 @@ BAD_SOURCE = "def seed_for(name):\n    return hash(name)\n"
 CLEAN_SOURCE = "def seed_for(name):\n    return len(name)\n"
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cwd(tmp_path, monkeypatch):
+    # The default cache dir is CWD-relative; keep test runs from leaving
+    # .repro-analysis-cache/ droppings in the repo checkout.
+    monkeypatch.chdir(tmp_path)
+
+
 @pytest.fixture
 def bad_file(tmp_path):
     path = tmp_path / "bad.py"
@@ -69,6 +76,58 @@ def test_json_format(bad_file, tmp_path, capsys):
     assert payload["clean"] is False
     assert payload["findings"][0]["code"] == "DET003"
     assert payload["findings"][0]["line"] == 2
+
+
+def test_github_format_emits_workflow_annotations(bad_file, tmp_path, capsys):
+    code = main([str(bad_file), "--baseline", str(tmp_path / "none.txt"),
+                 "--format", "github"])
+    out = capsys.readouterr().out
+    assert code == EXIT_FINDINGS
+    assert "::error file=" in out
+    assert "line=2" in out
+    assert "title=DET003" in out
+
+
+def test_github_format_clean_tree_prints_verdict(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text(CLEAN_SOURCE, encoding="utf-8")
+    code = main([str(clean), "--baseline", str(tmp_path / "none.txt"),
+                 "--format", "github"])
+    out = capsys.readouterr().out
+    assert code == EXIT_CLEAN
+    assert "::error" not in out
+    assert "clean" in out
+
+
+def test_cache_warm_second_run_hits_and_is_identical(bad_file, tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    argv = [str(bad_file), "--baseline", str(tmp_path / "none.txt"),
+            "--cache-dir", str(cache_dir)]
+    assert main(argv) == EXIT_FINDINGS
+    cold = capsys.readouterr()
+    assert main(argv) == EXIT_FINDINGS
+    warm = capsys.readouterr()
+    assert warm.out == cold.out          # findings byte-identical
+    assert "0 hit(s)" in cold.err
+    assert "1 hit(s)" in warm.err
+    assert cache_dir.is_dir()
+
+
+def test_no_cache_never_writes_the_cache_dir(bad_file, tmp_path):
+    cache_dir = tmp_path / "cache"
+    main([str(bad_file), "--baseline", str(tmp_path / "none.txt"),
+          "--no-cache", "--cache-dir", str(cache_dir)])
+    assert not cache_dir.exists()
+
+
+def test_jobs_zero_means_cpu_count_and_matches_serial(bad_file, tmp_path, capsys):
+    argv = [str(bad_file), "--baseline", str(tmp_path / "none.txt"),
+            "--no-cache"]
+    main(argv + ["--jobs", "1"])
+    serial = capsys.readouterr().out
+    main(argv + ["--jobs", "0"])
+    parallel = capsys.readouterr().out
+    assert parallel == serial
 
 
 def test_list_rules(capsys):

@@ -1,7 +1,9 @@
-"""One test per DET rule against a tiny intentionally-bad fixture.
+"""One test per rule against a tiny intentionally-bad fixture.
 
 Each test asserts the *exact* findings — code and line — so rule drift
-(new false positives, silently lost coverage) fails loudly.
+(new false positives, silently lost coverage) fails loudly.  The FRK
+fixtures live under ``fixtures/repro/runner/`` because the fork-safety
+family is scoped to runner paths (``Rule.only_paths``).
 """
 
 from pathlib import Path
@@ -66,9 +68,82 @@ def test_det007_environ_fixture():
     assert keys(findings) == [("DET007", 7), ("DET007", 8)]
 
 
+def test_sim001_host_sleep_fixture():
+    findings = analyze_file(FIXTURES / "sim001_host_sleep.py")
+    assert keys(findings) == [
+        ("SIM001", 8),   # time.sleep(0.5)
+        ("SIM001", 9),   # sleep(0.1) — `from time import sleep`
+    ]
+
+
+def test_sim002_time_accumulation_fixture():
+    findings = analyze_file(FIXTURES / "sim002_time_accumulation.py")
+    assert keys(findings) == [("SIM002", 7)]  # t += 0.1 with t = kernel.now
+
+
+def test_sim003_domain_mixing_fixture():
+    findings = analyze_file(FIXTURES / "sim003_domain_mixing.py")
+    assert keys(findings) == [
+        ("DET002", 7),   # time.time() — the wall read itself
+        ("SIM003", 8),   # kernel.now - wall
+        ("DET002", 12),  # time.monotonic()
+        ("SIM003", 13),  # kernel.now > wall_deadline
+    ]
+
+
+def test_frk001_module_state_fixture():
+    findings = analyze_file(
+        FIXTURES / "repro" / "runner" / "frk001_module_state.py")
+    assert keys(findings) == [
+        ("FRK001", 8),   # RESULTS.append(...)
+        ("FRK001", 9),   # _SEEN[...] = ...
+        ("FRK001", 13),  # RESULTS.clear()
+    ]
+    # The same source outside repro/runner/ is ordinary module state.
+    source = (FIXTURES / "repro" / "runner"
+              / "frk001_module_state.py").read_text(encoding="utf-8")
+    assert not analyze_source(source, "repro/apps/example.py")
+
+
+def test_frk002_worker_capture_fixture():
+    findings = analyze_file(FIXTURES / "frk002_worker_capture.py")
+    assert keys(findings) == [
+        ("FRK002", 14),  # pool.submit(nested function)
+        ("FRK002", 15),  # pool.submit(lambda)
+        ("FRK002", 16),  # Process(target=lambda)
+    ]
+    # Submitting the module-level run_job (line 17) stays clean.
+
+
+def test_frk003_shared_memory_fixture():
+    findings = analyze_file(FIXTURES / "frk003_shared_memory.py")
+    assert keys(findings) == [("FRK003", 7)]
+    source = (FIXTURES / "frk003_shared_memory.py").read_text(encoding="utf-8")
+    assert not analyze_source(source, "repro/runner/artifacts.py")
+
+
+def test_api001_average_ma_fixture():
+    findings = analyze_file(FIXTURES / "api001_average_ma.py")
+    assert keys(findings) == [
+        ("API001", 5),   # two positional floats
+        ("API001", 6),   # since_time=/since_charge_mas= keywords
+    ]
+    # The snapshot form on line 9 stays clean.
+
+
+def test_api002_cellresult_fixture():
+    findings = analyze_file(FIXTURES / "api002_cellresult.py")
+    assert keys(findings) == [
+        ("API002", 3),   # from repro.experiments import CellResult
+        ("API002", 4),   # from repro.experiments.controlled import ...
+        ("API002", 9),   # controlled.CellResult attribute
+    ]
+    # repro.runner.artifacts.CellResult (line 5) is the real one — clean.
+
+
 def test_every_rule_has_a_fixture_exercising_it():
     codes = set()
-    for fixture in FIXTURES.glob("det*.py"):
+    for fixture in FIXTURES.rglob("*.py"):
         codes.update(f.code for f in analyze_file(fixture))
     assert codes == set(RULES)
 
@@ -106,3 +181,99 @@ def test_set_attribute_iteration_is_flagged():
     )
     findings = analyze_source(source, "example.py")
     assert keys(findings) == [("DET004", 5)]
+
+
+# -- scope-aware v2 precision -------------------------------------------------
+
+
+def test_det004_commutative_bitwise_loop_is_clean():
+    # The disseminate.py encode_metadata idiom: OR-accumulation into a
+    # bitmap is order-insensitive, so the old waiver is now unnecessary.
+    source = (
+        "def encode(have: set):\n"
+        "    bitmap = 0\n"
+        "    for index in have:\n"
+        "        bitmap |= 1 << index\n"
+        "    return bitmap\n"
+    )
+    assert not analyze_source(source, "example.py")
+
+
+def test_det004_float_accumulation_loop_stays_flagged():
+    # Float += is order-dependent (rounding); only bitwise ops are safe.
+    source = (
+        "def total(weights: set):\n"
+        "    acc = 0.0\n"
+        "    for weight in weights:\n"
+        "        acc += weight\n"
+        "    return acc\n"
+    )
+    assert keys(analyze_source(source, "example.py")) == [("DET004", 3)]
+
+
+def test_det004_list_parameter_sharing_a_set_name_is_clean():
+    # The prophet.py encode/decode_summary pair: a List[int] parameter no
+    # longer inherits set-ness from a set of the same name in a sibling
+    # scope.
+    source = (
+        "from typing import List, Set\n"
+        "def encode(bundle_ids: List[int]):\n"
+        "    return [b * 2 for b in bundle_ids]\n"
+        "def decode(raw) -> Set[int]:\n"
+        "    bundle_ids: Set[int] = set()\n"
+        "    bundle_ids.add(raw)\n"
+        "    return bundle_ids\n"
+    )
+    assert not analyze_source(source, "example.py")
+
+
+def test_det005_dedup_set_with_sorted_output_is_clean():
+    # The radio/wifi.py _visible_meshes idiom: id() keys feed a
+    # membership-only set and the result list is sorted before returning.
+    source = (
+        "def visible(radios):\n"
+        "    seen = set()\n"
+        "    meshes = []\n"
+        "    for radio in radios:\n"
+        "        if radio.mesh is None or id(radio.mesh) in seen:\n"
+        "            continue\n"
+        "        seen.add(id(radio.mesh))\n"
+        "        meshes.append(radio.mesh)\n"
+        "    meshes.sort(key=lambda mesh: mesh.name)\n"
+        "    return meshes\n"
+    )
+    assert not analyze_source(source, "example.py")
+
+
+def test_det005_dedup_without_sort_stays_flagged():
+    source = (
+        "def visible(radios):\n"
+        "    seen = set()\n"
+        "    meshes = []\n"
+        "    for radio in radios:\n"
+        "        if id(radio.mesh) in seen:\n"
+        "            continue\n"
+        "        seen.add(id(radio.mesh))\n"
+        "        meshes.append(radio.mesh)\n"
+        "    return meshes\n"
+    )
+    assert [f.code for f in analyze_source(source, "example.py")] == [
+        "DET005", "DET005",
+    ]
+
+
+def test_det005_dedup_set_with_other_uses_stays_flagged():
+    # Iterating the dedup set leaks address order, so suppression is off.
+    source = (
+        "def visible(radios):\n"
+        "    seen = set()\n"
+        "    out = []\n"
+        "    for radio in radios:\n"
+        "        seen.add(id(radio))\n"
+        "    for key in seen:\n"
+        "        out.append(key)\n"
+        "    out.sort()\n"
+        "    return out\n"
+    )
+    codes = [f.code for f in analyze_source(source, "example.py")]
+    assert "DET005" in codes
