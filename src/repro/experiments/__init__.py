@@ -20,6 +20,7 @@ from repro.experiments.disseminate_exp import (
     run_direct,
     run_table5,
 )
+from repro.experiments.mobility_exp import MobilityCell, run_mobility
 from repro.experiments.prophet_exp import ProphetResult, run_fig7, run_variant
 from repro.experiments.reporting import (
     render_fig7,
@@ -37,6 +38,7 @@ from repro.experiments.scenario import (
 __all__ = [
     "CellResult",
     "DisseminateResult",
+    "MobilityCell",
     "OMNI_TECHS_BLE_ONLY",
     "OMNI_TECHS_BLE_WIFI",
     "OMNI_TECHS_WIFI_ONLY",
@@ -55,6 +57,7 @@ __all__ = [
     "run_collaborative",
     "run_direct",
     "run_fig7",
+    "run_mobility",
     "run_table3",
     "run_table4",
     "run_table5",

@@ -1,16 +1,25 @@
-"""A uniform-grid spatial index for range queries over placed items.
+"""Spatial indexes for range queries over placed and moving items.
 
-The index answers "which items might be within ``radius`` of ``origin``?"
-by bucketing *static* items into square grid cells and scanning only the
-cells that overlap the query disk's bounding square.  Items whose position
-varies with time (non-static mobility) are kept in a *roaming* set and
-returned from every query; the caller applies the exact distance test
-either way, so the index only ever reduces the candidate set — it never
-changes which items a query finds.
+:class:`UniformGridIndex` answers "which items might be within ``radius``
+of ``origin``?" by bucketing *static* items into square grid cells and
+scanning only the cells that overlap the query disk's bounding square.
+Items whose position varies with time (non-static mobility) are kept in a
+*roaming* set and returned from every query; the caller applies the exact
+distance test either way, so the index only ever reduces the candidate
+set — it never changes which items a query finds.
 
 This is the standard cell-list technique dense-neighborhood simulators use
 to break the O(n) per-transmission scan; with cell size on the order of the
 query radius a query touches at most 3×3 cells.
+
+:class:`TimeAwareGridIndex` extends the technique to *mobile* items by
+exploiting that every :class:`~repro.phy.mobility.MobilityModel` is a pure
+function of time with a worst-case displacement bound
+(:meth:`~repro.phy.mobility.MobilityModel.max_displacement`).  Movers are
+bucketed at their epoch-start position; queries inflate the scan radius by
+the largest intra-epoch bound, and movers too fast to bound within one
+grid cell fall back to the legacy roaming scan.  Either way the candidate
+set remains an exact superset of the true answer at the queried instant.
 """
 
 from __future__ import annotations
@@ -19,8 +28,28 @@ import math
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.phy.geometry import Position
+from repro.phy.mobility import MobilityModel, Static
 
 _Cell = Tuple[int, int]
+
+#: Epoch length clamp for :class:`TimeAwareGridIndex` (seconds of sim time).
+#: The lower clamp stops pathological rebucketing storms for very fast
+#: movers (which the fallback rule routes to the roaming list anyway); the
+#: upper clamp keeps the first queries of slow scenarios from committing to
+#: an epoch so long that every later speed change waits an hour to retune.
+MIN_EPOCH_S = 0.25
+MAX_EPOCH_S = 60.0
+
+#: Fraction of a cell a bucketed mover may drift per epoch.  Tuning the
+#: epoch to half a cell (rather than a full one) keeps the auto-tuned
+#: bound clear of the ``bound > cell_size`` fallback threshold even with
+#: float rounding, and halves the query-radius inflation.
+_EPOCH_CELL_FRACTION = 0.5
+
+#: Probe window for observing a mover's current speed when retuning the
+#: epoch length (seconds).  ``max_displacement(now, now + probe) / probe``
+#: is an upper bound on the mover's speed over the near future.
+_SPEED_PROBE_S = 1.0
 
 
 class UniformGridIndex:
@@ -116,4 +145,181 @@ class UniformGridIndex:
                 bucket = cells.get((cx, cy))
                 if bucket:
                     candidates.extend(bucket)
+        return candidates
+
+
+class TimeAwareGridIndex:
+    """An epoch-bucketed grid that indexes *moving* items too.
+
+    Items are inserted with their :class:`~repro.phy.mobility.MobilityModel`
+    instead of a bare position.  ``Static`` items live in an ordinary
+    uniform grid.  Every other item (a *mover*) is bucketed at its position
+    at the start of the current *epoch* — a deterministic window of
+    simulation time — together with its worst-case intra-epoch displacement
+    bound.  :meth:`query` then inflates the mover scan radius by the
+    largest bound, which keeps the candidate set an exact superset of the
+    true in-radius set at any instant inside the epoch.
+
+    Movers whose bound exceeds one grid cell (including models that cannot
+    bound their speed at all) fall back to the legacy roaming list and are
+    returned from every query — correctness never depends on the tuning.
+
+    Epochs are integer-indexed (``epoch * epoch_length`` start times, no
+    float accumulation) and everything — epoch length, bucket contents,
+    fallback decisions — is a pure function of the operation sequence and
+    the query times, so indexed runs are bit-for-bit reproducible.
+    Rebucketing happens lazily inside :meth:`query` when the queried time
+    leaves the current epoch: no event-queue traffic, no timers.
+    """
+
+    def __init__(
+        self,
+        cell_size: float,
+        *,
+        min_epoch_s: float = MIN_EPOCH_S,
+        max_epoch_s: float = MAX_EPOCH_S,
+    ) -> None:
+        if cell_size <= 0.0:
+            raise ValueError(f"cell_size must be > 0, got {cell_size}")
+        if not 0.0 < min_epoch_s <= max_epoch_s:
+            raise ValueError(
+                f"need 0 < min_epoch_s <= max_epoch_s, got "
+                f"{min_epoch_s}..{max_epoch_s}"
+            )
+        self.cell_size = cell_size
+        self.min_epoch_s = min_epoch_s
+        self.max_epoch_s = max_epoch_s
+        self._static = UniformGridIndex(cell_size)
+        # Every non-static item, in insertion order (the order mover
+        # structures are rebuilt in, hence deterministic).
+        self._mobility: Dict[Hashable, MobilityModel] = {}
+        # Movers as bucketed at the current epoch start; fast/unbounded
+        # movers sit in this inner index's roaming list.
+        self._movers = UniformGridIndex(cell_size)
+        self._max_bound = 0.0
+        self._epoch = 0
+        self._epoch_length = max_epoch_s
+        self._valid_from = 0.0
+        self._valid_to = -1.0  # nothing bucketed yet: first query rebuckets
+        self._tune_pending = False
+
+    def __len__(self) -> int:
+        return len(self._static) + len(self._mobility)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._static or item in self._mobility
+
+    # -- introspection (tests, stats) -------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The current integer epoch index (start = epoch × epoch_length)."""
+        return self._epoch
+
+    @property
+    def epoch_length(self) -> float:
+        """Current auto-tuned epoch length in seconds of sim time."""
+        return self._epoch_length
+
+    @property
+    def mover_count(self) -> int:
+        """How many items have non-static mobility (bucketed or roaming)."""
+        return len(self._mobility)
+
+    @property
+    def roaming_count(self) -> int:
+        """Movers on the legacy every-query scan (too fast / unbounded).
+
+        Meaningful for the epoch the index last rebucketed for; movers
+        inserted since then are counted once the next query rebuckets.
+        """
+        return self._movers.roaming_count
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, item: Hashable, mobility: MobilityModel) -> None:
+        """Add ``item`` with its mobility model."""
+        if item in self:
+            raise ValueError(f"item {item!r} already indexed")
+        if type(mobility) is Static:
+            self._static.insert(item, mobility.position)
+            return
+        self._mobility[item] = mobility
+        # Defer placement to the next query: it knows the current time and
+        # can retune the epoch for the (possibly faster) new population.
+        self._tune_pending = True
+
+    def remove(self, item: Hashable) -> None:
+        """Remove ``item``; raises ``KeyError`` if absent."""
+        if item in self._static:
+            self._static.remove(item)
+            return
+        del self._mobility[item]
+        if item in self._movers:
+            self._movers.remove(item)
+
+    def update(self, item: Hashable, mobility: MobilityModel) -> None:
+        """Replace ``item``'s mobility model (it may change kind)."""
+        self.remove(item)
+        self.insert(item, mobility)
+
+    # -- epoch management --------------------------------------------------
+
+    def _rebucket(self, now: float) -> None:
+        """Retune the epoch for ``now`` and rebucket every mover.
+
+        Pure function of (mobility registry, ``now``): no randomness, no
+        wall clock, integer epoch arithmetic only.
+        """
+        mobilities = self._mobility
+        top_speed = 0.0
+        for mobility in mobilities.values():
+            probe = mobility.max_displacement(now, now + _SPEED_PROBE_S)
+            if math.isfinite(probe) and probe > top_speed * _SPEED_PROBE_S:
+                top_speed = probe / _SPEED_PROBE_S
+        if top_speed > 0.0:
+            tuned = _EPOCH_CELL_FRACTION * self.cell_size / top_speed
+            length = min(max(tuned, self.min_epoch_s), self.max_epoch_s)
+        else:
+            length = self.max_epoch_s
+        epoch = math.floor(now / length)
+        # Float guards: make sure the epoch window actually covers `now`.
+        if (epoch + 1) * length < now:
+            epoch += 1
+        elif epoch * length > now:
+            epoch -= 1
+        start = epoch * length
+        end = (epoch + 1) * length
+        movers = UniformGridIndex(self.cell_size)
+        max_bound = 0.0
+        for item, mobility in mobilities.items():
+            bound = mobility.max_displacement(start, end)
+            if bound <= self.cell_size:
+                movers.insert(item, mobility.position_at(start))
+                if bound > max_bound:
+                    max_bound = bound
+            else:  # too fast to bound within a cell: legacy roaming scan
+                movers.insert(item, None)
+        self._movers = movers
+        self._max_bound = max_bound
+        self._epoch = epoch
+        self._epoch_length = length
+        self._valid_from = start
+        self._valid_to = end
+        self._tune_pending = False
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self, origin: Position, radius: float, now: float) -> List[Hashable]:
+        """Candidate items for "within ``radius`` of ``origin`` at ``now``".
+
+        An exact superset of the true answer: callers must still apply
+        their own distance test at ``now``.
+        """
+        candidates = self._static.query(origin, radius)
+        if not self._mobility:
+            return candidates
+        if self._tune_pending or not (self._valid_from <= now <= self._valid_to):
+            self._rebucket(now)
+        candidates.extend(self._movers.query(origin, radius + self._max_bound))
         return candidates

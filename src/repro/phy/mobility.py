@@ -4,10 +4,19 @@ A mobility model is a pure function of time, which keeps the world's range
 queries exact at any instant without discretising motion into events.  The
 PRoPHET ferry scenario (paper Fig 7) uses :class:`WaypointPath`; ad-hoc
 scenarios may use :class:`RandomWaypoint`.
+
+Every model also exposes :meth:`MobilityModel.max_displacement`, a
+worst-case bound on how far the device can travel inside a time window.
+The bound is what makes *moving* devices spatially indexable: the
+time-aware grid buckets a mover at its epoch-start position and inflates
+query radii by the bound, so range queries stay exact supersets without
+re-indexing the mover on every tick (see :mod:`repro.phy.index`).
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -23,6 +32,19 @@ class MobilityModel:
         """The device's position at simulated ``time`` seconds."""
         raise NotImplementedError
 
+    def max_displacement(self, t0: float, t1: float) -> float:
+        """Upper bound on distance travelled anywhere inside ``[t0, t1]``.
+
+        Formally: for any ``a, b`` in ``[t0, t1]``,
+        ``position_at(a).distance_to(position_at(b)) <= max_displacement(t0, t1)``.
+
+        The base class cannot bound an arbitrary model and returns
+        ``math.inf``, which makes spatial indexes fall back to scanning the
+        device linearly — always correct, never fast.  Subclasses with
+        bounded speed should override.
+        """
+        return math.inf
+
 
 @dataclass(frozen=True)
 class Static(MobilityModel):
@@ -33,6 +55,9 @@ class Static(MobilityModel):
     def position_at(self, time: float) -> Position:
         return self.position
 
+    def max_displacement(self, t0: float, t1: float) -> float:
+        return 0.0
+
 
 class Linear(MobilityModel):
     """Constant-velocity straight-line motion from a start position."""
@@ -42,11 +67,19 @@ class Linear(MobilityModel):
         self.start = start
         self.velocity = velocity
         self.start_time = start_time
+        self._speed = math.hypot(velocity[0], velocity[1])
 
     def position_at(self, time: float) -> Position:
         elapsed = max(0.0, time - self.start_time)
         return self.start.translated(self.velocity[0] * elapsed,
                                      self.velocity[1] * elapsed)
+
+    def max_displacement(self, t0: float, t1: float) -> float:
+        # Motion only happens after start_time; clamp the window to it.
+        moving = max(0.0, t1 - self.start_time) - max(0.0, t0 - self.start_time)
+        if moving <= 0.0:
+            return 0.0
+        return self._speed * moving
 
 
 class WaypointPath(MobilityModel):
@@ -56,6 +89,10 @@ class WaypointPath(MobilityModel):
     Before the first waypoint the device sits at the first position; after the
     last it sits at the last.  This is the workhorse for scripted scenarios
     like the data ferry in the PRoPHET experiment.
+
+    Lookups bisect a precomputed time array instead of scanning the
+    waypoint list — ``position_at`` sits on the hot path of every range
+    query over a mobile node, and ferry scripts can carry many waypoints.
     """
 
     def __init__(self, waypoints: Sequence[Tuple[float, Position]]) -> None:
@@ -65,17 +102,45 @@ class WaypointPath(MobilityModel):
         if any(b < a for a, b in zip(times, times[1:])):
             raise ValueError("waypoints must be sorted by time")
         self.waypoints: List[Tuple[float, Position]] = list(waypoints)
+        self._times: List[float] = times
+        # Cumulative along-path distance at each waypoint: the exact length
+        # of track covered up to that instant, which bounds displacement
+        # over any sub-window (teleports on zero-duration segments count).
+        lengths = [0.0]
+        for (_, p0), (_, p1) in zip(self.waypoints, self.waypoints[1:]):
+            lengths.append(lengths[-1] + p0.distance_to(p1))
+        self._cum_lengths: List[float] = lengths
 
     def position_at(self, time: float) -> Position:
-        waypoints = self.waypoints
-        if time <= waypoints[0][0]:
-            return waypoints[0][1]
-        for (t0, p0), (t1, p1) in zip(waypoints, waypoints[1:]):
-            if time <= t1:
-                if t1 == t0:
-                    return p1
-                return p0.lerp(p1, (time - t0) / (t1 - t0))
-        return waypoints[-1][1]
+        times = self._times
+        if time <= times[0]:
+            return self.waypoints[0][1]
+        if time > times[-1]:
+            return self.waypoints[-1][1]
+        # First index with times[i] >= time; times[i-1] < time, so the
+        # segment is non-degenerate and the pre-jump position wins at the
+        # shared instant of a zero-duration segment (same semantics as the
+        # old linear scan).
+        i = bisect_left(times, time)
+        t0, p0 = self.waypoints[i - 1]
+        t1, p1 = self.waypoints[i]
+        return p0.lerp(p1, (time - t0) / (t1 - t0))
+
+    def _path_length_until(self, time: float) -> float:
+        times = self._times
+        if time <= times[0]:
+            return 0.0
+        if time >= times[-1]:
+            return self._cum_lengths[-1]
+        i = bisect_left(times, time)
+        t0, t1 = times[i - 1], times[i]
+        segment = self._cum_lengths[i] - self._cum_lengths[i - 1]
+        return self._cum_lengths[i - 1] + segment * (time - t0) / (t1 - t0)
+
+    def max_displacement(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        return self._path_length_until(t1) - self._path_length_until(t0)
 
 
 class RandomWaypoint(MobilityModel):
@@ -107,7 +172,9 @@ class RandomWaypoint(MobilityModel):
         first = start if start is not None else self._random_point()
         # Trajectory is a list of (arrival_time, position); motion between
         # consecutive entries is linear, with `pause` dwell at each point.
+        # `_times` mirrors the arrival times for bisection.
         self._trajectory: List[Tuple[float, Position]] = [(0.0, first)]
+        self._times: List[float] = [0.0]
 
     def _random_point(self) -> Position:
         return Position(self._rng.uniform(0.0, self.width),
@@ -120,16 +187,30 @@ class RandomWaypoint(MobilityModel):
             target = self._random_point()
             travel = here.distance_to(target) / self.speed
             self._trajectory.append((depart_time + travel, target))
+            self._times.append(depart_time + travel)
 
     def position_at(self, time: float) -> Position:
         if time <= 0.0:
             return self._trajectory[0][1]
         self._extend_until(time)
         trajectory = self._trajectory
-        for (t0, p0), (t1, p1) in zip(trajectory, trajectory[1:]):
-            depart = t0 + self.pause
-            if time <= depart:
-                return p0
-            if time <= t1:
-                return p0.lerp(p1, (time - depart) / (t1 - depart))
-        return trajectory[-1][1]
+        times = self._times
+        # First arrival at or after `time`; every earlier leg is fully in
+        # the past (its arrival is strictly before `time`), so the device
+        # is dwelling at — or travelling from — waypoint i-1.
+        i = bisect_left(times, time)
+        if i >= len(times):
+            return trajectory[-1][1]
+        t0, p0 = trajectory[i - 1]
+        depart = t0 + self.pause
+        if time <= depart:
+            return p0
+        t1, p1 = trajectory[i]
+        return p0.lerp(p1, (time - depart) / (t1 - depart))
+
+    def max_displacement(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        # The speed cap bounds travel (pauses only reduce it), and the
+        # arena diagonal bounds any two positions regardless of window.
+        return min(self.speed * (t1 - t0), math.hypot(self.width, self.height))

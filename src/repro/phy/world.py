@@ -2,16 +2,21 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional
+from operator import attrgetter
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.phy.geometry import Position
-from repro.phy.index import UniformGridIndex
+from repro.phy.index import TimeAwareGridIndex
 from repro.phy.mobility import MobilityModel, Static
 from repro.sim.kernel import Kernel
 
 #: Grid granularity for the world's own range queries.  Sits between the
 #: BLE (30 m) and WiFi (100 m) ranges so either query touches few cells.
 WORLD_GRID_CELL_M = 50.0
+
+#: Hoisted sort key for :meth:`World.nodes_within` — building a lambda per
+#: query showed up in mobility-heavy profiles.
+_NODE_NAME = attrgetter("name")
 
 
 class WorldNode:
@@ -31,9 +36,10 @@ class WorldNode:
     def static_position(self) -> Optional[Position]:
         """The node's fixed position when it cannot move, else None.
 
-        Spatial indexes bucket a node only while its mobility is
-        :class:`Static`; any other model makes the position a function of
-        time and the node is scanned linearly instead.
+        A :class:`Static` node has one; any other model makes the position
+        a function of time (such nodes are still indexable — the
+        time-aware grid buckets them per epoch — but have no single fixed
+        position to report here).
         """
         mobility = self.mobility
         if type(mobility) is Static:
@@ -59,13 +65,21 @@ class WorldNode:
 
 
 class World:
-    """Registry of :class:`WorldNode` objects sharing one kernel clock."""
+    """Registry of :class:`WorldNode` objects sharing one kernel clock.
 
-    def __init__(self, kernel: Kernel) -> None:
+    ``use_spatial_index=False`` keeps every range query on the exhaustive
+    linear scan — the reference behaviour equality tests compare against.
+    """
+
+    def __init__(self, kernel: Kernel, use_spatial_index: bool = True) -> None:
         self.kernel = kernel
         self._nodes: Dict[str, WorldNode] = {}
-        self._index = UniformGridIndex(WORLD_GRID_CELL_M)
-        self._move_listeners: List[Callable[[WorldNode], None]] = []
+        self._index: Optional[TimeAwareGridIndex] = (
+            TimeAwareGridIndex(WORLD_GRID_CELL_M) if use_spatial_index else None
+        )
+        # Immutable tuple: snapshot semantics for listeners firing during
+        # iteration without copying the list on every single move event.
+        self._move_listeners: Tuple[Callable[[WorldNode], None], ...] = ()
 
     def add_move_listener(self, listener: Callable[[WorldNode], None]) -> None:
         """Register ``listener(node)`` for mobility-model changes.
@@ -74,11 +88,12 @@ class World:
         spatial indexes layered over the world (e.g. the radio medium's)
         re-bucket the node's artifacts on this signal.
         """
-        self._move_listeners.append(listener)
+        self._move_listeners = self._move_listeners + (listener,)
 
     def _mobility_changed(self, node: WorldNode) -> None:
-        self._index.update(node, node.static_position)
-        for listener in list(self._move_listeners):
+        if self._index is not None:
+            self._index.update(node, node.mobility)
+        for listener in self._move_listeners:
             listener(node)
 
     def add_node(
@@ -98,7 +113,8 @@ class World:
             raise ValueError("provide position or mobility, not both")
         node = WorldNode(self, name, mobility)
         self._nodes[name] = node
-        self._index.insert(node, node.static_position)
+        if self._index is not None:
+            self._index.insert(node, mobility)
         return node
 
     def remove_node(self, name: str) -> None:
@@ -106,7 +122,8 @@ class World:
         if name not in self._nodes:
             raise KeyError(f"no node named {name!r}")
         node = self._nodes.pop(name)
-        self._index.remove(node)
+        if self._index is not None:
+            self._index.remove(node)
 
     def node(self, name: str) -> WorldNode:
         """Look up a node by name."""
@@ -124,12 +141,15 @@ class World:
     def nodes_within(self, center: WorldNode, radius: float) -> List[WorldNode]:
         """All other nodes within ``radius`` meters of ``center``, by name order.
 
-        Served from the uniform grid: only nodes in cells overlapping the
-        query disk (plus mobile nodes) take the exact distance test, instead
-        of every node in the world.
+        Served from the time-aware grid: only nodes in cells overlapping
+        the (mobility-inflated) query disk take the exact distance test,
+        instead of every node in the world.
         """
         origin = center.position
-        candidates = self._index.query(origin, radius)
+        if self._index is None:
+            candidates: Iterator[WorldNode] = iter(self._nodes.values())
+        else:
+            candidates = iter(self._index.query(origin, radius, self.kernel.now))
         return sorted(
             (
                 node
@@ -137,5 +157,5 @@ class World:
                 if node is not center
                 and origin.distance_to(node.position) <= radius
             ),
-            key=lambda node: node.name,
+            key=_NODE_NAME,
         )

@@ -6,20 +6,23 @@ medium decides *who can hear* a transmission; receiver radios decide what to
 do with it (scan-window gating, mesh membership, etc.) via
 ``_accepts_frame``.
 
-Frame fan-out is served from a per-technology uniform-grid spatial index:
-a broadcast only distance-tests the radios bucketed in grid cells within
-the technology's range (plus radios on mobile nodes), instead of every
-attached radio.  The pruning is exact — a pruned radio is one the
-propagation model gives delivery probability 0, which neither receives the
-frame nor consumes randomness — so indexed and linear scans produce
-bit-identical simulations.
+Frame fan-out is served from a per-technology time-aware grid index: a
+broadcast only distance-tests the radios bucketed in grid cells within the
+technology's range — inflated by the worst-case intra-epoch displacement
+of mobile nodes, which are bucketed at their epoch-start positions — plus
+the few movers too fast to bound within one cell.  The pruning is exact: a
+pruned radio is one the propagation model gives delivery probability 0,
+which neither receives the frame nor consumes randomness — so indexed and
+linear scans produce bit-identical simulations.  Epoch rebucketing is
+driven lazily off kernel time inside the query, adding no event-queue
+traffic.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.phy.index import UniformGridIndex
+from repro.phy.index import TimeAwareGridIndex
 from repro.phy.propagation import PropagationModel, UnitDisk, frame_delivered
 from repro.phy.world import World, WorldNode
 from repro.radio.base import Radio
@@ -94,13 +97,13 @@ class Medium:
         # the exhaustive scan — pruning there would skip RNG draws the
         # linear scan performs and de-synchronise seed streams.
         self._attach_seq = 0
-        self._grids: Dict[RadioKind, Optional[UniformGridIndex]] = {}
+        self._grids: Dict[RadioKind, Optional[TimeAwareGridIndex]] = {}
         self._node_radios: Dict[WorldNode, List[Radio]] = {}
         if use_spatial_index:
             for kind, model in self.propagation.items():
                 cutoff = model.max_range()
                 self._grids[kind] = (
-                    UniformGridIndex(cutoff) if cutoff else None
+                    TimeAwareGridIndex(cutoff) if cutoff else None
                 )
             world.add_move_listener(self._node_moved)
         else:
@@ -126,7 +129,7 @@ class Medium:
         self._radios[radio.kind].append(radio)
         grid = self._grids.get(radio.kind)
         if grid is not None:
-            grid.insert(radio, radio.node.static_position)
+            grid.insert(radio, radio.node.mobility)
             self._node_radios.setdefault(radio.node, []).append(radio)
 
     def detach(self, radio: Radio) -> None:
@@ -142,9 +145,9 @@ class Medium:
 
     def _node_moved(self, node: WorldNode) -> None:
         """Re-bucket a node's radios after a mobility-model change."""
-        position = node.static_position
+        mobility = node.mobility
         for radio in self._node_radios.get(node, ()):
-            self._grids[radio.kind].update(radio, position)
+            self._grids[radio.kind].update(radio, mobility)
 
     def radios(self, kind: RadioKind) -> List[Radio]:
         """All attached radios of ``kind`` (enabled or not)."""
@@ -161,7 +164,7 @@ class Medium:
         grid = self._grids.get(kind)
         if grid is None or cutoff is None:
             return self._radios[kind]
-        candidates = grid.query(origin, cutoff)
+        candidates = grid.query(origin, cutoff, self.kernel.now)
         candidates.sort(key=_attach_order)
         return candidates
 

@@ -23,6 +23,7 @@ from repro.experiments import (
     baseline_current,
     controlled,
     disseminate_exp,
+    mobility_exp,
     prophet_exp,
 )
 from repro.runner.artifacts import CellResult
@@ -129,6 +130,21 @@ def _fig7_jobs(seed: Optional[int], attach: Dict[str, bool]) -> List[Job]:
     ]
 
 
+def _mobility_jobs(seed: Optional[int], attach: Dict[str, bool]) -> List[Job]:
+    seed = 41 if seed is None else seed
+    return [
+        Job(
+            experiment="mobility",
+            cell=f"{variant}@{mobility_exp.NODE_COUNT}",
+            fn=mobility_exp.run_cell,
+            args=(variant,),
+            kwargs={"seed": seed},
+            seed=seed,
+        )
+        for variant in mobility_exp.iter_cells()
+    ]
+
+
 #: (section name, point function, grid of point arguments, canonical seed).
 _ABLATION_SECTIONS = [
     ("beacon_interval", ablations.beacon_interval_point,
@@ -171,6 +187,7 @@ EXPERIMENTS: Dict[
     "table5": _table5_jobs,
     "fig7": _fig7_jobs,
     "ablations": _ablations_jobs,
+    "mobility": _mobility_jobs,
 }
 
 

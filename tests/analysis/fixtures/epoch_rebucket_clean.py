@@ -1,0 +1,33 @@
+"""Fixture: the epoch-rebucket idiom stays lint-clean.  Linted, never imported.
+
+Mirrors ``repro.phy.index.TimeAwareGridIndex._rebucket``: epoch boundaries
+are derived by *multiplying* an integer epoch counter by the epoch length
+(never by accumulating ``t += dt`` float steps, which SIM002 flags), and
+"when is this bucketing valid" is answered from kernel time alone — no
+wall-clock reads, no RNG, no scheduled events.
+"""
+
+import math
+
+
+def rebucket_epoch(kernel, epoch_length: float, positions_at):
+    """Return the epoch window containing ``kernel.now`` and its buckets."""
+    epoch = math.floor(kernel.now / epoch_length)
+    # Guard the float division against rounding at exact boundaries.
+    if (epoch + 1) * epoch_length < kernel.now:
+        epoch += 1
+    elif epoch * epoch_length > kernel.now:
+        epoch -= 1
+    start = epoch * epoch_length
+    end = (epoch + 1) * epoch_length
+    buckets = [positions_at(start) for _ in range(1)]
+    return epoch, start, end, buckets
+
+
+def advance_epochs(kernel, epoch_length: float, count: int):
+    """Walk ``count`` epoch boundaries without accumulating float time."""
+    first = math.floor(kernel.now / epoch_length)
+    boundaries = []
+    for offset in range(count):
+        boundaries.append((first + offset + 1) * epoch_length)
+    return boundaries

@@ -81,6 +81,13 @@ def test_sim002_time_accumulation_fixture():
     assert keys(findings) == [("SIM002", 7)]  # t += 0.1 with t = kernel.now
 
 
+def test_epoch_rebucket_idiom_is_clean():
+    # The time-aware index derives epoch boundaries by multiplying an
+    # integer epoch counter by the epoch length; none of SIM002 (float
+    # time accumulation), DET002 (wall clock), or any other rule fires.
+    assert analyze_file(FIXTURES / "epoch_rebucket_clean.py") == []
+
+
 def test_sim003_domain_mixing_fixture():
     findings = analyze_file(FIXTURES / "sim003_domain_mixing.py")
     assert keys(findings) == [

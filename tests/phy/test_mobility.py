@@ -1,9 +1,17 @@
 """Mobility models."""
 
+import math
+
 import pytest
 
 from repro.phy.geometry import Position
-from repro.phy.mobility import Linear, RandomWaypoint, Static, WaypointPath
+from repro.phy.mobility import (
+    Linear,
+    MobilityModel,
+    RandomWaypoint,
+    Static,
+    WaypointPath,
+)
 from repro.util.rng import SeededRng
 
 
@@ -111,3 +119,98 @@ class TestRandomWaypoint:
             RandomWaypoint(SeededRng(0), width=10, height=10, speed=0)
         with pytest.raises(ValueError):
             RandomWaypoint(SeededRng(0), width=10, height=10, speed=1, pause=-1)
+
+
+class TestBisectedWaypointLookup:
+    """The bisect rewrite must keep the linear scan's exact semantics."""
+
+    def test_exact_waypoint_times_return_waypoint_positions(self):
+        waypoints = [(float(t), Position(float(t * 3), float(-t))) for t in range(12)]
+        path = WaypointPath(waypoints)
+        for t, position in waypoints:
+            assert path.position_at(t) == position
+
+    def test_many_waypoints_interpolate_between_the_right_pair(self):
+        waypoints = [(float(t), Position(float(t), 0.0)) for t in range(100)]
+        path = WaypointPath(waypoints)
+        assert path.position_at(41.25) == Position(41.25, 0.0)
+        assert path.position_at(0.5) == Position(0.5, 0.0)
+        assert path.position_at(98.75) == Position(98.75, 0.0)
+
+    def test_single_waypoint_path_is_static(self):
+        path = WaypointPath([(5.0, Position(2.0, 3.0))])
+        for t in (0.0, 5.0, 500.0):
+            assert path.position_at(t) == Position(2.0, 3.0)
+
+
+class TestMaxDisplacement:
+    def test_base_model_is_unbounded(self):
+        assert MobilityModel().max_displacement(0.0, 1.0) == math.inf
+
+    def test_static_never_displaces(self):
+        model = Static(Position(1.0, 2.0))
+        assert model.max_displacement(0.0, 1e6) == 0.0
+
+    def test_linear_is_speed_times_duration(self):
+        model = Linear(Position(0.0, 0.0), velocity=(3.0, 4.0))
+        assert model.max_displacement(2.0, 5.0) == pytest.approx(15.0)
+
+    def test_linear_clamps_to_start_time(self):
+        model = Linear(Position(0.0, 0.0), velocity=(1.0, 0.0), start_time=10.0)
+        assert model.max_displacement(0.0, 10.0) == 0.0
+        assert model.max_displacement(8.0, 12.0) == pytest.approx(2.0)
+
+    def test_empty_or_reversed_window_is_zero(self):
+        model = Linear(Position(0.0, 0.0), velocity=(5.0, 0.0))
+        assert model.max_displacement(4.0, 4.0) == 0.0
+        assert model.max_displacement(9.0, 2.0) == 0.0
+
+    def test_waypoint_path_uses_along_path_length(self):
+        path = WaypointPath([
+            (0.0, Position(0.0, 0.0)),
+            (10.0, Position(30.0, 40.0)),  # 50 m leg at 5 m/s
+        ])
+        assert path.max_displacement(0.0, 10.0) == pytest.approx(50.0)
+        assert path.max_displacement(0.0, 5.0) == pytest.approx(25.0)
+        assert path.max_displacement(10.0, 100.0) == 0.0
+        assert path.max_displacement(-5.0, 0.0) == 0.0
+
+    def test_waypoint_path_counts_zero_duration_jumps(self):
+        path = WaypointPath([
+            (0.0, Position(0.0, 0.0)),
+            (1.0, Position(0.0, 0.0)),
+            (1.0, Position(10.0, 0.0)),
+        ])
+        assert path.max_displacement(0.5, 2.0) == pytest.approx(10.0)
+
+    def test_random_waypoint_uses_speed_cap(self):
+        model = RandomWaypoint(SeededRng(7), width=1000.0, height=1000.0,
+                               speed=3.0)
+        assert model.max_displacement(0.0, 4.0) == pytest.approx(12.0)
+
+    def test_random_waypoint_caps_at_arena_diagonal(self):
+        model = RandomWaypoint(SeededRng(7), width=30.0, height=40.0, speed=3.0)
+        assert model.max_displacement(0.0, 1e6) == pytest.approx(50.0)
+
+    @pytest.mark.parametrize("factory", [
+        lambda: Static(Position(3.0, 4.0)),
+        lambda: Linear(Position(0.0, 0.0), velocity=(2.0, -1.5), start_time=3.0),
+        lambda: WaypointPath([
+            (0.0, Position(0.0, 0.0)),
+            (4.0, Position(20.0, 0.0)),
+            (4.0, Position(20.0, 30.0)),
+            (9.0, Position(-10.0, 30.0)),
+        ]),
+        lambda: RandomWaypoint(SeededRng(11), width=200.0, height=150.0,
+                               speed=2.5, pause=1.0),
+    ])
+    def test_bound_actually_bounds_observed_displacement(self, factory):
+        model = factory()
+        probe = SeededRng(99)
+        for _ in range(200):
+            t0 = probe.uniform(0.0, 40.0)
+            t1 = t0 + probe.uniform(0.0, 25.0)
+            bound = model.max_displacement(t0, t1)
+            a = model.position_at(probe.uniform(t0, t1))
+            b = model.position_at(probe.uniform(t0, t1))
+            assert a.distance_to(b) <= bound + 1e-9

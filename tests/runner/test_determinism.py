@@ -10,6 +10,7 @@ import pytest
 
 from repro.experiments.controlled import run_table4
 from repro.experiments.disseminate_exp import run_table5
+from repro.experiments.mobility_exp import run_mobility
 from repro.experiments.prophet_exp import run_fig7
 from repro.phy.geometry import Position
 from repro.phy.mobility import Linear
@@ -25,16 +26,18 @@ DRIVERS = {
     "table4": run_table4,
     "table5": run_table5,
     "fig7": run_fig7,
+    "mobility": run_mobility,
 }
 
 SEEDS = {
     "table4": (1, 2),
     "table5": (11, 12),
     "fig7": (21, 22),
+    "mobility": (41, 42),
 }
 
 
-@pytest.mark.parametrize("experiment", ["table4", "table5", "fig7"])
+@pytest.mark.parametrize("experiment", ["table4", "table5", "fig7", "mobility"])
 def test_parallel_equals_serial_at_two_seeds(experiment):
     seeds = list(SEEDS[experiment])
     serial = run_experiment(experiment, seeds=seeds, serial=True)
