@@ -1,0 +1,119 @@
+"""Benchmark: sharded conservative-parallel simulation vs the serial kernel.
+
+The tentpole acceptance bar: a ≥10k-node mixed-mobility beacon scenario
+must produce a byte-identical canonical delivery log under ``--shards 4``
+and run ≥3× faster than the serial kernel when the host actually has the
+cores to parallelize on.  Results land in ``BENCH_sharding.json``.
+
+Two gates with different strictness:
+
+- **digest equality** — always enforced, every run, every host.  This is
+  the correctness claim of the whole subsystem.
+- **speedup floor** — enforced only on hosts with ≥4 CPU cores and not
+  under ``REPRO_BENCH_SMOKE=1`` (CI smoke runs on small noisy runners; a
+  1-core container physically cannot show parallel speedup — conservative
+  sync alone would make the bar unfalsifiable there).  The JSON always
+  records the measured ratio and whether the floor was enforced.
+
+Run with ``pytest benchmarks/test_perf_sharded.py -s`` to see the table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.sharded_exp import city_scenario
+from repro.sim.sharded import ScenarioSpec, run_serial, run_sharded
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+SHARDS = 4
+#: Acceptance floor on serial/sharded wall-clock at SHARDS shards.
+REQUIRED_SPEEDUP = 3.0
+
+#: Full scenario: ≥10k nodes at city density (range 30 m, so ~2 BLE
+#: neighbors per node); smoke keeps the same density at a fraction of
+#: the population so CI exercises every code path in seconds.
+FULL_NODE_COUNT = 10_000
+SMOKE_NODE_COUNT = 1_500
+NODE_COUNT = SMOKE_NODE_COUNT if SMOKE else FULL_NODE_COUNT
+
+BENCH_SHARDING_PATH = Path("BENCH_sharding.json")
+SCHEMA = "repro.benchmarks/sharding.v1"
+
+
+def city_spec() -> ScenarioSpec:
+    return city_scenario(NODE_COUNT)
+
+
+def test_sharded_city_run_is_identical_and_fast():
+    spec = city_spec()
+    cores = os.cpu_count() or 1
+    enforce_speedup = cores >= SHARDS and not SMOKE
+
+    serial = run_serial(spec)
+    sharded = run_sharded(spec, SHARDS, processes=True)
+    speedup = serial.wall_s / sharded.wall_s if sharded.wall_s > 0 else 0.0
+
+    print()
+    print(f"{spec.node_count} nodes, {spec.rounds} rounds, "
+          f"{SHARDS} shards, {cores} cores{' [smoke]' if SMOKE else ''}")
+    print(f"{'mode':>18}  {'wall':>9}  {'records':>8}  digest")
+    print(f"{'serial':>18}  {serial.wall_s:>8.2f}s  "
+          f"{serial.record_count:>8}  {serial.digest}")
+    print(f"{'sharded(procs)':>18}  {sharded.wall_s:>8.2f}s  "
+          f"{sharded.record_count:>8}  {sharded.digest}")
+    print(f"speedup ×{speedup:.2f} "
+          f"({'enforced' if enforce_speedup else 'recorded only'})")
+    for result in sharded.shard_results:
+        print(f"  shard {result.shard_index}: "
+              f"owned {result.owned_initial}→{result.owned_final}, "
+              f"{result.mirror_adds} mirror adds, "
+              f"{result.handoffs_in} handoffs in, "
+              f"{result.frames_cross_shard} cross-shard deliveries, "
+              f"{result.wall_s:.2f}s")
+
+    # The correctness gate: byte-identical canonical delivery logs.
+    assert sharded.digest == serial.digest
+    assert sharded.record_count == serial.record_count
+    assert sharded.frames_delivered == serial.frames_delivered
+    # The scenario is genuinely cross-shard: mirrors heard real traffic.
+    assert sharded.frames_cross_shard > 0
+
+    BENCH_SHARDING_PATH.write_text(
+        json.dumps(
+            {
+                "schema": SCHEMA,
+                "node_count": spec.node_count,
+                "rounds": spec.rounds,
+                "shards": SHARDS,
+                "cores": cores,
+                "smoke": SMOKE,
+                "serial_wall_s": round(serial.wall_s, 4),
+                "sharded_wall_s": round(sharded.wall_s, 4),
+                "speedup": round(speedup, 3),
+                "speedup_floor": REQUIRED_SPEEDUP,
+                "speedup_enforced": enforce_speedup,
+                "record_count": serial.record_count,
+                "digest": serial.digest,
+                "digests_match": sharded.digest == serial.digest,
+                "frames_cross_shard": sharded.frames_cross_shard,
+                "shard_wall_s": [
+                    round(result.wall_s, 4)
+                    for result in sharded.shard_results
+                ],
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {BENCH_SHARDING_PATH}")
+
+    if enforce_speedup:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"sharded run only ×{speedup:.2f} over serial at {SHARDS} "
+            f"shards on {cores} cores (floor ×{REQUIRED_SPEEDUP})"
+        )

@@ -29,7 +29,7 @@ from typing import Dict, Tuple
 #: Bumped whenever the analysis passes change behaviour; folded into the
 #: incremental cache key so stale cached findings can never survive a rule
 #: change (see :mod:`repro.analysis.cache`).
-ANALYSIS_VERSION = 2
+ANALYSIS_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -90,7 +90,13 @@ _RULE_LIST = [
         summary="wall-clock read inside simulation code",
         suggestion="use kernel.now (simulated time); only the runner's "
         "timing code and the analysis tooling may read the host clock",
-        exempt_paths=("repro/runner/engine.py", "repro/analysis/"),
+        exempt_paths=(
+            "repro/runner/engine.py",
+            "repro/analysis/",
+            # The sharded coordinator times shard wall-clock for its
+            # ShardResults; simulated time still comes from the kernels.
+            "repro/sim/sharded/engine.py",
+        ),
     ),
     Rule(
         code="DET003",
@@ -194,6 +200,19 @@ _RULE_LIST = [
         "(export_cell_artifacts / fetch_cell_artifacts), which name "
         "segments under a swept run token",
         exempt_paths=("repro/runner/artifacts.py",),
+    ),
+    Rule(
+        code="FRK004",
+        name="mirror-state-mutation",
+        summary="direct mutation of mirror WorldNode state (move_to / "
+        "set_mobility / .mobility / .owner_shard assignment) outside the "
+        "boundary-exchange API — shards would silently diverge from the "
+        "owner's view of the node",
+        suggestion="route mirror changes through repro.sim.sharded.boundary "
+        "(create_mirror / verify_mirror_position / reassign_mirror_owner), "
+        "which mutate inside World.boundary_exchange()",
+        exempt_paths=("repro/sim/sharded/boundary.py",),
+        only_paths=("repro/sim/sharded/",),
     ),
     # -- API: in-repo deprecated interfaces -----------------------------------
     Rule(

@@ -69,6 +69,14 @@ _ORDER_INSENSITIVE_CALLS = {
 #: Ordering-sensitive materialisers of an iterable (DET004 sinks).
 _ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate"}
 
+#: WorldNode methods whose call counts as mirror-state mutation (FRK004;
+#: the rule is path-scoped to repro/sim/sharded/, where every node is
+#: owned-or-mirrored and mutation belongs to the boundary module).
+_MIRROR_MUTATING_METHODS = {"move_to", "set_mobility"}
+
+#: WorldNode attributes whose assignment counts the same way.
+_MIRROR_GUARDED_ATTRS = {"mobility", "owner_shard"}
+
 #: ImportFrom modules whose ``CellResult`` is the deprecated alias (API002).
 _DEPRECATED_CELLRESULT_MODULES = {
     "repro.experiments",
@@ -291,6 +299,13 @@ class AnalysisVisitor(ast.NodeVisitor):
                     "since_charge_mas); use "
                     "average_ma(since=snapshot, floor_ma=...)",
                 )
+            if node.func.attr in _MIRROR_MUTATING_METHODS:
+                self._emit(
+                    "FRK004", node,
+                    f".{node.func.attr}() mutates WorldNode state directly; "
+                    "sharded code must route mirror changes through "
+                    "repro.sim.sharded.boundary",
+                )
         captured = dataflow.unpicklable_worker_callable(node, self.scope)
         if captured is not None:
             kind = ("lambda" if isinstance(captured, ast.Lambda)
@@ -363,6 +378,8 @@ class AnalysisVisitor(ast.NodeVisitor):
             node, self.scope, self.module_mutables)
         if mutated is not None:
             self._emit_frk001(node, mutated)
+        for target in node.targets:
+            self._check_mirror_attribute(target)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -370,7 +387,27 @@ class AnalysisVisitor(ast.NodeVisitor):
             node, self.scope, self.module_mutables)
         if mutated is not None:
             self._emit_frk001(node, mutated)
+        self._check_mirror_attribute(node.target)
         self.generic_visit(node)
+
+    # -- FRK004: mirror-state mutation outside the boundary API ---------------
+
+    def _check_mirror_attribute(self, target: ast.AST) -> None:
+        """Flag ``<node>.mobility = ...`` / ``<node>.owner_shard = ...``.
+
+        The rule is scoped to ``repro/sim/sharded/`` (minus the boundary
+        module itself), where these attributes belong to owned-or-mirrored
+        :class:`WorldNode`\\ s and must only change inside
+        ``World.boundary_exchange()``.
+        """
+        if (isinstance(target, ast.Attribute)
+                and target.attr in _MIRROR_GUARDED_ATTRS):
+            self._emit(
+                "FRK004", target,
+                f"assignment to .{target.attr} bypasses the boundary-"
+                "exchange API; use repro.sim.sharded.boundary "
+                "(reassign_mirror_owner / create_mirror)",
+            )
 
     # -- SIM003: time-domain mixing -------------------------------------------
 

@@ -17,9 +17,11 @@ exploiting that every :class:`~repro.phy.mobility.MobilityModel` is a pure
 function of time with a worst-case displacement bound
 (:meth:`~repro.phy.mobility.MobilityModel.max_displacement`).  Movers are
 bucketed at their epoch-start position; queries inflate the scan radius by
-the largest intra-epoch bound, and movers too fast to bound within one
-grid cell fall back to the legacy roaming scan.  Either way the candidate
-set remains an exact superset of the true answer at the queried instant.
+the largest intra-epoch bound.  Movers too fast to bound within one grid
+cell (sprinters) go to a *coarse* second-level grid whose cell size adapts
+to their worst bound, and only movers with no finite bound at all fall
+back to the legacy roaming scan.  Either way the candidate set remains an
+exact superset of the true answer at the queried instant.
 """
 
 from __future__ import annotations
@@ -160,9 +162,15 @@ class TimeAwareGridIndex:
     largest bound, which keeps the candidate set an exact superset of the
     true in-radius set at any instant inside the epoch.
 
-    Movers whose bound exceeds one grid cell (including models that cannot
-    bound their speed at all) fall back to the legacy roaming list and are
-    returned from every query — correctness never depends on the tuning.
+    Movers whose bound exceeds one grid cell — *sprinters* — are bucketed
+    in a coarse second-level grid sized to their largest bound, so a query
+    far from any sprinter's epoch-start position skips them entirely
+    instead of scanning an O(n) roaming list.  Only models that cannot
+    bound their displacement at all (``max_displacement`` of ``inf``) still
+    roam and are returned from every query — correctness never depends on
+    the tuning.  Sprinters are likewise excluded from epoch-length tuning:
+    one rocket no longer collapses the epoch (and with it the rebucketing
+    cadence) for a population of pedestrians.
 
     Epochs are integer-indexed (``epoch * epoch_length`` start times, no
     float accumulation) and everything — epoch length, bucket contents,
@@ -197,6 +205,11 @@ class TimeAwareGridIndex:
         # movers sit in this inner index's roaming list.
         self._movers = UniformGridIndex(cell_size)
         self._max_bound = 0.0
+        # Sprinters: finite-bound movers too fast for the fine grid, in a
+        # second-level grid with cells sized to their worst intra-epoch
+        # bound.  None while the current epoch has no sprinters.
+        self._coarse: Optional[UniformGridIndex] = None
+        self._coarse_bound = 0.0
         self._epoch = 0
         self._epoch_length = max_epoch_s
         self._valid_from = 0.0
@@ -228,12 +241,17 @@ class TimeAwareGridIndex:
 
     @property
     def roaming_count(self) -> int:
-        """Movers on the legacy every-query scan (too fast / unbounded).
+        """Movers on the legacy every-query scan (no finite bound at all).
 
         Meaningful for the epoch the index last rebucketed for; movers
         inserted since then are counted once the next query rebuckets.
         """
         return self._movers.roaming_count
+
+    @property
+    def coarse_count(self) -> int:
+        """Sprinters bucketed in the coarse second-level grid this epoch."""
+        return 0 if self._coarse is None else len(self._coarse)
 
     # -- mutation ----------------------------------------------------------
 
@@ -257,6 +275,8 @@ class TimeAwareGridIndex:
         del self._mobility[item]
         if item in self._movers:
             self._movers.remove(item)
+        elif self._coarse is not None and item in self._coarse:
+            self._coarse.remove(item)
 
     def update(self, item: Hashable, mobility: MobilityModel) -> None:
         """Replace ``item``'s mobility model (it may change kind)."""
@@ -272,13 +292,27 @@ class TimeAwareGridIndex:
         wall clock, integer epoch arithmetic only.
         """
         mobilities = self._mobility
+        # Epoch tuning considers only movers slow enough to be fine-bucketed
+        # at *some* legal epoch length ("fine-capable"); sprinters get the
+        # coarse grid regardless, so letting them shrink the epoch would
+        # only inflate everyone's rebucketing cadence.  When no mover is
+        # fine-capable, fall back to the overall top finite speed so the
+        # clamps still engage deterministically.
+        fine_cap = _EPOCH_CELL_FRACTION * self.cell_size / self.min_epoch_s
+        fine_top = 0.0
         top_speed = 0.0
         for mobility in mobilities.values():
             probe = mobility.max_displacement(now, now + _SPEED_PROBE_S)
-            if math.isfinite(probe) and probe > top_speed * _SPEED_PROBE_S:
-                top_speed = probe / _SPEED_PROBE_S
-        if top_speed > 0.0:
-            tuned = _EPOCH_CELL_FRACTION * self.cell_size / top_speed
+            if not math.isfinite(probe):
+                continue
+            speed = probe / _SPEED_PROBE_S
+            if speed > top_speed:
+                top_speed = speed
+            if speed <= fine_cap and speed > fine_top:
+                fine_top = speed
+        tuning_speed = fine_top if fine_top > 0.0 else top_speed
+        if tuning_speed > 0.0:
+            tuned = _EPOCH_CELL_FRACTION * self.cell_size / tuning_speed
             length = min(max(tuned, self.min_epoch_s), self.max_epoch_s)
         else:
             length = self.max_epoch_s
@@ -292,16 +326,30 @@ class TimeAwareGridIndex:
         end = (epoch + 1) * length
         movers = UniformGridIndex(self.cell_size)
         max_bound = 0.0
+        sprinters: List[Tuple[Hashable, MobilityModel, float]] = []
+        coarse_bound = 0.0
         for item, mobility in mobilities.items():
             bound = mobility.max_displacement(start, end)
             if bound <= self.cell_size:
                 movers.insert(item, mobility.position_at(start))
                 if bound > max_bound:
                     max_bound = bound
-            else:  # too fast to bound within a cell: legacy roaming scan
+            elif math.isfinite(bound):  # sprinter: coarse second-level grid
+                sprinters.append((item, mobility, bound))
+                if bound > coarse_bound:
+                    coarse_bound = bound
+            else:  # unbounded model: legacy roaming scan
                 movers.insert(item, None)
+        if sprinters:
+            coarse = UniformGridIndex(max(coarse_bound, self.cell_size))
+            for item, mobility, _ in sprinters:
+                coarse.insert(item, mobility.position_at(start))
+        else:
+            coarse = None
         self._movers = movers
         self._max_bound = max_bound
+        self._coarse = coarse
+        self._coarse_bound = coarse_bound
         self._epoch = epoch
         self._epoch_length = length
         self._valid_from = start
@@ -322,4 +370,8 @@ class TimeAwareGridIndex:
         if self._tune_pending or not (self._valid_from <= now <= self._valid_to):
             self._rebucket(now)
         candidates.extend(self._movers.query(origin, radius + self._max_bound))
+        if self._coarse is not None:
+            candidates.extend(
+                self._coarse.query(origin, radius + self._coarse_bound)
+            )
         return candidates

@@ -11,6 +11,14 @@ The bound is what makes *moving* devices spatially indexable: the
 time-aware grid buckets a mover at its epoch-start position and inflates
 query radii by the bound, so range queries stay exact supersets without
 re-indexing the mover on every tick (see :mod:`repro.phy.index`).
+
+The sharded simulator (:mod:`repro.sim.sharded`) leans on the same bound
+as conservative-PDES *lookahead*: a node whose horizon-clamped
+displacement cannot reach a neighboring shard's halo cannot affect that
+shard before the next synchronization point.  :meth:`MobilityModel.max_speed`
+is the time-independent version — an instantaneous speed cap the shard
+planner multiplies by the horizon length to size halo bands without
+querying every window.
 """
 
 from __future__ import annotations
@@ -45,6 +53,29 @@ class MobilityModel:
         """
         return math.inf
 
+    def max_speed(self) -> float:
+        """Upper bound on the model's instantaneous speed, ever.
+
+        For any window, ``max_displacement(t0, t1) <= max_speed() * (t1 -
+        t0)`` must hold.  The sharded simulator uses this to clamp
+        per-horizon displacement queries: ``max_speed() * horizon`` bounds
+        how far *any* conforming node moves between two synchronization
+        points, independent of which window is asked about.  The base class
+        returns ``math.inf`` — such models cannot participate in sharded
+        partitioning (they can teleport across shard boundaries).
+        """
+        return math.inf
+
+    def displacement_within(self, t0: float, t1: float) -> float:
+        """Horizon-clamped displacement: the tighter of the two bounds.
+
+        ``max_displacement`` can be loose for models that only track path
+        length, and ``max_speed() * window`` can be loose for models that
+        pause; the min of both is always a valid bound for ``[t0, t1]``.
+        """
+        window = max(0.0, t1 - t0)
+        return min(self.max_displacement(t0, t1), self.max_speed() * window)
+
 
 @dataclass(frozen=True)
 class Static(MobilityModel):
@@ -56,6 +87,9 @@ class Static(MobilityModel):
         return self.position
 
     def max_displacement(self, t0: float, t1: float) -> float:
+        return 0.0
+
+    def max_speed(self) -> float:
         return 0.0
 
 
@@ -80,6 +114,9 @@ class Linear(MobilityModel):
         if moving <= 0.0:
             return 0.0
         return self._speed * moving
+
+    def max_speed(self) -> float:
+        return self._speed
 
 
 class WaypointPath(MobilityModel):
@@ -107,9 +144,16 @@ class WaypointPath(MobilityModel):
         # of track covered up to that instant, which bounds displacement
         # over any sub-window (teleports on zero-duration segments count).
         lengths = [0.0]
-        for (_, p0), (_, p1) in zip(self.waypoints, self.waypoints[1:]):
-            lengths.append(lengths[-1] + p0.distance_to(p1))
+        top_speed = 0.0
+        for (t0, p0), (t1, p1) in zip(self.waypoints, self.waypoints[1:]):
+            segment = p0.distance_to(p1)
+            lengths.append(lengths[-1] + segment)
+            if segment > 0.0:
+                # A zero-duration segment is a teleport: unbounded speed.
+                top_speed = (math.inf if t1 <= t0
+                             else max(top_speed, segment / (t1 - t0)))
         self._cum_lengths: List[float] = lengths
+        self._max_speed = top_speed
 
     def position_at(self, time: float) -> Position:
         times = self._times
@@ -141,6 +185,9 @@ class WaypointPath(MobilityModel):
         if t1 <= t0:
             return 0.0
         return self._path_length_until(t1) - self._path_length_until(t0)
+
+    def max_speed(self) -> float:
+        return self._max_speed
 
 
 class RandomWaypoint(MobilityModel):
@@ -214,3 +261,6 @@ class RandomWaypoint(MobilityModel):
         # The speed cap bounds travel (pauses only reduce it), and the
         # arena diagonal bounds any two positions regardless of window.
         return min(self.speed * (t1 - t0), math.hypot(self.width, self.height))
+
+    def max_speed(self) -> float:
+        return self.speed

@@ -1,7 +1,17 @@
-"""The physical world: a registry of placed, possibly moving, nodes."""
+"""The physical world: a registry of placed, possibly moving, nodes.
+
+Under sharded execution (:mod:`repro.sim.sharded`) a world holds two
+kinds of node: *owned* nodes it simulates, and *mirror* nodes — read-only
+replicas of nodes owned by a neighboring shard, present so halo-band
+transmissions resolve receivers locally.  Mirror state may only change
+inside the shard boundary-exchange API (:meth:`World.boundary_exchange`);
+mutating a mirror anywhere else raises :class:`MirrorNodeError`, the
+runtime twin of the FRK004 lint rule.
+"""
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from operator import attrgetter
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -19,6 +29,10 @@ WORLD_GRID_CELL_M = 50.0
 _NODE_NAME = attrgetter("name")
 
 
+class MirrorNodeError(RuntimeError):
+    """A mirror node was mutated outside the boundary-exchange API."""
+
+
 class WorldNode:
     """One physical object (device, beacon, access point) in the world."""
 
@@ -26,6 +40,12 @@ class WorldNode:
         self.world = world
         self.name = name
         self.mobility = mobility
+        #: Shard index owning this node under sharded execution, or None in
+        #: an ordinary (unsharded) world.
+        self.owner_shard: Optional[int] = None
+        #: True when this node is a read-only replica of a node owned by a
+        #: neighboring shard.
+        self.is_mirror = False
 
     @property
     def position(self) -> Position:
@@ -50,13 +70,23 @@ class WorldNode:
         """Current distance to another node in meters."""
         return self.position.distance_to(other.position)
 
+    def _check_mutable(self) -> None:
+        if self.is_mirror and not self.world._in_boundary_exchange:
+            raise MirrorNodeError(
+                f"node {self.name!r} is a mirror owned by shard "
+                f"{self.owner_shard}; mutate it only inside "
+                "World.boundary_exchange()"
+            )
+
     def move_to(self, position: Position) -> None:
         """Teleport the node by replacing its mobility model with Static."""
+        self._check_mutable()
         self.mobility = Static(position)
         self.world._mobility_changed(self)
 
     def set_mobility(self, mobility: MobilityModel) -> None:
         """Replace the node's mobility model."""
+        self._check_mutable()
         self.mobility = mobility
         self.world._mobility_changed(self)
 
@@ -80,6 +110,7 @@ class World:
         # Immutable tuple: snapshot semantics for listeners firing during
         # iteration without copying the list on every single move event.
         self._move_listeners: Tuple[Callable[[WorldNode], None], ...] = ()
+        self._in_boundary_exchange = False
 
     def add_move_listener(self, listener: Callable[[WorldNode], None]) -> None:
         """Register ``listener(node)`` for mobility-model changes.
@@ -116,6 +147,39 @@ class World:
         if self._index is not None:
             self._index.insert(node, mobility)
         return node
+
+    def add_mirror_node(
+        self,
+        name: str,
+        mobility: MobilityModel,
+        owner_shard: int,
+    ) -> WorldNode:
+        """Register a read-only replica of a node owned by another shard.
+
+        The mirror participates in range queries and frame delivery like
+        any node, but its state may only change inside
+        :meth:`boundary_exchange` — ordinary code mutating it raises
+        :class:`MirrorNodeError`.
+        """
+        node = self.add_node(name, mobility=mobility)
+        node.owner_shard = owner_shard
+        node.is_mirror = True
+        return node
+
+    @contextmanager
+    def boundary_exchange(self) -> Iterator["World"]:
+        """Context that authorizes mirror-node mutation.
+
+        Only the shard boundary-exchange code (applying a neighbor's
+        horizon packet) should enter this; it is the runtime counterpart
+        of the FRK004 lint rule.
+        """
+        previous = self._in_boundary_exchange
+        self._in_boundary_exchange = True
+        try:
+            yield self
+        finally:
+            self._in_boundary_exchange = previous
 
     def remove_node(self, name: str) -> None:
         """Unregister a node (e.g. a device leaving the scenario)."""

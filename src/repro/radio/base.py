@@ -24,6 +24,11 @@ class Radio:
 
     kind: RadioKind
 
+    #: True only on halo mirror receivers under sharded execution; the
+    #: medium uses it to count cross-shard deliveries without isinstance
+    #: checks on the hot path.
+    is_mirror = False
+
     def __init__(self, device: "Device", medium: "Medium") -> None:
         self.device = device
         self.medium = medium

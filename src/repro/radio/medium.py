@@ -10,7 +10,8 @@ Frame fan-out is served from a per-technology time-aware grid index: a
 broadcast only distance-tests the radios bucketed in grid cells within the
 technology's range — inflated by the worst-case intra-epoch displacement
 of mobile nodes, which are bucketed at their epoch-start positions — plus
-the few movers too fast to bound within one cell.  The pruning is exact: a
+any movers in the coarse sprinter grid whose inflated cells overlap the
+query.  The pruning is exact: a
 pruned radio is one the propagation model gives delivery probability 0,
 which neither receives the frame nor consumes randomness — so indexed and
 linear scans produce bit-identical simulations.  Epoch rebucketing is
@@ -63,6 +64,11 @@ class _Delivery:
     def __call__(self) -> None:
         if self.receiver._accepts_frame(self.frame):
             self.medium.frames_delivered += 1
+            if self.receiver.is_mirror:
+                # A halo mirror heard it: under sharded execution this
+                # delivery belongs to the receiver's owning shard and is
+                # routed there at the next horizon.
+                self.medium.frames_cross_shard += 1
             self.receiver._deliver(self.frame, self.distance)
         else:
             self.medium.frames_dropped += 1
@@ -92,6 +98,9 @@ class Medium:
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_dropped = 0
+        # Deliveries heard by halo mirror receivers (sharded execution):
+        # counted within frames_delivered too, broken out for shard stats.
+        self.frames_cross_shard = 0
         # Spatial index: one grid per technology with a hard range cutoff.
         # A technology whose model has no cutoff (max_range() is None) keeps
         # the exhaustive scan — pruning there would skip RNG draws the

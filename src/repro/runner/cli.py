@@ -88,6 +88,15 @@ def _build_parser() -> argparse.ArgumentParser:
         f"experiments that support them ({', '.join(ATTACH_CAPABLE)})",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="spatial partitions for the 'sharded' grid (default: "
+        "repro.experiments.sharded_exp.DEFAULT_SHARDS); the delivery "
+        "digest is shard-count invariant, so --compare-serial still gates",
+    )
+    parser.add_argument(
         "--no-shared-memory",
         action="store_true",
         help="keep artifacts inline on the pool result queue instead of "
@@ -186,6 +195,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("an experiment name is required (or --list)")
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1 (use --serial for in-process)")
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be >= 1")
     report = run_experiment(
         args.experiment,
         seeds=args.seeds,
@@ -197,6 +208,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         attach_trace=args.attach_trace,
         attach_energy_timeline=args.attach_energy_timeline,
         use_shared_memory=not args.no_shared_memory,
+        shards=args.shards,
     )
     _print_report(report, args.quiet)
     if not args.no_bench:

@@ -219,6 +219,7 @@ def run_experiment(
     attach_trace: bool = False,
     attach_energy_timeline: bool = False,
     use_shared_memory: bool = True,
+    shards: Optional[int] = None,
 ) -> RunReport:
     """Run one experiment grid (or "all") across ``seeds``.
 
@@ -242,6 +243,7 @@ def run_experiment(
             experiment, seed,
             attach_trace=attach_trace,
             attach_energy_timeline=attach_energy_timeline,
+            shards=shards,
         ))
     outcomes, total_wall, method = execute_jobs(
         jobs, workers=workers, serial=serial, start_method=start_method,

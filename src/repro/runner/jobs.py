@@ -25,6 +25,7 @@ from repro.experiments import (
     disseminate_exp,
     mobility_exp,
     prophet_exp,
+    sharded_exp,
 )
 from repro.runner.artifacts import CellResult
 
@@ -145,6 +146,24 @@ def _mobility_jobs(seed: Optional[int], attach: Dict[str, bool]) -> List[Job]:
     ]
 
 
+def _sharded_jobs(
+    seed: Optional[int], attach: Dict[str, bool], shards: Optional[int] = None
+) -> List[Job]:
+    seed = 61 if seed is None else seed
+    shards = sharded_exp.DEFAULT_SHARDS if shards is None else shards
+    return [
+        Job(
+            experiment="sharded",
+            cell=f"{variant}@{sharded_exp.NODE_COUNT}",
+            fn=sharded_exp.run_cell,
+            args=(variant,),
+            kwargs={"seed": seed, "shards": shards},
+            seed=seed,
+        )
+        for variant in sharded_exp.iter_cells()
+    ]
+
+
 #: (section name, point function, grid of point arguments, canonical seed).
 _ABLATION_SECTIONS = [
     ("beacon_interval", ablations.beacon_interval_point,
@@ -188,7 +207,21 @@ EXPERIMENTS: Dict[
     "fig7": _fig7_jobs,
     "ablations": _ablations_jobs,
     "mobility": _mobility_jobs,
+    "sharded": _sharded_jobs,
 }
+
+
+def _make_jobs(
+    name: str,
+    seed: Optional[int],
+    attach: Dict[str, bool],
+    shards: Optional[int],
+) -> List[Job]:
+    factory = EXPERIMENTS[name]
+    scoped_attach = attach if name in ATTACH_CAPABLE else {}
+    if name == "sharded":
+        return _sharded_jobs(seed, scoped_attach, shards=shards)
+    return factory(seed, scoped_attach)
 
 
 def jobs_for(
@@ -196,23 +229,23 @@ def jobs_for(
     seed: Optional[int] = None,
     attach_trace: bool = False,
     attach_energy_timeline: bool = False,
+    shards: Optional[int] = None,
 ) -> List[Job]:
     """Enumerate the jobs of ``experiment`` (or of every one, for "all").
 
     The attach flags are forwarded to the drivers of
-    :data:`ATTACH_CAPABLE` experiments; other grids ignore them.
+    :data:`ATTACH_CAPABLE` experiments; ``shards`` parameterizes the
+    "sharded" grid's partition count; other grids ignore both.
     """
     attach = _attach_kwargs(attach_trace, attach_energy_timeline)
     if experiment == "all":
         jobs = []
-        for name, factory in EXPERIMENTS.items():
-            jobs.extend(factory(seed, attach if name in ATTACH_CAPABLE else {}))
+        for name in EXPERIMENTS:
+            jobs.extend(_make_jobs(name, seed, attach, shards))
         return jobs
-    try:
-        factory = EXPERIMENTS[experiment]
-    except KeyError:
+    if experiment not in EXPERIMENTS:
         known = ", ".join([*EXPERIMENTS, "all"])
         raise ValueError(
             f"unknown experiment {experiment!r} (choose from: {known})"
-        ) from None
-    return factory(seed, attach if experiment in ATTACH_CAPABLE else {})
+        )
+    return _make_jobs(experiment, seed, attach, shards)

@@ -85,6 +85,52 @@ class EventScheduler:
         callback()
         return True
 
+    def step_batch(self) -> int:
+        """Execute every event scheduled at the next instant in one drain.
+
+        Equivalent to calling :meth:`step` once per event at the head time,
+        but the heap is drained before any callback runs, saving one
+        sift-down per event on dense timestamps (simultaneous beacon rounds,
+        broadcast delivery fan-outs).  Callbacks still fire in schedule
+        (FIFO) order; an event cancelled by an earlier event in the same
+        batch is skipped; an event *scheduled* for the same instant by a
+        batch callback lands in the next drain — exactly where per-event
+        pops would have put it, since its sequence number is higher than the
+        whole batch's.  Returns the number of callbacks executed.
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return 0
+        heap = self._heap
+        handle = heapq.heappop(heap)
+        self._pending -= 1
+        handle._scheduler = None
+        self._now = handle.time
+        if not heap or heap[0].time != handle.time:
+            # Lone event at this instant: skip the batch list entirely.
+            callback, handle.callback = handle.callback, None
+            assert callback is not None
+            callback()
+            return 1
+        batch = [handle]
+        time = handle.time
+        while heap and heap[0].time == time:
+            head = heapq.heappop(heap)
+            if head.cancelled:  # already discounted from _pending by cancel()
+                continue
+            self._pending -= 1
+            head._scheduler = None
+            batch.append(head)
+        executed = 0
+        for handle in batch:
+            if handle.cancelled:  # cancelled by an earlier batch callback
+                continue
+            callback, handle.callback = handle.callback, None
+            assert callback is not None
+            callback()
+            executed += 1
+        return executed
+
     def run_until(self, deadline: float) -> None:
         """Execute every event scheduled at or before ``deadline``.
 
@@ -100,12 +146,31 @@ class EventScheduler:
             next_time = self.peek_time()
             if next_time is None or next_time > deadline:
                 break
-            self.step()
+            self.step_batch()
+        self._now = deadline
+
+    def run_before(self, deadline: float) -> None:
+        """Execute every event scheduled *strictly* before ``deadline``.
+
+        The half-open counterpart of :meth:`run_until`, used for horizon
+        windows ``[t0, t1)``: events landing exactly on ``t1`` belong to the
+        next window and stay in the heap.  The clock still ends exactly at
+        ``deadline``, so a follow-up ``run_before(t2)`` picks up seamlessly.
+        """
+        if deadline < self._now:
+            raise SchedulingInPastError(
+                f"cannot run before t={deadline} (now is t={self._now})"
+            )
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time >= deadline:
+                break
+            self.step_batch()
         self._now = deadline
 
     def run(self) -> None:
         """Execute events until the schedule drains."""
-        while self.step():
+        while self.step_batch():
             pass
 
     def _drop_cancelled_head(self) -> None:

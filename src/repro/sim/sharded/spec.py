@@ -1,0 +1,171 @@
+"""Scenario specification shared by every shard and the serial reference.
+
+A :class:`ScenarioSpec` is a tiny frozen dataclass of primitives — it
+crosses process boundaries by pickling, and everything heavyweight (the
+mobility models, beacon schedules, window layout) is *derived* from it
+deterministically.  Every shard derives the same full node table from
+``(seed, node_index)`` alone, which is what lets a shard reconstruct any
+halo node's trajectory bit-for-bit without ever serializing model state:
+mobility models are pure functions of time (see :mod:`repro.phy.mobility`).
+
+The mixed-mobility recipe cycles node kinds by index: pedestrians
+(:class:`RandomWaypoint`), parked infrastructure (:class:`Static`),
+constant-velocity commuters (:class:`Linear`), and scripted ferries
+(:class:`WaypointPath`) — the population shape of the city-scale
+device-density sweeps in the related literature.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.phy.geometry import Position
+from repro.phy.mobility import (
+    Linear,
+    MobilityModel,
+    RandomWaypoint,
+    Static,
+    WaypointPath,
+)
+from repro.util.rng import SeededRng, derive_seed
+
+#: Beacon payload: (round, sender_index) — 6 bytes, comfortably under the
+#: 31-byte BLE advertisement limit.
+PAYLOAD_STRUCT = struct.Struct("<HI")
+
+#: One delivery record: (delivery_time, sender_index, receiver_index,
+#: round, distance) — the struct-packed unit boundary messages and the
+#: canonical log digest are built from.
+RECORD_STRUCT = struct.Struct("<dIIHd")
+
+#: Walking speed band (m/s), cycled by node index.
+_WALKER_SPEEDS = (0.9, 1.2, 1.5, 1.8)
+
+#: Constant-velocity commuters (m/s).
+_COMMUTER_SPEED = 2.5
+
+#: Scripted ferry loops (m/s) — the fastest recipe member, hence the
+#: population's speed cap.
+_FERRY_SPEED = 3.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to reproduce one mixed-mobility beacon scenario."""
+
+    name: str
+    arena_m: float
+    node_count: int
+    rounds: int
+    beacon_period_s: float
+    horizon_s: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.node_count <= 0:
+            raise ValueError(f"node_count must be > 0, got {self.node_count}")
+        if self.arena_m <= 0.0:
+            raise ValueError(f"arena_m must be > 0, got {self.arena_m}")
+        if self.rounds <= 0:
+            raise ValueError(f"rounds must be > 0, got {self.rounds}")
+        if self.beacon_period_s <= 0.0 or self.horizon_s <= 0.0:
+            raise ValueError("beacon_period_s and horizon_s must be > 0")
+
+    @property
+    def duration_s(self) -> float:
+        """Total simulated time: every round plus one period of tail drain."""
+        return (self.rounds + 1) * self.beacon_period_s
+
+    def round_times(self) -> List[float]:
+        """Absolute beacon fire times, one per round.
+
+        Centralized so the serial reference and every shard compute the
+        *same floats* — delivery times inherit them bit-for-bit.
+        """
+        return [(r + 1) * self.beacon_period_s for r in range(self.rounds)]
+
+    def window_ends(self) -> List[float]:
+        """The horizon grid: ends of the half-open windows tiling the run.
+
+        Integer multiples of ``horizon_s`` (no float accumulation), with
+        the final window clipped to ``duration_s``.
+        """
+        ends: List[float] = []
+        k = 1
+        while k * self.horizon_s < self.duration_s:
+            ends.append(k * self.horizon_s)
+            k += 1
+        ends.append(self.duration_s)
+        return ends
+
+
+def mobility_for(spec: ScenarioSpec, index: int) -> MobilityModel:
+    """Build node ``index``'s mobility model — pure in ``(spec.seed, index)``.
+
+    Each node owns an independent derived RNG stream, so any shard (or the
+    serial reference) reconstructs the identical trajectory regardless of
+    which other nodes it ever evaluates.
+    """
+    rng = SeededRng(derive_seed(spec.seed, "node", str(index)))
+    arena = spec.arena_m
+    slot = index % 10
+    if slot < 2:  # parked infrastructure: beacons that never move
+        return Static(Position(rng.uniform(0.0, arena), rng.uniform(0.0, arena)))
+    if slot < 8:  # pedestrians
+        return RandomWaypoint(
+            rng,
+            width=arena,
+            height=arena,
+            speed=_WALKER_SPEEDS[index % len(_WALKER_SPEEDS)],
+            pause=2.0,
+        )
+    if slot == 8:  # commuter: constant velocity, may drift off the arena
+        start = Position(rng.uniform(0.0, arena), rng.uniform(0.0, arena))
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        return Linear(
+            start,
+            (_COMMUTER_SPEED * math.cos(angle), _COMMUTER_SPEED * math.sin(angle)),
+        )
+    # Scripted ferry: a waypoint loop covering the whole run at fixed speed.
+    points = [
+        Position(rng.uniform(0.0, arena), rng.uniform(0.0, arena))
+        for _ in range(4)
+    ]
+    waypoints: List[Tuple[float, Position]] = [(0.0, points[0])]
+    leg = 0
+    while waypoints[-1][0] < spec.duration_s:
+        here = points[leg % len(points)]
+        there = points[(leg + 1) % len(points)]
+        arrive = waypoints[-1][0] + here.distance_to(there) / _FERRY_SPEED
+        waypoints.append((arrive, there))
+        leg += 1
+    return WaypointPath(waypoints)
+
+
+def build_models(spec: ScenarioSpec) -> List[MobilityModel]:
+    """The full node table, in index order."""
+    return [mobility_for(spec, index) for index in range(spec.node_count)]
+
+
+def population_speed_cap(models: List[MobilityModel]) -> float:
+    """The population's instantaneous speed cap — the PDES lookahead basis.
+
+    Raises if any model cannot bound its speed: such nodes could teleport
+    across shard boundaries between horizons, which conservative
+    partitioning cannot admit.
+    """
+    cap = 0.0
+    for index, model in enumerate(models):
+        speed = model.max_speed()
+        if not math.isfinite(speed):
+            raise ValueError(
+                f"node {index} has an unbounded mobility model "
+                f"({type(model).__name__}); sharded execution requires "
+                "finite max_speed() for every node"
+            )
+        if speed > cap:
+            cap = speed
+    return cap

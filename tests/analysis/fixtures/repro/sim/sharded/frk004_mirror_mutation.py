@@ -1,0 +1,12 @@
+"""Fixture: mirror WorldNode state mutated outside the boundary API (FRK004)."""
+
+
+def drift_mirror(node, position, model):
+    node.move_to(position)
+    node.set_mobility(model)
+    node.owner_shard = 2
+    node.mobility = model
+
+
+def read_only(node):
+    return node.owner_shard

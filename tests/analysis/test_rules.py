@@ -129,6 +129,22 @@ def test_frk003_shared_memory_fixture():
     assert not analyze_source(source, "repro/runner/artifacts.py")
 
 
+def test_frk004_mirror_mutation_fixture():
+    fixture = FIXTURES / "repro" / "sim" / "sharded" / "frk004_mirror_mutation.py"
+    findings = analyze_file(fixture)
+    assert keys(findings) == [
+        ("FRK004", 5),   # node.move_to(position)
+        ("FRK004", 6),   # node.set_mobility(model)
+        ("FRK004", 7),   # node.owner_shard = 2
+        ("FRK004", 8),   # node.mobility = model
+    ]
+    source = fixture.read_text(encoding="utf-8")
+    # The boundary module owns the invariant and may mutate directly.
+    assert not analyze_source(source, "repro/sim/sharded/boundary.py")
+    # Outside the sharded package these are ordinary attribute writes.
+    assert not analyze_source(source, "repro/phy/world.py")
+
+
 def test_api001_average_ma_fixture():
     findings = analyze_file(FIXTURES / "api001_average_ma.py")
     assert keys(findings) == [

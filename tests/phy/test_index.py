@@ -251,13 +251,39 @@ def test_time_aware_epoch_length_clamps():
     assert fast.epoch_length == MIN_EPOCH_S
 
 
-def test_time_aware_fast_mover_falls_back_to_roaming():
+def test_time_aware_fast_mover_gets_coarse_bucket_not_roaming():
     index = TimeAwareGridIndex(10.0)
     index.insert("rocket", _linear(0.0, 0.0, 1000.0, 0.0))
-    # Too fast to bound inside one cell even at the minimum epoch: the
-    # rocket roams and matches every query, anywhere.
-    assert "rocket" in index.query(Position(5e5, 5e5), 0.001, now=0.0)
-    assert index.roaming_count == 1
+    # Too fast to bound inside one fine cell even at the minimum epoch —
+    # but the intra-epoch bound is still finite, so the rocket lands in
+    # the coarse second-level grid instead of the O(n) roaming list.
+    assert "rocket" in index.query(Position(100.0, 0.0), 5.0, now=0.0)
+    assert index.roaming_count == 0
+    assert index.coarse_count == 1
+    # Far outside the rocket's inflated reach the coarse grid prunes it —
+    # the old roaming fallback would have returned it from every query.
+    assert "rocket" not in index.query(Position(5e5, 5e5), 0.001, now=0.0)
+
+
+def test_time_aware_sprinter_does_not_collapse_walker_epoch():
+    index = TimeAwareGridIndex(30.0)
+    index.insert("walker", _linear(0.0, 0.0, 1.5, 0.0))
+    index.insert("sprinter", _linear(0.0, 0.0, 400.0, 0.0))
+    index.query(Position(0.0, 0.0), 10.0, now=0.0)
+    # Epoch tuning ignores the sprinter (it is coarse-bucketed anyway), so
+    # the walker keeps its half-cell epoch: 0.5 * 30 / 1.5.
+    assert index.epoch_length == pytest.approx(10.0)
+    assert index.coarse_count == 1
+    assert index.roaming_count == 0
+
+
+def test_time_aware_sprinter_is_a_candidate_wherever_it_is():
+    index = TimeAwareGridIndex(10.0)
+    index.insert("sprinter", _linear(0.0, 0.0, 300.0, 0.0))
+    sprinter = _linear(0.0, 0.0, 300.0, 0.0)
+    for now in (0.0, 0.2, 1.3, 7.9, 42.0):
+        here = sprinter.position_at(now)
+        assert "sprinter" in index.query(here, 1.0, now=now), now
 
 
 def test_time_aware_unknown_model_is_unbounded_hence_roaming():

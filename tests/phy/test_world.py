@@ -4,7 +4,7 @@ import pytest
 
 from repro.phy.geometry import Position
 from repro.phy.mobility import Linear, Static
-from repro.phy.world import World
+from repro.phy.world import MirrorNodeError, World
 
 
 def test_add_and_lookup(world):
@@ -83,3 +83,42 @@ def test_iteration(world):
     world.add_node("a", position=Position(0, 0))
     world.add_node("b", position=Position(1, 1))
     assert sorted(node.name for node in world) == ["a", "b"]
+
+
+def test_mirror_node_rejects_direct_mutation(kernel, world):
+    node = world.add_mirror_node("m", Static(Position(1.0, 2.0)), owner_shard=3)
+    assert node.is_mirror
+    assert node.owner_shard == 3
+    with pytest.raises(MirrorNodeError):
+        node.move_to(Position(5.0, 5.0))
+    with pytest.raises(MirrorNodeError):
+        node.set_mobility(Linear(Position(0, 0), (1.0, 0.0)))
+    # The node stayed where it was.
+    assert node.position == Position(1.0, 2.0)
+
+
+def test_mirror_node_mutable_inside_boundary_exchange(kernel, world):
+    node = world.add_mirror_node("m", Static(Position(0.0, 0.0)), owner_shard=0)
+    with world.boundary_exchange():
+        node.move_to(Position(3.0, 4.0))
+    assert node.position == Position(3.0, 4.0)
+    # The window closes again afterwards.
+    with pytest.raises(MirrorNodeError):
+        node.move_to(Position(9.0, 9.0))
+
+
+def test_boundary_exchange_restores_state_on_error(kernel, world):
+    node = world.add_mirror_node("m", Static(Position(0.0, 0.0)), owner_shard=0)
+    with pytest.raises(RuntimeError, match="boom"):
+        with world.boundary_exchange():
+            raise RuntimeError("boom")
+    with pytest.raises(MirrorNodeError):
+        node.move_to(Position(1.0, 1.0))
+
+
+def test_owned_nodes_unaffected_by_mirror_guard(kernel, world):
+    node = world.add_node("owned", position=Position(0.0, 0.0))
+    node.move_to(Position(2.0, 2.0))
+    assert node.position == Position(2.0, 2.0)
+    assert not node.is_mirror
+    assert node.owner_shard is None

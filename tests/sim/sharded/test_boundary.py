@@ -1,0 +1,66 @@
+"""Boundary message codecs and the mirror mutation API."""
+
+import pytest
+
+from repro.phy.geometry import Position
+from repro.phy.mobility import Static
+from repro.phy.world import MirrorNodeError, World
+from repro.sim.kernel import Kernel
+from repro.sim.sharded import boundary
+
+
+def test_advert_roundtrip():
+    adverts = [(0, 1, 12.5, -3.25), (4294967295, 7, 0.0, 1e6)]
+    assert boundary.unpack_adverts(boundary.pack_adverts(adverts)) == adverts
+
+
+def test_handoff_roundtrip():
+    indexes = [3, 0, 99999]
+    assert boundary.unpack_handoffs(boundary.pack_handoffs(indexes)) == indexes
+
+
+def test_record_roundtrip_is_bitwise():
+    records = [
+        (10.001000000000001, 5, 9, 2, 17.321923),
+        (0.0, 0, 1, 0, 0.0),
+    ]
+    assert boundary.unpack_records(boundary.pack_records(records)) == records
+
+
+def test_boundary_blob_roundtrip():
+    adverts = [(1, 0, 5.0, 6.0), (2, 3, -1.0, 2.0)]
+    handoffs = [7, 8]
+    blob = boundary.pack_boundary(adverts, handoffs)
+    assert boundary.unpack_boundary(blob) == (adverts, handoffs)
+    assert boundary.unpack_boundary(boundary.pack_boundary([], [])) == ([], [])
+
+
+def test_truncated_boundary_blob_rejected():
+    blob = boundary.pack_boundary([(1, 0, 5.0, 6.0)], [2])
+    with pytest.raises(boundary.BoundaryProtocolError):
+        boundary.unpack_boundary(blob[:-1])
+
+
+def test_create_mirror_verifies_adverted_position():
+    kernel = Kernel(seed=1)
+    world = World(kernel)
+    model = Static(Position(10.0, 20.0))
+    node = boundary.create_mirror(world, "m", model, 2, 0.0, 10.0, 20.0)
+    assert node.is_mirror and node.owner_shard == 2
+    with pytest.raises(boundary.BoundaryProtocolError):
+        boundary.create_mirror(
+            World(Kernel(seed=1)), "m", model, 2, 0.0, 10.0, 20.5
+        )
+
+
+def test_reassign_mirror_owner_goes_through_exchange():
+    kernel = Kernel(seed=1)
+    world = World(kernel)
+    node = boundary.create_mirror(
+        world, "m", Static(Position(0.0, 0.0)), 1, 0.0, 0.0, 0.0
+    )
+    boundary.reassign_mirror_owner(world, node, 3)
+    assert node.owner_shard == 3
+    # ...and the direct path stays closed outside the exchange.
+    with pytest.raises(MirrorNodeError):
+        node.move_to(Position(1.0, 1.0))

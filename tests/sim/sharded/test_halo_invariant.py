@@ -1,0 +1,121 @@
+"""Property tests of the conservative halo invariant (the PDES safety core).
+
+The sharded simulator is only correct if, for every window, every node a
+shard's owned senders could possibly reach is present in that shard —
+owned or mirrored — before the window runs.  These tests step real
+:class:`ShardRuntime` populations through their horizon protocol and check
+that superset property directly against brute-force geometry, plus the
+ownership-partition invariant the protocol maintains by induction.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.radio.frame import RadioKind
+from repro.radio.medium import DEFAULT_RANGES
+from repro.sim.sharded.shard import ShardRuntime
+from repro.sim.sharded.spec import ScenarioSpec, build_models
+
+RANGE_M = DEFAULT_RANGES[RadioKind.BLE]
+
+
+def windows(spec, shards):
+    """Drive the inline horizon protocol, yielding each settled window."""
+    runtimes = [ShardRuntime(spec, shards, index) for index in range(shards)]
+    t0 = 0.0
+    for t1 in spec.window_ends():
+        packets = [runtime.horizon_packet(t0, t1) for runtime in runtimes]
+        for runtime in runtimes:
+            runtime.take_records()
+        for dst, runtime in enumerate(runtimes):
+            adverts, handoffs = [], []
+            for src in range(shards):
+                adverts.extend(packets[src][0].get(dst, []))
+                handoffs.extend(packets[src][1].get(dst, []))
+            runtime.apply_inbound(t0, handoffs, adverts)
+        yield runtimes, t0, t1
+        for runtime in runtimes:
+            runtime.schedule_window(t0, t1)
+            runtime.run_window(t1)
+        t0 = t1
+
+
+def sample_times(t0, t1, points=5):
+    span = t1 - t0
+    return [t0 + span * step / (points - 1) for step in range(points)]
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    shards=st.integers(min_value=2, max_value=5),
+    node_count=st.integers(min_value=12, max_value=36),
+    horizon_s=st.sampled_from([2.0, 5.0, 7.5, 10.0]),
+)
+def test_property_halo_is_a_superset_of_reachability(
+    seed, shards, node_count, horizon_s
+):
+    spec = ScenarioSpec(
+        name="halo-prop",
+        arena_m=200.0,
+        node_count=node_count,
+        rounds=3,
+        beacon_period_s=5.0,
+        horizon_s=horizon_s,
+        seed=seed,
+    )
+    models = build_models(spec)
+    for runtimes, t0, t1 in windows(spec, shards):
+        for runtime in runtimes:
+            owned = set(runtime.owned_indexes())
+            present = owned | set(runtime.mirror_indexes())
+            for t in sample_times(t0, t1):
+                positions = [model.position_at(t) for model in models]
+                for sender in owned:
+                    for receiver in range(spec.node_count):
+                        if receiver == sender:
+                            continue
+                        gap = positions[sender].distance_to(positions[receiver])
+                        if gap <= RANGE_M:
+                            assert receiver in present, (
+                                f"node {receiver} within {gap:.1f}m of owned "
+                                f"sender {sender} at t={t} but absent from "
+                                f"shard {runtime.shard_index} in window "
+                                f"[{t0}, {t1})"
+                            )
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    shards=st.integers(min_value=2, max_value=5),
+)
+def test_property_ownership_is_a_partition(seed, shards):
+    spec = ScenarioSpec(
+        name="owner-prop",
+        arena_m=150.0,
+        node_count=20,
+        rounds=3,
+        beacon_period_s=4.0,
+        horizon_s=4.0,
+        seed=seed,
+    )
+    models = build_models(spec)
+    for runtimes, t0, _t1 in windows(spec, shards):
+        owners = {}
+        for runtime in runtimes:
+            plan = runtime.plan
+            for index in runtime.owned_indexes():
+                assert index not in owners, (
+                    f"node {index} owned by shards {owners[index]} and "
+                    f"{runtime.shard_index} in the same window"
+                )
+                owners[index] = runtime.shard_index
+                # Ownership tracks the window-start position exactly.
+                assert plan.strip_of(models[index].position_at(t0)) \
+                    == runtime.shard_index
+        assert sorted(owners) == list(range(spec.node_count))
+        # Every mirror knows its node's true owner for this window.
+        for runtime in runtimes:
+            for index in runtime.mirror_indexes():
+                node = runtime.world.node(f"n{index:05d}")
+                assert node.owner_shard == owners[index]

@@ -191,3 +191,65 @@ def test_property_cancelled_never_fire(items):
             handle.cancel()
     scheduler.run()
     assert sorted(fired) == expected
+
+
+def test_run_before_stops_short_of_deadline_events():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule(1.0, lambda: fired.append("early"))
+    scheduler.schedule(2.0, lambda: fired.append("boundary"))
+    scheduler.run_before(2.0)
+    assert fired == ["early"]
+    assert scheduler.now == 2.0
+    # The boundary event is still queued and fires in the next window.
+    scheduler.run_before(3.0)
+    assert fired == ["early", "boundary"]
+
+
+def test_run_before_backwards_raises():
+    scheduler = EventScheduler()
+    scheduler.run_before(5.0)
+    with pytest.raises(SchedulingInPastError):
+        scheduler.run_before(4.0)
+
+
+def test_step_batch_executes_all_ties_at_once():
+    scheduler = EventScheduler()
+    fired = []
+    for label in "abc":
+        scheduler.schedule(1.0, lambda label=label: fired.append(label))
+    scheduler.schedule(2.0, lambda: fired.append("later"))
+    assert scheduler.step_batch() == 3
+    assert fired == ["a", "b", "c"]
+    assert scheduler.step_batch() == 1
+    assert fired == ["a", "b", "c", "later"]
+    assert scheduler.step_batch() == 0
+
+
+def test_step_batch_respects_cancellation_inside_the_batch():
+    scheduler = EventScheduler()
+    fired = []
+    handles = [
+        scheduler.schedule(1.0, lambda i=i: fired.append(i)) for i in range(4)
+    ]
+    # Event 0 cancels event 2 when it runs — same timestamp, same batch.
+    handles[0].callback = lambda: (fired.append(0), handles[2].cancel())
+    assert scheduler.step_batch() == 3
+    assert fired == [0, 1, 3]
+    assert len(scheduler) == 0
+
+
+def test_batched_run_matches_stepwise_run_exactly():
+    def build():
+        scheduler = EventScheduler()
+        fired = []
+        for index, time in enumerate([3.0, 1.0, 1.0, 2.0, 1.0, 3.0]):
+            scheduler.schedule(time, lambda i=index, t=time: fired.append((t, i)))
+        return scheduler, fired
+
+    batched, batched_fired = build()
+    batched.run()
+    stepwise, stepwise_fired = build()
+    while stepwise.step():
+        pass
+    assert batched_fired == stepwise_fired
