@@ -32,12 +32,16 @@ from repro.analysis.cache import (
     AnalysisStats,
     analyze_paths_incremental,
 )
+from repro.analysis.project import (
+    analyze_paths,
+    analyze_project,
+    analyze_project_entries,
+)
 from repro.analysis.rules import RULES, RULESET_VERSION, Finding, Rule
 from repro.analysis.scopes import Scope, ScopeBuilder, Symbol, build_scopes
 from repro.analysis.tripwire import GlobalRngError, Tripwire, guard
 from repro.analysis.visitor import (
     analyze_file,
-    analyze_paths,
     analyze_source,
     normalize_path,
 )
@@ -60,6 +64,8 @@ __all__ = [
     "analyze_file",
     "analyze_paths",
     "analyze_paths_incremental",
+    "analyze_project",
+    "analyze_project_entries",
     "analyze_source",
     "build_scopes",
     "guard",

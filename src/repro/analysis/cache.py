@@ -1,20 +1,29 @@
-"""Incremental findings cache + deterministic parallel file analysis.
+"""Dependency-aware incremental cache + deterministic parallel analysis.
 
-``python -m repro.analysis`` stays fast as the tree grows two ways:
+``python -m repro.analysis`` stays fast as the tree grows three ways:
 
-- **content-hash cache** — per-file findings are stored under
+- **content-hash per-file cache** — per-file findings are stored under
   ``.repro-analysis-cache/`` keyed on the SHA-256 of the file's bytes plus
   :data:`repro.analysis.rules.RULESET_VERSION`; an unchanged file under an
   unchanged ruleset is never re-parsed, and bumping ``ANALYSIS_VERSION``
-  (or editing any rule) busts every entry at once.  Delete the directory to
-  bust it by hand;
-- **parallel analysis** — cache misses fan out over a process pool
-  (``--jobs``), and results are merged back in sorted-file order, so
-  serial, parallel, and cache-warm runs produce byte-identical findings.
+  (or editing any rule) busts every entry at once.  Delete the directory
+  to bust it by hand;
+- **dependency-aware project keys** — the whole-program pass
+  (:mod:`repro.analysis.project`) sees across files, so its cached
+  results cannot key on one file's bytes alone.  Each entry also records
+  the file's module name and import candidates, and a *project key*: the
+  digest of the file's own bytes **plus the digests of its transitive
+  import-graph dependencies** within the analyzed set.  Editing a leaf
+  helper therefore invalidates exactly the entries of its dependents —
+  everyone else's project key is untouched — and a fully-warm run skips
+  the project pass without parsing a single file;
+- **parallel analysis** — per-file cache misses fan out over a process
+  pool (``--jobs``), and results merge back in sorted-file order.
 
-Cache entries are JSON, one file per analyzed source file (named by the
-hash of its normalized path), self-describing and safe to delete at any
-time — a missing or corrupt entry is just a cache miss.
+Serial, parallel, cache-warm, and cache-cold runs produce byte-identical
+findings.  Cache entries are JSON, one per analyzed source file (named by
+the hash of its normalized path), self-describing and safe to delete at
+any time — a missing or corrupt entry is just a cache miss.
 """
 
 from __future__ import annotations
@@ -24,11 +33,16 @@ import json
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis import rules
+from repro.analysis.callgraph import module_meta
 from repro.analysis.rules import Finding
-from repro.analysis.visitor import analyze_source, iter_python_files, normalize_path
+from repro.analysis.visitor import (
+    analyze_source,
+    iter_python_files,
+    normalize_path,
+)
 
 __all__ = [
     "AnalysisCache",
@@ -41,7 +55,8 @@ __all__ = [
 DEFAULT_CACHE_DIR = ".repro-analysis-cache"
 
 #: Entry layout tag, bumped on format changes (doubles as a bust switch).
-CACHE_SCHEMA = "repro.analysis/cache.v1"
+#: v2 added the module/deps/project fields for the whole-program pass.
+CACHE_SCHEMA = "repro.analysis/cache.v2"
 
 
 @dataclass
@@ -52,11 +67,15 @@ class AnalysisStats:
     cached: int = 0
     analyzed: int = 0
     jobs: int = 1
+    #: True when every file's dependency-aware project key hit, so the
+    #: whole-program pass was served from the cache without a parse.
+    project_cached: bool = False
 
     def render(self) -> str:
+        project = "hit" if self.project_cached else "analyzed"
         return (
             f"analysis cache: {self.files} file(s), {self.cached} hit(s), "
-            f"{self.analyzed} analyzed, jobs={self.jobs}"
+            f"{self.analyzed} analyzed, project {project}, jobs={self.jobs}"
         )
 
 
@@ -67,8 +86,46 @@ def _source_digest(source: bytes) -> str:
     ).hexdigest()
 
 
+def _project_key(own_digest: str,
+                 dep_digests: Sequence[Tuple[str, str]]) -> str:
+    """Digest of a file *and* its transitive deps ((module, digest), sorted)."""
+    hasher = hashlib.sha256()
+    hasher.update(own_digest.encode())
+    for module, digest in dep_digests:
+        hasher.update(b"\x00")
+        hasher.update(f"{module}={digest}".encode())
+    return hasher.hexdigest()
+
+
+def _findings_to_json(findings: Sequence[Finding]) -> List[dict]:
+    return [
+        {
+            "code": f.code,
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "message": f.message,
+        }
+        for f in findings
+    ]
+
+
+def _findings_from_json(raw_list) -> List[Finding]:
+    return [
+        Finding(
+            code=raw["code"],
+            path=raw["path"],
+            line=int(raw["line"]),
+            col=int(raw["col"]),
+            message=raw["message"],
+        )
+        for raw in raw_list
+    ]
+
+
 class AnalysisCache:
-    """Per-file findings keyed on source digest + rule version."""
+    """Per-file findings keyed on source digest + rule version, plus the
+    dependency-aware project-pass results under their project key."""
 
     def __init__(self, root) -> None:
         self.root = Path(root)
@@ -77,49 +134,51 @@ class AnalysisCache:
         name = hashlib.sha256(normalized.encode("utf-8")).hexdigest()[:32]
         return self.root / f"{name}.json"
 
-    def lookup(self, normalized: str,
-               source: bytes) -> Optional[List[Finding]]:
-        """Cached findings for this exact source under this ruleset, or None."""
+    def lookup_entry(self, normalized: str,
+                     source: bytes) -> Optional[dict]:
+        """The raw entry for this exact source under this ruleset, or None."""
         entry_path = self._entry_path(normalized)
         try:
             entry = json.loads(entry_path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return None
-        if (entry.get("schema") != CACHE_SCHEMA
+        if (not isinstance(entry, dict)
+                or entry.get("schema") != CACHE_SCHEMA
                 or entry.get("digest") != _source_digest(source)):
             return None
+        return entry
+
+    def lookup(self, normalized: str,
+               source: bytes) -> Optional[List[Finding]]:
+        """Cached per-file findings for this exact source, or None."""
+        entry = self.lookup_entry(normalized, source)
+        if entry is None:
+            return None
         try:
-            return [
-                Finding(
-                    code=raw["code"],
-                    path=raw["path"],
-                    line=int(raw["line"]),
-                    col=int(raw["col"]),
-                    message=raw["message"],
-                )
-                for raw in entry["findings"]
-            ]
+            return _findings_from_json(entry["findings"])
         except (KeyError, TypeError, ValueError):
             return None
 
     def store(self, normalized: str, source: bytes,
-              findings: Sequence[Finding]) -> None:
+              findings: Sequence[Finding],
+              module: Optional[str] = None,
+              deps: Sequence[str] = (),
+              project_key: Optional[str] = None,
+              project_findings: Sequence[Finding] = ()) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
         entry = {
             "schema": CACHE_SCHEMA,
             "path": normalized,
             "digest": _source_digest(source),
-            "findings": [
-                {
-                    "code": f.code,
-                    "path": f.path,
-                    "line": f.line,
-                    "col": f.col,
-                    "message": f.message,
-                }
-                for f in findings
-            ],
+            "findings": _findings_to_json(findings),
+            "module": module,
+            "deps": sorted(deps),
         }
+        if project_key is not None:
+            entry["project"] = {
+                "key": project_key,
+                "findings": _findings_to_json(project_findings),
+            }
         entry_path = self._entry_path(normalized)
         tmp_path = entry_path.with_suffix(".tmp")
         tmp_path.write_text(
@@ -127,10 +186,36 @@ class AnalysisCache:
         tmp_path.replace(entry_path)  # atomic: readers see old or new, never half
 
 
-def _analyze_one(path_text: str) -> List[Finding]:
-    """Pool worker: lint one file (re-reads it in the worker process)."""
-    source = Path(path_text).read_bytes()
-    return analyze_source(source.decode("utf-8"), path_text)
+def _analyze_one(path_and_root: Tuple[str, str]):
+    """Pool worker: lint one file and extract its import metadata."""
+    path_text, root = path_and_root
+    source = Path(path_text).read_bytes().decode("utf-8")
+    findings = analyze_source(source, path_text)
+    module, deps = module_meta(source, path_text, root)
+    return findings, module, deps
+
+
+def _transitive_dep_digests(
+    index: int,
+    metas: Dict[int, Tuple[str, List[str]]],
+    digests: Dict[int, str],
+    module_index: Dict[str, int],
+) -> List[Tuple[str, str]]:
+    """Sorted (module, digest) pairs for the file's transitive in-set deps."""
+    own_module = metas[index][0]
+    seen: Set[str] = set()
+    stack = [dep for dep in metas[index][1]
+             if dep in module_index and dep != own_module]
+    while stack:
+        dep = stack.pop()
+        if dep in seen:
+            continue
+        seen.add(dep)
+        dep_index = module_index[dep]
+        stack.extend(d for d in metas[dep_index][1]
+                     if d in module_index and d != dep)
+    seen.discard(own_module)
+    return sorted((module, digests[module_index[module]]) for module in seen)
 
 
 def analyze_paths_incremental(
@@ -140,42 +225,126 @@ def analyze_paths_incremental(
 ) -> Tuple[List[Finding], AnalysisStats]:
     """Lint files/trees with the cache and ``jobs`` worker processes.
 
-    Returns findings sorted exactly as :func:`analyze_paths` sorts them —
-    the output is byte-identical whatever the job count or cache state.
+    Returns findings sorted exactly as :func:`repro.analysis.analyze_paths`
+    sorts them — per-file plus whole-program findings, byte-identical
+    whatever the job count or cache state.
     """
-    files: List[Path] = []
+    # Imported here: project → visitor ← cache keeps module import order
+    # acyclic while the project pass reuses this module's digests.
+    from repro.analysis.project import analyze_project_entries
+
+    files: List[Tuple[Path, str]] = []
     for path in paths:
-        files.extend(iter_python_files(path))
+        for file_path in iter_python_files(path):
+            files.append((file_path, str(path)))
     stats = AnalysisStats(files=len(files), jobs=max(1, jobs))
+
+    sources: List[bytes] = []
+    cache_entries: List[Optional[dict]] = []
     per_file: Dict[int, List[Finding]] = {}
-    misses: List[Tuple[int, Path, bytes]] = []
-    for index, file_path in enumerate(files):
+    metas: Dict[int, Tuple[str, List[str]]] = {}
+    misses: List[int] = []
+    for index, (file_path, root) in enumerate(files):
         source = file_path.read_bytes()
-        if cache is not None:
-            hit = cache.lookup(normalize_path(file_path), source)
-            if hit is not None:
-                per_file[index] = hit
-                stats.cached += 1
-                continue
-        misses.append((index, file_path, source))
+        sources.append(source)
+        entry = (cache.lookup_entry(normalize_path(file_path), source)
+                 if cache is not None else None)
+        if entry is not None:
+            try:
+                per_file[index] = _findings_from_json(entry["findings"])
+                metas[index] = (entry["module"],
+                                [str(d) for d in entry["deps"]])
+            except (KeyError, TypeError, ValueError):
+                entry = None
+        cache_entries.append(entry)
+        if entry is not None:
+            stats.cached += 1
+        else:
+            misses.append(index)
     stats.analyzed = len(misses)
+
     if misses:
         if stats.jobs > 1 and len(misses) > 1:
             with ProcessPoolExecutor(max_workers=stats.jobs) as pool:
                 results = pool.map(
-                    _analyze_one, [str(p) for _, p, _ in misses])
-                for (index, _, _), findings in zip(misses, results):
+                    _analyze_one,
+                    [(str(files[i][0]), files[i][1]) for i in misses])
+                for index, (findings, module, deps) in zip(misses, results):
                     per_file[index] = findings
+                    metas[index] = (module, deps)
         else:
-            for index, file_path, source in misses:
-                per_file[index] = analyze_source(
-                    source.decode("utf-8"), str(file_path))
-        if cache is not None:
-            for index, file_path, source in misses:
-                cache.store(
-                    normalize_path(file_path), source, per_file[index])
+            for index in misses:
+                file_path, root = files[index]
+                source = sources[index].decode("utf-8")
+                per_file[index] = analyze_source(source, str(file_path))
+                metas[index] = module_meta(source, str(file_path), root)
+
+    # -- dependency-aware project stage --------------------------------------
+    digests = {index: _source_digest(sources[index])
+               for index in range(len(files))}
+    # First file (in sorted-path order) wins a duplicate module name,
+    # mirroring build_project_graph.
+    module_index: Dict[str, int] = {}
+    for index in sorted(range(len(files)), key=lambda i: str(files[i][0])):
+        module_index.setdefault(metas[index][0], index)
+    project_keys = {
+        index: _project_key(
+            digests[index],
+            _transitive_dep_digests(index, metas, digests, module_index))
+        for index in range(len(files))
+    }
+
+    project_findings: Optional[List[Finding]] = None
+    if cache is not None and files:
+        cached_project: List[Finding] = []
+        for index in range(len(files)):
+            entry = cache_entries[index]
+            section = entry.get("project") if entry else None
+            if (not isinstance(section, dict)
+                    or section.get("key") != project_keys[index]):
+                cached_project = None  # type: ignore[assignment]
+                break
+            try:
+                cached_project.extend(
+                    _findings_from_json(section["findings"]))
+            except (KeyError, TypeError, ValueError):
+                cached_project = None  # type: ignore[assignment]
+                break
+        if cached_project is not None:
+            # analyze_project_entries orders globally by the full finding
+            # tuple; reconstruct that exact order from the per-file lists.
+            cached_project.sort(
+                key=lambda f: (f.path, f.line, f.col, f.code, f.message))
+            project_findings = cached_project
+            stats.project_cached = True
+
+    if project_findings is None:
+        project_findings = analyze_project_entries([
+            (str(files[index][0]), files[index][1],
+             sources[index].decode("utf-8"))
+            for index in range(len(files))
+        ])
+
+    if cache is not None:
+        by_path: Dict[str, List[Finding]] = {}
+        for finding in project_findings:
+            by_path.setdefault(finding.path, []).append(finding)
+        for index, (file_path, root) in enumerate(files):
+            entry = cache_entries[index]
+            if (entry is not None and isinstance(entry.get("project"), dict)
+                    and entry["project"].get("key") == project_keys[index]):
+                continue  # entry is current, including its project section
+            normalized = normalize_path(file_path)
+            cache.store(
+                normalized, sources[index], per_file[index],
+                module=metas[index][0], deps=metas[index][1],
+                project_key=project_keys[index],
+                project_findings=by_path.get(normalized, []),
+            )
+
     findings: List[Finding] = []
     for index in range(len(files)):
         findings.extend(per_file.get(index, []))
+    findings.extend(project_findings)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings, stats

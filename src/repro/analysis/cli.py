@@ -5,6 +5,7 @@ Examples::
     python -m repro.analysis src/repro
     python -m repro.analysis src/repro --format json
     python -m repro.analysis src/repro --format github   # CI annotations
+    python -m repro.analysis src/repro --format sarif    # code scanning
     python -m repro.analysis src/repro --jobs 0          # parallel (cpu count)
     python -m repro.analysis src/repro --no-cache
     python -m repro.analysis src/repro --write-baseline
@@ -36,6 +37,7 @@ from repro.analysis.report import (
     render_github,
     render_json,
     render_rules,
+    render_sarif,
     render_text,
 )
 
@@ -54,8 +56,12 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Statically enforce the simulator's invariants: "
         "determinism (DET: seeded RNG only, no wall clock, no hash()-derived "
         "seeds, no unsorted set iteration, ...), sim-time hygiene (SIM), "
-        "fork/pickle safety in the parallel runner (FRK), and in-repo "
-        "deprecated API use (API).",
+        "fork/pickle safety in the parallel runner (FRK), sharded-engine "
+        "invariants via the whole-program pass (SHD), and in-repo "
+        "deprecated API use (API).  Per-file findings are joined by "
+        "interprocedural ones: DET taints flow through the project call "
+        "graph and fire at the cross-module call site with the chain in "
+        "the message.",
     )
     parser.add_argument(
         "paths",
@@ -82,10 +88,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json", "github"],
+        choices=["text", "json", "github", "sarif"],
         default="text",
         help="report format (default: text; github emits workflow-command "
-        "annotations for CI)",
+        "annotations for CI; sarif emits a SARIF 2.1.0 payload for GitHub "
+        "code scanning)",
     )
     parser.add_argument(
         "--jobs",
@@ -150,6 +157,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     waived_count = len(findings) - len(new)
     if args.format == "json":
         print(json.dumps(render_json(new, stale, waived_count), indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(render_sarif(new, stale, waived_count), indent=2))
     elif args.format == "github":
         print(render_github(new, stale, waived_count))
     else:

@@ -29,7 +29,22 @@ from typing import Dict, Tuple
 #: Bumped whenever the analysis passes change behaviour; folded into the
 #: incremental cache key so stale cached findings can never survive a rule
 #: change (see :mod:`repro.analysis.cache`).
-ANALYSIS_VERSION = 3
+ANALYSIS_VERSION = 4
+
+
+def _path_matches_prefix(path: str, prefix: str) -> bool:
+    """Separator-aware prefix match for exempt/only path scoping.
+
+    A prefix matches the identical path, or any path below it when the
+    prefix names a directory — it must end at a path separator either way,
+    so ``repro/runner`` (with or without the trailing slash) covers
+    ``repro/runner/cli.py`` but never ``repro/runner_utils.py``.
+    """
+    if path == prefix or path == prefix.rstrip("/"):
+        return True
+    if not prefix.endswith("/"):
+        prefix += "/"
+    return path.startswith(prefix)
 
 
 @dataclass(frozen=True)
@@ -48,10 +63,10 @@ class Rule:
     only_paths: Tuple[str, ...] = ()
 
     def applies_to(self, path: str) -> bool:
-        if any(path.startswith(prefix) for prefix in self.exempt_paths):
+        if any(_path_matches_prefix(path, p) for p in self.exempt_paths):
             return False
         if self.only_paths:
-            return any(path.startswith(prefix) for prefix in self.only_paths)
+            return any(_path_matches_prefix(path, p) for p in self.only_paths)
         return True
 
 
@@ -212,6 +227,57 @@ _RULE_LIST = [
         "(create_mirror / verify_mirror_position / reassign_mirror_owner), "
         "which mutate inside World.boundary_exchange()",
         exempt_paths=("repro/sim/sharded/boundary.py",),
+        only_paths=("repro/sim/sharded/",),
+    ),
+    # -- SHD: sharded-engine invariants (whole-program pass) ------------------
+    Rule(
+        code="SHD001",
+        name="mirror-mutation-call-path",
+        summary="a call path from shard code reaches a mirror WorldNode "
+        "mutation (move_to / set_mobility / .mobility / .owner_shard "
+        "assignment) implemented outside the sharded package — the "
+        "interprocedural generalisation of the syntactic FRK004",
+        suggestion="route mirror changes through repro.sim.sharded.boundary "
+        "(create_mirror / verify_mirror_position / reassign_mirror_owner); "
+        "the finding prints the call chain down to the mutation site",
+        exempt_paths=("repro/sim/sharded/boundary.py",),
+        only_paths=("repro/sim/sharded/",),
+    ),
+    Rule(
+        code="SHD002",
+        name="horizon-unbounded-schedule",
+        summary="an event is scheduled (kernel.call_at / call_in) with a "
+        "time or delay not provably bounded by the horizon window — it can "
+        "land past the max_displacement lookahead barrier, where neighbor "
+        "shards have already advanced",
+        suggestion="guard the fire time against the window end before "
+        "scheduling (the shard.schedule_window idiom: "
+        "`if t0 <= fire_at < t1: kernel.call_at(fire_at, ...)`)",
+        # The engine module owns the window grid: the serial reference has
+        # no horizon and the coordinator drives the barriers themselves.
+        exempt_paths=("repro/sim/sharded/engine.py",),
+        only_paths=("repro/sim/sharded/",),
+    ),
+    Rule(
+        code="SHD003",
+        name="unpicklable-shard-capture",
+        summary="an object handed to a shard worker process is an instance "
+        "of a class that is transitively unpicklable (a lambda, lock, open "
+        "file, or another unpicklable instance lives in its attributes)",
+        suggestion="ship only primitives and frozen spec dataclasses across "
+        "the shard boundary and rebuild heavyweight state inside the "
+        "worker, as ShardRuntime does from ScenarioSpec",
+        only_paths=("repro/sim/sharded/",),
+    ),
+    Rule(
+        code="SHD004",
+        name="unordered-merge-feed",
+        summary="iteration over a dict (keys/values/items) feeds an ordered "
+        "accumulator in sharded code — per-shard insertion order differs, "
+        "so the canonical record merge would see a shard-dependent stream",
+        suggestion="iterate `sorted(mapping)` (or sort the accumulated "
+        "records before they reach the merge), as the horizon protocol "
+        "does everywhere",
         only_paths=("repro/sim/sharded/",),
     ),
     # -- API: in-repo deprecated interfaces -----------------------------------

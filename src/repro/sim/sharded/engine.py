@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis import tripwire
 from repro.radio.base import Device
 from repro.radio.ble import BleRadio
 from repro.radio.medium import Medium
@@ -344,6 +345,13 @@ def _shard_worker(
     token: str,
 ) -> None:
     """One shard's process body: horizon loop against the coordinator."""
+    # Arm the global-RNG tripwire for this shard unless the process already
+    # inherited one (fork under the runner carries the cell's tripwire);
+    # a random.random() anywhere in the shard then fails the window loudly
+    # with the shard id in the label instead of silently diverging.
+    armed = None
+    if tripwire.active() is None:
+        armed = tripwire.install(f"shard {shard_index}")
     try:
         started = time.perf_counter()
         runtime = ShardRuntime(spec, shards, shard_index)
@@ -389,12 +397,16 @@ def _shard_worker(
             f"{token}tail{shard_index}",
         )
         result = _shard_result(runtime, len(tail), time.perf_counter() - started)
+        if armed is not None:
+            armed.verify()  # direct-reference RNG use drifts the snapshot
         conn.send(("done", result, tail_artifact))
     except BaseException as error:  # surfaced in the coordinator
         import traceback
 
         conn.send(("error", f"{type(error).__name__}: {error}", traceback.format_exc()))
     finally:
+        if armed is not None:
+            armed.uninstall()
         conn.close()
 
 

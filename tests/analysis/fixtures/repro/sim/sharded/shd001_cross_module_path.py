@@ -1,0 +1,12 @@
+"""Fixture: shard code reaches a mirror mutation through an out-of-package
+helper (SHD001); the syntactic FRK004 cannot see across the module edge."""
+
+from repro.util.mirror_helpers import adopt, force_position
+
+
+def rebalance(mirror, position):
+    force_position(mirror, position)
+
+
+def reassign(mirror, shard_index):
+    adopt(mirror, shard_index)

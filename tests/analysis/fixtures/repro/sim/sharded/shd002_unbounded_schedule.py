@@ -1,0 +1,22 @@
+"""Fixture: events scheduled past the horizon (SHD002) + the guarded idiom."""
+
+
+def schedule_unbounded(kernel, fire_at):
+    kernel.call_at(fire_at, _noop)
+
+
+def schedule_delay(kernel, delay):
+    kernel.call_in(delay, _noop)
+
+
+def schedule_guarded(kernel, t0, t1, fire_at):
+    if t0 <= fire_at < t1:
+        kernel.call_at(fire_at, _noop)
+
+
+def schedule_clamped(kernel, fire_at, t1):
+    kernel.call_at(min(fire_at, t1), _noop)
+
+
+def _noop():
+    return None

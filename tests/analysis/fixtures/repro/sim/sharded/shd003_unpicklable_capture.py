@@ -1,0 +1,18 @@
+"""Fixture: a transitively unpicklable instance shipped to a shard worker
+(SHD003) — the lock hides two attribute hops away; a plain payload is fine."""
+
+from repro.util.lockbox import Carrier, Plain
+
+
+def launch(context, worker):
+    payload = Carrier()
+    process = context.Process(target=worker, args=(payload, 3))
+    process.start()
+    return process
+
+
+def launch_plain(context, worker):
+    payload = Plain(3)
+    process = context.Process(target=worker, args=(payload,))
+    process.start()
+    return process

@@ -1,0 +1,20 @@
+"""Fixture: dict iteration feeding the ordered record merge (SHD004) and the
+sorted() idiom the horizon protocol uses everywhere."""
+
+
+def merge_bad(by_node):
+    records = []
+    for node_id, frames in by_node.items():
+        records.append((node_id, frames))
+    return records
+
+
+def squares_bad(counts):
+    return [value * value for value in counts.values()]
+
+
+def merge_sorted(by_node):
+    records = []
+    for node_id in sorted(by_node):
+        records.append((node_id, by_node[node_id]))
+    return records

@@ -1,0 +1,18 @@
+"""Fixture: transitively unpicklable classes (SHD003 evidence chain)."""
+
+import threading
+
+
+class LockBox:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+
+class Carrier:
+    def __init__(self):
+        self.box = LockBox()
+
+
+class Plain:
+    def __init__(self, value):
+        self.value = value

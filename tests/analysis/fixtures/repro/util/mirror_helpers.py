@@ -1,0 +1,13 @@
+"""Fixture: mirror mutation hidden outside the sharded package (SHD001 sink).
+
+Per-file FRK004 is scoped to ``repro/sim/sharded/``, so nothing fires
+here — only the whole-program pass sees shard code reaching these.
+"""
+
+
+def force_position(node, position):
+    node.move_to(position)
+
+
+def adopt(node, shard_index):
+    node.owner_shard = shard_index

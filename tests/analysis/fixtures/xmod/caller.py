@@ -1,0 +1,16 @@
+"""Fixture: sim-style caller — wall taint arrives through two import forms."""
+
+import helpers
+from helpers import now_ms as clock
+
+
+def stamp():
+    return helpers.now_ms()
+
+
+def stamp_alias():
+    return clock()
+
+
+def stamp_deep():
+    return helpers.jittered(1.0)

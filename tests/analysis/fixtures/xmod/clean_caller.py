@@ -1,0 +1,7 @@
+"""Fixture: caller of the wrapped-RNG helper — nothing may fire here."""
+
+from wrapped_rng import draw
+
+
+def sample():
+    return draw(7)

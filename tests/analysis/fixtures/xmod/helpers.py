@@ -1,0 +1,11 @@
+"""Fixture: tainted helper module — reads the host clock (wall taint)."""
+
+import time
+
+
+def now_ms():
+    return time.time() * 1000.0
+
+
+def jittered(base):
+    return base + now_ms()

@@ -1,0 +1,8 @@
+"""Fixture: properly wrapped RNG — a seeded stream, no global state."""
+
+from repro.util.rng import SeededRng
+
+
+def draw(seed):
+    stream = SeededRng(seed)
+    return stream.random()

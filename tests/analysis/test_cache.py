@@ -1,5 +1,7 @@
 """The incremental cache: hits, busts, corruption, and parallel identity."""
 
+import json
+
 from repro.analysis import AnalysisCache, analyze_paths
 from repro.analysis.cache import CACHE_SCHEMA, analyze_paths_incremental
 
@@ -80,8 +82,6 @@ def test_parallel_and_serial_findings_are_identical(tmp_path):
 
 
 def test_entries_are_self_describing(tmp_path):
-    import json
-
     tree = write_tree(tmp_path)
     cache = AnalysisCache(tmp_path / "cache")
     analyze_paths_incremental([tree], cache=cache)
@@ -101,3 +101,105 @@ def test_stats_render_mentions_hits_and_jobs(tmp_path):
     text = stats.render()
     assert "2 file(s)" in text
     assert "jobs=2" in text
+
+
+# -- dependency-aware invalidation (cache.v2) --------------------------------
+
+HELPER_SOURCE = (
+    "import time\n"
+    "\n"
+    "\n"
+    "def now():\n"
+    "    return time.time()\n"
+)
+
+CALLER_SOURCE = (
+    "from helper import now\n"
+    "\n"
+    "\n"
+    "def run():\n"
+    "    return now()\n"
+)
+
+
+def write_linked_tree(root):
+    tree = root / "proj"
+    tree.mkdir()
+    (tree / "helper.py").write_text(HELPER_SOURCE, encoding="utf-8")
+    (tree / "caller.py").write_text(CALLER_SOURCE, encoding="utf-8")
+    (tree / "other.py").write_text("VALUE = 1\n", encoding="utf-8")
+    return tree
+
+
+def entries_by_file(cache):
+    out = {}
+    for entry_path in cache.root.glob("*.json"):
+        raw = entry_path.read_text(encoding="utf-8")
+        entry = json.loads(raw)
+        out[entry["path"].rsplit("/", 1)[-1]] = raw
+    return out
+
+
+def test_cross_module_findings_flow_through_the_cache(tmp_path):
+    tree = write_linked_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache")
+    cold, cold_stats = analyze_paths_incremental([tree], cache=cache)
+    warm, warm_stats = analyze_paths_incremental([tree], cache=cache)
+    assert cold == warm == analyze_paths([tree])
+    assert not cold_stats.project_cached
+    assert warm_stats.project_cached
+    # The interprocedural DET002 lands at the *caller* call site.
+    assert any(f.code == "DET002" and f.path.endswith("caller.py")
+               for f in cold)
+
+
+def test_leaf_edit_invalidates_exactly_its_dependents(tmp_path):
+    tree = write_linked_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache")
+    analyze_paths_incremental([tree], cache=cache)
+    before = entries_by_file(cache)
+
+    # The leaf loses its taint; only the leaf re-analyzes per-file, but
+    # its dependent's project section must be refreshed too.
+    (tree / "helper.py").write_text(
+        "def now():\n    return 0.0\n", encoding="utf-8")
+    findings, stats = analyze_paths_incremental([tree], cache=cache)
+    assert stats.analyzed == 1 and stats.cached == 2
+    assert not stats.project_cached
+    assert not any(f.code == "DET002" for f in findings)
+
+    after = entries_by_file(cache)
+    changed = {name for name in before if before[name] != after[name]}
+    assert changed == {"helper.py", "caller.py"}
+    # The bystander's entry file is byte-identical — its cache was
+    # neither invalidated nor rewritten.
+    assert before["other.py"] == after["other.py"]
+
+
+def test_dependency_cache_output_is_byte_identical(tmp_path):
+    tree = write_linked_tree(tmp_path)
+
+    def render(findings):
+        return "\n".join(f.render() for f in findings)
+
+    serial_cache = AnalysisCache(tmp_path / "serial")
+    parallel_cache = AnalysisCache(tmp_path / "parallel")
+    serial_cold, _ = analyze_paths_incremental([tree], cache=serial_cache)
+    parallel_cold, _ = analyze_paths_incremental(
+        [tree], jobs=4, cache=parallel_cache)
+    serial_warm, _ = analyze_paths_incremental([tree], cache=serial_cache)
+    parallel_warm, _ = analyze_paths_incremental(
+        [tree], jobs=4, cache=parallel_cache)
+    texts = {render(f) for f in (
+        serial_cold, parallel_cold, serial_warm, parallel_warm)}
+    assert len(texts) == 1
+    assert "DET002" in texts.pop()
+
+
+def test_stats_render_mentions_the_project_stage(tmp_path):
+    tree = write_linked_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache")
+    _, cold = analyze_paths_incremental([tree], cache=cache)
+    _, warm = analyze_paths_incremental([tree], cache=cache)
+    assert "project analyzed" in cold.render()
+    assert "project hit" in warm.render()

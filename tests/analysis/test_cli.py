@@ -78,6 +78,51 @@ def test_json_format(bad_file, tmp_path, capsys):
     assert payload["findings"][0]["line"] == 2
 
 
+def test_sarif_format_is_valid_and_lists_the_catalogue(bad_file, tmp_path,
+                                                       capsys):
+    from repro.analysis import RULES
+
+    code = main([str(bad_file), "--baseline", str(tmp_path / "none.txt"),
+                 "--format", "sarif"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_FINDINGS
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro.analysis"
+    assert {rule["id"] for rule in driver["rules"]} == set(RULES)
+    result = run["results"][0]
+    assert result["ruleId"] == "DET003"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["region"]["startLine"] == 2
+    assert location["artifactLocation"]["uri"].endswith("bad.py")
+
+
+def test_sarif_format_clean_tree_has_empty_results(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text(CLEAN_SOURCE, encoding="utf-8")
+    code = main([str(clean), "--baseline", str(tmp_path / "none.txt"),
+                 "--format", "sarif"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_CLEAN
+    assert payload["runs"][0]["results"] == []
+
+
+def test_sarif_format_marks_stale_waivers_as_notes(bad_file, tmp_path, capsys):
+    baseline = tmp_path / "baseline.txt"
+    main([str(bad_file), "--baseline", str(baseline), "--write-baseline"])
+    bad_file.write_text(CLEAN_SOURCE, encoding="utf-8")
+    capsys.readouterr()
+    code = main([str(bad_file), "--baseline", str(baseline),
+                 "--allow-stale", "--format", "sarif"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_CLEAN
+    notes = [r for r in payload["runs"][0]["results"]
+             if r["level"] == "note"]
+    assert len(notes) == 1
+
+
 def test_github_format_emits_workflow_annotations(bad_file, tmp_path, capsys):
     code = main([str(bad_file), "--baseline", str(tmp_path / "none.txt"),
                  "--format", "github"])

@@ -165,10 +165,44 @@ def test_api002_cellresult_fixture():
 
 
 def test_every_rule_has_a_fixture_exercising_it():
+    from repro.analysis import analyze_project
+
     codes = set()
     for fixture in FIXTURES.rglob("*.py"):
         codes.update(f.code for f in analyze_file(fixture))
+    # Interprocedural rules only fire in the whole-program pass; the SHD
+    # fixtures resolve against the fixture tree root and the xmod tree
+    # resolves against itself.
+    codes.update(f.code for f in analyze_project([FIXTURES]))
+    codes.update(f.code for f in analyze_project([FIXTURES / "xmod"]))
     assert codes == set(RULES)
+
+
+def test_path_scoping_is_separator_aware():
+    # `repro/runner` (either spelling) must scope the runner *package*,
+    # never the sibling file `repro/runner_utils.py`.
+    from repro.analysis.rules import Rule
+
+    for prefix in ("repro/runner", "repro/runner/"):
+        scoped = Rule(code="TST001", name="t", summary="s", suggestion="x",
+                      only_paths=(prefix,))
+        assert scoped.applies_to("repro/runner/cli.py")
+        assert scoped.applies_to("repro/runner")
+        assert not scoped.applies_to("repro/runner_utils.py")
+
+        exempt = Rule(code="TST002", name="t", summary="s", suggestion="x",
+                      exempt_paths=(prefix,))
+        assert not exempt.applies_to("repro/runner/cli.py")
+        assert exempt.applies_to("repro/runner_utils.py")
+
+
+def test_file_exemptions_do_not_leak_onto_suffix_siblings():
+    from repro.analysis.rules import Rule
+
+    exempt = Rule(code="TST003", name="t", summary="s", suggestion="x",
+                  exempt_paths=("repro/sim/sharded/boundary.py",))
+    assert not exempt.applies_to("repro/sim/sharded/boundary.py")
+    assert exempt.applies_to("repro/sim/sharded/boundary_extra.py")
 
 
 def test_exempt_paths_silence_the_owning_module():

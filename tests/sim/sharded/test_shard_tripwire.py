@@ -1,0 +1,73 @@
+"""The runtime RNG tripwire armed inside shard worker processes.
+
+Each forked shard installs a tripwire labeled with its shard id (unless
+the process inherited one from the runner cell), so a stray
+``random.random()`` anywhere in the window loop kills that shard's run
+and the violation — shard id included — propagates to the coordinator
+as the shard-failure RuntimeError instead of silently diverging digests.
+"""
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.analysis import tripwire
+from repro.sim.sharded import ScenarioSpec, run_serial, run_sharded
+from repro.sim.sharded.shard import ShardRuntime
+
+SPEC = ScenarioSpec(
+    name="tripwire",
+    arena_m=200.0,
+    node_count=16,
+    rounds=2,
+    beacon_period_s=5.0,
+    horizon_s=5.0,
+    seed=11,
+)
+
+_fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="monkeypatched shard code reaches workers only via fork",
+)
+
+
+@_fork_only
+def test_global_rng_in_shard_worker_fails_with_shard_id(monkeypatch):
+    original = ShardRuntime.schedule_window
+
+    def dirty_schedule(self, t0, t1):
+        random.random()  # the violation under test
+        return original(self, t0, t1)
+
+    monkeypatch.setattr(ShardRuntime, "schedule_window", dirty_schedule)
+    with pytest.raises(RuntimeError) as excinfo:
+        run_sharded(SPEC, 2, processes=True)
+    message = str(excinfo.value)
+    assert "GlobalRngError" in message
+    assert "random.random()" in message
+    # The failing shard names itself in the tripwire label...
+    assert "while running shard " in message
+    # ... and the coordinator names it again when surfacing the failure.
+    assert message.startswith("shard ")
+
+
+@_fork_only
+def test_armed_shards_still_match_serial():
+    serial = run_serial(SPEC)
+    outcome = run_sharded(SPEC, 3, processes=True)
+    assert outcome.digest == serial.digest
+    assert tripwire.active() is None  # nothing leaked into the parent
+
+
+@_fork_only
+def test_inherited_tripwire_is_not_double_armed():
+    # Under the runner a forked worker inherits the cell's tripwire; the
+    # shard must detect it and not attempt a second install (which raises).
+    armed = tripwire.install("parent cell")
+    try:
+        outcome = run_sharded(SPEC, 2, processes=True)
+        assert outcome.record_count > 0
+        armed.verify()  # shards never touched the parent's snapshot
+    finally:
+        armed.uninstall()
