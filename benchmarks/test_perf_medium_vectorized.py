@@ -1,0 +1,176 @@
+"""Benchmark: vectorized batch broadcast vs the scalar reference loop.
+
+The batch broadcast pipeline (``Medium.broadcast`` with ``vectorized=True``,
+the default) replaces the per-receiver scalar loop — position lookup,
+distance, delivery roll, one kernel event per receiver — with one struct-
+packed pass: ``query_arrays`` hands back parallel coordinate arrays, the
+propagation model answers ``delivery_probabilities``/``in_range_mask`` over
+the whole batch, and a single ``_BatchDelivery`` event carries every
+accepted receiver.  This bench runs the 2k-node mixed-mobility scenario
+(Static + RandomWaypoint + Linear + WaypointPath, the ``ScenarioSpec``
+recipe) and times **only the advertise loops** — ``Medium.broadcast`` runs
+synchronously inside ``advertise_once``, so that window is exactly the
+broadcast path; the delivery drain is identical either way and untimed.
+
+Acceptance: ≥10× broadcast-path speedup, and byte-identical delivery logs
+across serial-scalar, serial-vectorized, numpy-free vectorized, and
+``run_sharded(spec, 4)``.  Results land in ``BENCH_medium_vectorized.json``.
+Setting ``REPRO_BENCH_SMOKE=1`` relaxes the speedup floor (CI smoke on
+noisy runners) — every equality assertion stays strict.
+
+Run with ``pytest benchmarks/test_perf_medium_vectorized.py -s``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.phy.world import World
+from repro.radio.base import Device
+from repro.radio.ble import BleRadio
+from repro.radio.medium import Medium
+from repro.sim.kernel import Kernel
+from repro.sim.sharded.engine import run_serial, run_sharded
+from repro.sim.sharded.shard import node_name
+from repro.sim.sharded.spec import PAYLOAD_STRUCT, ScenarioSpec, build_models
+from repro.util import array
+
+#: 2000 nodes in a 250 m arena: ~100 candidates per broadcast, the regime
+#: the batch pipeline is built for.  Three beacon rounds with the clock
+#: advancing between them so every mobility class actually moves.
+SPEC = ScenarioSpec(
+    name="vectorized-bench",
+    arena_m=250.0,
+    node_count=2000,
+    rounds=3,
+    beacon_period_s=5.0,
+    horizon_s=5.0,
+    seed=23,
+)
+
+#: The tentpole acceptance bar: the vectorized broadcast path must beat the
+#: scalar loop by at least this factor on the scenario above.
+REQUIRED_SPEEDUP = 10.0
+BENCH_PATH = Path("BENCH_medium_vectorized.json")
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def _timed_run(vectorized: bool):
+    """Build SPEC's population by hand and time only the advertise loops.
+
+    Mirrors :func:`repro.sim.sharded.engine.run_serial` (same models, same
+    node names, same payloads) but splits the wall clock: the advertise
+    loop — where ``Medium.broadcast`` runs synchronously — is timed, the
+    kernel drain between rounds is not (delivery callbacks append the same
+    records either way and would only dilute the measurement).
+    """
+    models = build_models(SPEC)
+    kernel = Kernel(seed=SPEC.seed)
+    world = World(kernel)
+    medium = Medium(kernel, world, vectorized=vectorized)
+    records = []
+    radios = []
+    for index, model in enumerate(models):
+        node = world.add_node(node_name(index), mobility=model)
+        device = Device(kernel, node)
+        radio = device.add_radio(BleRadio(device, medium))
+        radio.enable()
+        radio.start_scanning(
+            lambda payload, mac, distance, me=index: records.append(
+                (kernel.now, payload, distance, me)
+            )
+        )
+        radios.append(radio)
+    broadcast_s = 0.0
+    for round_index, fire_at in enumerate(SPEC.round_times()):
+        kernel.run_until(fire_at)
+        tick = time.perf_counter()
+        for index, radio in enumerate(radios):
+            radio.advertise_once(PAYLOAD_STRUCT.pack(round_index, index))
+        broadcast_s += time.perf_counter() - tick
+    kernel.run_until(SPEC.duration_s)
+    digest = hashlib.sha256(repr(records).encode("utf-8")).hexdigest()[:16]
+    return broadcast_s, digest, len(records)
+
+
+def test_vectorized_broadcast_beats_scalar(monkeypatch: pytest.MonkeyPatch):
+    print()
+    vec_s, vec_digest, vec_count = _timed_run(vectorized=True)
+    scalar_s, scalar_digest, scalar_count = _timed_run(vectorized=False)
+    assert vec_count == scalar_count
+    assert vec_digest == scalar_digest
+    assert vec_count > 0
+
+    # The numpy-free fallback must produce the same bytes (it is the same
+    # pipeline with list comprehensions standing in for ndarray ops).
+    with monkeypatch.context() as patch:
+        patch.setattr(array, "numpy", None)
+        fallback_s, fallback_digest, fallback_count = _timed_run(vectorized=True)
+    assert fallback_digest == vec_digest
+    assert fallback_count == vec_count
+
+    # The full engine agrees end-to-end: scalar serial, vectorized serial,
+    # and 4-way sharded runs of the same spec digest identically.
+    serial_vec = run_serial(SPEC, vectorized=True)
+    serial_scalar = run_serial(SPEC, vectorized=False)
+    sharded = run_sharded(SPEC, shards=4)
+    assert serial_vec.digest == serial_scalar.digest
+    assert sharded.digest == serial_vec.digest
+    assert sharded.record_count == serial_vec.record_count
+
+    speedup = scalar_s / vec_s
+    print(
+        f"broadcast path @ {SPEC.node_count} nodes / {SPEC.arena_m:.0f} m:"
+        f" scalar {scalar_s * 1e3:8.1f}ms  vectorized {vec_s * 1e3:8.1f}ms"
+        f"  ×{speedup:6.1f}  (numpy={array.backend_name()})"
+    )
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "schema": "repro.bench/medium_vectorized.v1",
+                "node_count": SPEC.node_count,
+                "arena_m": SPEC.arena_m,
+                "rounds": SPEC.rounds,
+                "seed": SPEC.seed,
+                "records": vec_count,
+                "scalar_s": scalar_s,
+                "vectorized_s": vec_s,
+                "fallback_s": fallback_s,
+                "speedup": speedup,
+                "backend": array.backend_name(),
+                "delivery_digest": {
+                    "scalar": scalar_digest,
+                    "vectorized": vec_digest,
+                    "numpy_free": fallback_digest,
+                },
+                "digests_match": scalar_digest == vec_digest == fallback_digest,
+                "engine": {
+                    "serial_vectorized": serial_vec.digest,
+                    "serial_scalar": serial_scalar.digest,
+                    "sharded4": sharded.digest,
+                    "digest_match": serial_vec.digest
+                    == serial_scalar.digest
+                    == sharded.digest,
+                },
+                "smoke": SMOKE,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {BENCH_PATH}")
+
+    required = 1.0 if SMOKE else REQUIRED_SPEEDUP
+    assert speedup >= required, (
+        f"vectorized broadcast only ×{speedup:.1f} over the scalar loop"
+        f" (need ×{required})"
+    )

@@ -29,7 +29,7 @@ from typing import Dict, Tuple
 #: Bumped whenever the analysis passes change behaviour; folded into the
 #: incremental cache key so stale cached findings can never survive a rule
 #: change (see :mod:`repro.analysis.cache`).
-ANALYSIS_VERSION = 4
+ANALYSIS_VERSION = 5
 
 
 def _path_matches_prefix(path: str, prefix: str) -> bool:
@@ -61,6 +61,12 @@ class Rule:
     #: When non-empty, the rule fires *only* under these normalized-path
     #: prefixes (e.g. fork-safety rules are runner-scoped).
     only_paths: Tuple[str, ...] = ()
+    #: Lifecycle of the interface an API rule polices.  ``"active"`` rules
+    #: guard a live invariant; ``"deprecating"`` rules flag a shimmed
+    #: interface mid-removal (the shim's own module is exempt);
+    #: ``"removed"`` rules outlive the interface — the shim is gone, the
+    #: exemptions are gone, and any match is a reintroduction.
+    status: str = "active"
 
     def applies_to(self, path: str) -> bool:
         if any(_path_matches_prefix(path, p) for p in self.exempt_paths):
@@ -156,6 +162,11 @@ _RULE_LIST = [
         "depend on the host environment",
         suggestion="thread configuration through explicit parameters "
         "(scenario/config objects) instead of the environment",
+        # The array shim's env read only selects numpy-vs-pure-Python; the
+        # two backends are bit-identical by contract, so the *results*
+        # cannot depend on the host environment (and the fallback CI leg
+        # needs exactly this switch).
+        exempt_paths=("repro/util/array.py",),
     ),
     # -- SIM: sim-time hygiene ------------------------------------------------
     Rule(
@@ -283,22 +294,35 @@ _RULE_LIST = [
     # -- API: in-repo deprecated interfaces -----------------------------------
     Rule(
         code="API001",
-        name="deprecated-average-ma",
+        name="removed-average-ma",
         summary="EnergyMeter.average_ma(since_time, since_charge_mas) — the "
-        "deprecated two-float window form",
+        "two-float window form was removed after its deprecation cycle "
+        "(average_ma is keyword-only: since=snapshot, floor_ma=...)",
         suggestion="take snapshot = meter.snapshot() and call "
         "meter.average_ma(since=snapshot, floor_ma=...)",
-        exempt_paths=("repro/energy/meter.py",),
+        status="removed",
     ),
     Rule(
         code="API002",
-        name="deprecated-cellresult-alias",
-        summary="repro.experiments CellResult — the deprecated alias of "
-        "Table4Cell (the name now belongs to repro.runner.CellResult)",
+        name="removed-cellresult-alias",
+        summary="repro.experiments CellResult — the removed alias of "
+        "Table4Cell (the name belongs to repro.runner.CellResult)",
         suggestion="import Table4Cell for the Table-4 measurement, or "
         "repro.runner.CellResult for the runner's cell envelope",
-        exempt_paths=("repro/experiments/__init__.py",
-                      "repro/experiments/controlled.py"),
+        status="removed",
+    ),
+    Rule(
+        code="API003",
+        name="legacy-spatial-query-kwargs",
+        summary="a spatial query is called with the legacy keyword spelling "
+        "(center= / cutoff=) — the SpatialQuery protocol unified "
+        "World.nodes_within, Medium._candidates and index .query on "
+        "(origin, radius, now)",
+        suggestion="pass origin= / radius= (or positionally) per the "
+        "SpatialQuery protocol in repro.phy.index",
+        # The deprecation shim itself accepts center= to warn on it.
+        exempt_paths=("repro/phy/world.py",),
+        status="deprecating",
     ),
 ]
 
@@ -308,7 +332,8 @@ RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULE_LIST}
 
 def _ruleset_digest() -> str:
     payload = repr((ANALYSIS_VERSION, sorted(
-        (r.code, r.name, r.summary, r.suggestion, r.exempt_paths, r.only_paths)
+        (r.code, r.name, r.summary, r.suggestion, r.exempt_paths,
+         r.only_paths, r.status)
         for r in _RULE_LIST
     )))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

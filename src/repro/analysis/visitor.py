@@ -77,7 +77,7 @@ _MIRROR_MUTATING_METHODS = {"move_to", "set_mobility"}
 #: WorldNode attributes whose assignment counts the same way.
 _MIRROR_GUARDED_ATTRS = {"mobility", "owner_shard"}
 
-#: ImportFrom modules whose ``CellResult`` is the deprecated alias (API002).
+#: ImportFrom modules whose ``CellResult`` was the removed alias (API002).
 _DEPRECATED_CELLRESULT_MODULES = {
     "repro.experiments",
     "repro.experiments.controlled",
@@ -85,6 +85,11 @@ _DEPRECATED_CELLRESULT_MODULES = {
     "experiments.controlled",
     "controlled",
 }
+
+#: Spatial-query entry points unified under the SpatialQuery protocol; the
+#: legacy keyword spellings on them are API003 sinks.
+_SPATIAL_QUERY_METHODS = {"nodes_within", "query", "query_arrays", "_candidates"}
+_LEGACY_SPATIAL_KWARGS = {"center", "cutoff"}
 
 
 def normalize_path(path) -> str:
@@ -213,7 +218,7 @@ class AnalysisVisitor(ast.NodeVisitor):
         ):
             self._emit(
                 "API002", node,
-                f"import of the deprecated CellResult alias from {module!r}; "
+                f"import of the removed CellResult alias from {module!r}; "
                 "use Table4Cell (or repro.runner.CellResult for the "
                 "runner envelope)",
             )
@@ -295,10 +300,23 @@ class AnalysisVisitor(ast.NodeVisitor):
             if node.func.attr == "average_ma" and self._is_deprecated_average_ma(node):
                 self._emit(
                     "API001", node,
-                    "deprecated two-float average_ma(since_time, "
+                    "removed two-float average_ma(since_time, "
                     "since_charge_mas); use "
                     "average_ma(since=snapshot, floor_ma=...)",
                 )
+            if node.func.attr in _SPATIAL_QUERY_METHODS:
+                legacy = sorted(
+                    keyword.arg for keyword in node.keywords
+                    if keyword.arg in _LEGACY_SPATIAL_KWARGS
+                )
+                if legacy:
+                    spelled = ", ".join(f"{name}=" for name in legacy)
+                    self._emit(
+                        "API003", node,
+                        f"legacy spatial-query keyword(s) {spelled} on "
+                        f".{node.func.attr}(); the SpatialQuery protocol "
+                        "spells them (origin, radius, now)",
+                    )
             if node.func.attr in _MIRROR_MUTATING_METHODS:
                 self._emit(
                     "FRK004", node,
@@ -366,7 +384,7 @@ class AnalysisVisitor(ast.NodeVisitor):
             ):
                 self._emit(
                     "API002", node,
-                    f"{dotted} is the deprecated alias of Table4Cell; "
+                    f"{dotted} is the removed alias of Table4Cell; "
                     "use Table4Cell (or repro.runner.CellResult)",
                 )
         self.generic_visit(node)

@@ -12,7 +12,6 @@ is exact.
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.kernel import Kernel
@@ -144,51 +143,27 @@ class EnergyMeter:
 
     def average_ma(
         self,
-        since_time: Optional[float] = None,
-        since_charge_mas: Optional[float] = None,
         *,
-        since: Optional["EnergySnapshot"] = None,
+        since: "EnergySnapshot",
         floor_ma: float = 0.0,
     ) -> float:
         """Average draw over a window, snapshot-based.
 
-        Preferred form: ``meter.average_ma(since=snapshot, floor_ma=...)``
-        with a snapshot from :meth:`snapshot`; ``floor_ma`` subtracts a
-        baseline (the paper reports draws relative to WiFi standby).  A
-        zero-length window degenerates to the instantaneous draw.
+        ``meter.average_ma(since=snapshot, floor_ma=...)`` with a snapshot
+        from :meth:`snapshot`; ``floor_ma`` subtracts a baseline (the paper
+        reports draws relative to WiFi standby).  A zero-length window
+        degenerates to the instantaneous draw.
 
-        The bare two-float form ``average_ma(since_time, since_charge_mas)``
-        is deprecated — it made callers carry the snapshot's fields around
-        loose, with no floor support; it keeps its exact old behaviour under
-        a :class:`DeprecationWarning` shim.
+        The old two-float form ``average_ma(since_time, since_charge_mas)``
+        completed its deprecation cycle and was removed; the keyword-only
+        signature makes any straggler a ``TypeError``, and the API001 lint
+        rule (now "removed" status) errors on reintroduction anywhere.
         """
-        if since is not None:
-            if since_time is not None or since_charge_mas is not None:
-                raise TypeError(
-                    "pass either since=<EnergySnapshot> or the deprecated "
-                    "(since_time, since_charge_mas) floats, not both"
-                )
-            elapsed = self.kernel.now - since.time
-            if elapsed <= 0:
-                return self.current_ma - floor_ma
-            charge = self.total_charge_mas() - since.charge_mas
-            return charge / elapsed - floor_ma
-        if since_time is None or since_charge_mas is None:
-            raise TypeError(
-                "average_ma() needs since=<EnergySnapshot> (or the "
-                "deprecated since_time + since_charge_mas pair)"
-            )
-        warnings.warn(
-            "EnergyMeter.average_ma(since_time, since_charge_mas) is "
-            "deprecated; take a meter.snapshot() and call "
-            "average_ma(since=snapshot, floor_ma=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        elapsed = self.kernel.now - since_time
+        elapsed = self.kernel.now - since.time
         if elapsed <= 0:
-            return self.current_ma
-        return (self.total_charge_mas() - since_charge_mas) / elapsed
+            return self.current_ma - floor_ma
+        charge = self.total_charge_mas() - since.charge_mas
+        return charge / elapsed - floor_ma
 
     def snapshot(self) -> "EnergySnapshot":
         """Capture (time, charge) for later windowed averages."""

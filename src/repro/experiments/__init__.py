@@ -9,7 +9,6 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.baseline_current import OperationResult, run_table3
 from repro.experiments.controlled import (
-    CellResult,  # deprecated alias of Table4Cell
     Table4Cell,
     run_cell,
     run_table4,
@@ -36,7 +35,6 @@ from repro.experiments.scenario import (
 )
 
 __all__ = [
-    "CellResult",
     "DisseminateResult",
     "MobilityCell",
     "OMNI_TECHS_BLE_ONLY",

@@ -71,12 +71,6 @@ class Table4Cell:
         return f"{self.context_tech}/{self.data_tech}{size if self.data_tech == 'WiFi' else ''}"
 
 
-#: Former name of :class:`Table4Cell`; kept so existing imports keep working.
-#: The unqualified name now belongs to :class:`repro.runner.CellResult`, the
-#: structured per-cell envelope the runner returns.
-CellResult = Table4Cell
-
-
 class _ServiceInteraction:
     """Responder offers a service; initiator requests and times the answer."""
 

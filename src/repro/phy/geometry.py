@@ -14,8 +14,19 @@ class Position:
     y: float
 
     def distance_to(self, other: "Position") -> float:
-        """Euclidean distance in meters."""
-        return math.hypot(self.x - other.x, self.y - other.y)
+        """Euclidean distance in meters.
+
+        Deliberately ``sqrt(dx*dx + dy*dy)`` rather than ``math.hypot``:
+        multiplication and ``sqrt`` are correctly rounded, so the batch
+        (numpy) distance kernel in :mod:`repro.util.array` reproduces this
+        value bit-for-bit — ``hypot``'s extra-precision algorithm cannot
+        be matched by any vectorized expression.  Keeping one canonical
+        formula is what lets scalar and vectorized broadcasts share
+        byte-identical delivery logs.
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return math.sqrt(dx * dx + dy * dy)
 
     def translated(self, dx: float, dy: float) -> "Position":
         """A new position offset by (dx, dy)."""

@@ -27,12 +27,83 @@ exact superset of the true answer at the queried instant.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Protocol, Tuple
 
 from repro.phy.geometry import Position
 from repro.phy.mobility import MobilityModel, Static
 
 _Cell = Tuple[int, int]
+
+
+class CandidateArrays:
+    """Struct-of-arrays result of a batch spatial query.
+
+    ``items[i]`` sits at ``(xs[i], ys[i])`` — exactly the floats the
+    scalar path would see (``position_at(now)`` for movers, the stored
+    position for statics), so a vectorized distance kernel over ``xs/ys``
+    is bit-identical to per-item ``Position.distance_to``.  Items the
+    index holds no position for (the roaming list of a plain
+    :class:`UniformGridIndex`, which indexes bare positions, not mobility
+    models) are returned in ``unpositioned`` instead; callers resolve
+    those few themselves.  ``unpositioned + items`` is elementwise equal
+    to what :meth:`SpatialQuery.query` returns for the same arguments.
+    """
+
+    __slots__ = ("items", "xs", "ys", "unpositioned")
+
+    def __init__(
+        self,
+        items: List[Hashable],
+        xs: List[float],
+        ys: List[float],
+        unpositioned: List[Hashable],
+    ) -> None:
+        self.items = items
+        self.xs = xs
+        self.ys = ys
+        self.unpositioned = unpositioned
+
+    def __len__(self) -> int:
+        return len(self.items) + len(self.unpositioned)
+
+
+class SpatialQuery(Protocol):
+    """The one spelling of a range query, shared tree-wide.
+
+    Every spatial lookup — index ``query``/``query_arrays``,
+    ``Medium._candidates``, ``World.nodes_within`` — takes the same three
+    parameters under the same names:
+
+    ``origin``
+        The :class:`~repro.phy.geometry.Position` at the center of the
+        query disk (facades may also accept a node and resolve it).
+    ``radius``
+        The disk radius in meters.
+    ``now``
+        The simulation instant the answer is for.  Purely static indexes
+        accept and ignore it (default ``0.0``), so callers never branch
+        on index flavor.
+
+    Contract: the result is a deterministic **superset** of the items
+    within ``radius`` of ``origin`` at ``now`` — callers apply the exact
+    distance test — and its order is a pure function of the index's
+    mutation history and the query arguments (bucket scan order here;
+    facades re-sort: the medium by radio attach order, the world by node
+    name).  The legacy keyword spellings (``center=``, ``cutoff=``) are
+    retired and flagged by the API003 lint rule.
+    """
+
+    def query(
+        self, origin: Position, radius: float, now: float = 0.0
+    ) -> List[Hashable]:
+        """Candidate items as a list (scalar consumers)."""
+        ...
+
+    def query_arrays(
+        self, origin: Position, radius: float, now: float = 0.0
+    ) -> CandidateArrays:
+        """Candidates as struct-packed parallel arrays (batch consumers)."""
+        ...
 
 #: Epoch length clamp for :class:`TimeAwareGridIndex` (seconds of sim time).
 #: The lower clamp stops pathological rebucketing storms for very fast
@@ -54,6 +125,17 @@ _EPOCH_CELL_FRACTION = 0.5
 _SPEED_PROBE_S = 1.0
 
 
+class _Bucket:
+    """One grid cell's contents as parallel arrays (items, x, y)."""
+
+    __slots__ = ("items", "xs", "ys")
+
+    def __init__(self) -> None:
+        self.items: List[Hashable] = []
+        self.xs: List[float] = []
+        self.ys: List[float] = []
+
+
 class UniformGridIndex:
     """Buckets items by position into ``cell_size``-sized square cells.
 
@@ -66,7 +148,10 @@ class UniformGridIndex:
         if cell_size <= 0.0:
             raise ValueError(f"cell_size must be > 0, got {cell_size}")
         self.cell_size = cell_size
-        self._cells: Dict[_Cell, List[Hashable]] = {}
+        # Struct-of-arrays buckets: items plus their exact coordinates in
+        # parallel lists, so query_arrays hands batch consumers positions
+        # without touching the item objects.
+        self._cells: Dict[_Cell, _Bucket] = {}
         self._where: Dict[Hashable, Optional[_Cell]] = {}
         # The roaming set as a list (query order) plus an item → slot map, so
         # removal is O(1) swap-pop instead of an O(n) list.remove scan —
@@ -102,7 +187,12 @@ class UniformGridIndex:
             return
         cell = self._cell_of(position)
         self._where[item] = cell
-        self._cells.setdefault(cell, []).append(item)
+        bucket = self._cells.get(cell)
+        if bucket is None:
+            bucket = self._cells[cell] = _Bucket()
+        bucket.items.append(item)
+        bucket.xs.append(position.x)
+        bucket.ys.append(position.y)
 
     def remove(self, item: Hashable) -> None:
         """Remove ``item``; raises ``KeyError`` if absent."""
@@ -115,8 +205,13 @@ class UniformGridIndex:
                 self._roaming_slot[last] = slot
             return
         bucket = self._cells[cell]
-        bucket.remove(item)
-        if not bucket:
+        index = bucket.items.index(item)
+        # Order-preserving removal (matching the old list.remove) keeps
+        # query candidate order a pure function of the mutation sequence.
+        del bucket.items[index]
+        del bucket.xs[index]
+        del bucket.ys[index]
+        if not bucket.items:
             del self._cells[cell]
 
     def update(self, item: Hashable, position: Optional[Position]) -> None:
@@ -124,30 +219,80 @@ class UniformGridIndex:
         old_cell = self._where[item]
         new_cell = None if position is None else self._cell_of(position)
         if old_cell == new_cell and old_cell is not None:
-            return  # still in the same bucket: nothing to rewire
+            # Same bucket: no rewiring, but the stored coordinates must
+            # track the exact new position for query_arrays.
+            bucket = self._cells[old_cell]
+            index = bucket.items.index(item)
+            bucket.xs[index] = position.x
+            bucket.ys[index] = position.y
+            return
         self.remove(item)
         self.insert(item, position)
 
-    def query(self, origin: Position, radius: float) -> List[Hashable]:
+    def position_of(self, item: Hashable) -> Optional[Position]:
+        """The stored position of a bucketed ``item`` (None when roaming)."""
+        cell = self._where[item]
+        if cell is None:
+            return None
+        bucket = self._cells[cell]
+        index = bucket.items.index(item)
+        return Position(bucket.xs[index], bucket.ys[index])
+
+    def query(
+        self, origin: Position, radius: float, now: float = 0.0
+    ) -> List[Hashable]:
         """Candidate items for "within ``radius`` of ``origin``".
 
         Returns every static item in the grid cells overlapping the query's
         bounding square, plus every roaming item.  A superset of the exact
-        answer: callers must still apply their own distance test.
+        answer: callers must still apply their own distance test.  ``now``
+        is accepted per the :class:`SpatialQuery` protocol and ignored —
+        this index holds time-invariant positions.
         """
-        size = self.cell_size
-        x_lo = math.floor((origin.x - radius) / size)
-        x_hi = math.floor((origin.x + radius) / size)
-        y_lo = math.floor((origin.y - radius) / size)
-        y_hi = math.floor((origin.y + radius) / size)
+        x_lo, x_hi, y_lo, y_hi = self._cell_span(origin, radius)
         cells = self._cells
         candidates: List[Hashable] = list(self._roaming)
         for cx in range(x_lo, x_hi + 1):
             for cy in range(y_lo, y_hi + 1):
                 bucket = cells.get((cx, cy))
-                if bucket:
-                    candidates.extend(bucket)
+                if bucket is not None:
+                    candidates.extend(bucket.items)
         return candidates
+
+    def query_arrays(
+        self, origin: Position, radius: float, now: float = 0.0
+    ) -> CandidateArrays:
+        """Batch twin of :meth:`query`: struct-packed parallel arrays.
+
+        Bucketed candidates arrive in ``items/xs/ys`` (the same bucket
+        scan order as :meth:`query`); roaming items — whose position this
+        index does not know — in ``unpositioned``.  The concatenation
+        ``unpositioned + items`` equals :meth:`query`'s list exactly.
+        """
+        x_lo, x_hi, y_lo, y_hi = self._cell_span(origin, radius)
+        cells = self._cells
+        items: List[Hashable] = []
+        xs: List[float] = []
+        ys: List[float] = []
+        for cx in range(x_lo, x_hi + 1):
+            for cy in range(y_lo, y_hi + 1):
+                bucket = cells.get((cx, cy))
+                if bucket is not None:
+                    items.extend(bucket.items)
+                    xs.extend(bucket.xs)
+                    ys.extend(bucket.ys)
+        return CandidateArrays(items, xs, ys, list(self._roaming))
+
+    def _cell_span(
+        self, origin: Position, radius: float
+    ) -> Tuple[int, int, int, int]:
+        size = self.cell_size
+        return (
+            math.floor((origin.x - radius) / size),
+            math.floor((origin.x + radius) / size),
+            math.floor((origin.y - radius) / size),
+            math.floor((origin.y + radius) / size),
+        )
 
 
 class TimeAwareGridIndex:
@@ -215,6 +360,13 @@ class TimeAwareGridIndex:
         self._valid_from = 0.0
         self._valid_to = -1.0  # nothing bucketed yet: first query rebuckets
         self._tune_pending = False
+        # Mutation counter + per-(now, version) mover-position memo for
+        # query_arrays.  Broadcast-heavy rounds issue many queries at one
+        # timestamp; each mover's position_at(now) (pure in time) is then
+        # computed once per round instead of once per query it appears in.
+        self._version = 0
+        self._mover_positions: Dict[Hashable, Tuple[float, float]] = {}
+        self._mover_positions_key: Optional[Tuple[float, int]] = None
 
     def __len__(self) -> int:
         return len(self._static) + len(self._mobility)
@@ -259,6 +411,7 @@ class TimeAwareGridIndex:
         """Add ``item`` with its mobility model."""
         if item in self:
             raise ValueError(f"item {item!r} already indexed")
+        self._version += 1
         if type(mobility) is Static:
             self._static.insert(item, mobility.position)
             return
@@ -269,6 +422,7 @@ class TimeAwareGridIndex:
 
     def remove(self, item: Hashable) -> None:
         """Remove ``item``; raises ``KeyError`` if absent."""
+        self._version += 1
         if item in self._static:
             self._static.remove(item)
             return
@@ -367,9 +521,52 @@ class TimeAwareGridIndex:
         candidates = self._static.query(origin, radius)
         if not self._mobility:
             return candidates
+        candidates.extend(self._mover_candidates(origin, radius, now))
+        return candidates
+
+    def query_arrays(
+        self, origin: Position, radius: float, now: float = 0.0
+    ) -> CandidateArrays:
+        """Batch twin of :meth:`query`: every candidate with its position.
+
+        Items arrive in exactly :meth:`query`'s order.  Statics carry
+        their stored (time-invariant) coordinates; movers — including
+        roaming unbounded ones — are resolved to ``position_at(now)``,
+        the same floats the scalar path reads per item, memoized per
+        (``now``, mutation version) so a broadcast round touches each
+        mover's model once.  ``unpositioned`` is always empty here: this
+        index knows every item's mobility model.
+        """
+        arrays = self._static.query_arrays(origin, radius)
+        if not self._mobility:
+            return arrays
+        items = arrays.items
+        xs = arrays.xs
+        ys = arrays.ys
+        key = (now, self._version)
+        if key != self._mover_positions_key:
+            self._mover_positions = {}
+            self._mover_positions_key = key
+        memo = self._mover_positions
+        mobilities = self._mobility
+        for item in self._mover_candidates(origin, radius, now):
+            pos = memo.get(item)
+            if pos is None:
+                point = mobilities[item].position_at(now)
+                pos = (point.x, point.y)
+                memo[item] = pos
+            items.append(item)
+            xs.append(pos[0])
+            ys.append(pos[1])
+        return arrays
+
+    def _mover_candidates(
+        self, origin: Position, radius: float, now: float
+    ) -> List[Hashable]:
+        """Mover candidates (fine grid + roaming, then coarse sprinters)."""
         if self._tune_pending or not (self._valid_from <= now <= self._valid_to):
             self._rebucket(now)
-        candidates.extend(self._movers.query(origin, radius + self._max_bound))
+        candidates = self._movers.query(origin, radius + self._max_bound)
         if self._coarse is not None:
             candidates.extend(
                 self._coarse.query(origin, radius + self._coarse_bound)

@@ -11,24 +11,48 @@ broadcast only distance-tests the radios bucketed in grid cells within the
 technology's range — inflated by the worst-case intra-epoch displacement
 of mobile nodes, which are bucketed at their epoch-start positions — plus
 any movers in the coarse sprinter grid whose inflated cells overlap the
-query.  The pruning is exact: a
-pruned radio is one the propagation model gives delivery probability 0,
-which neither receives the frame nor consumes randomness — so indexed and
-linear scans produce bit-identical simulations.  Epoch rebucketing is
-driven lazily off kernel time inside the query, adding no event-queue
-traffic.
+query.  The pruning is exact: a pruned radio is one the propagation model
+gives delivery probability 0, which neither receives the frame nor
+consumes randomness — so indexed and linear scans produce bit-identical
+simulations.  Epoch rebucketing is driven lazily off kernel time inside
+the query, adding no event-queue traffic.
+
+Vectorized broadcast
+--------------------
+
+By default (``vectorized=True``) the broadcast pipeline runs in batch
+form: one ``query_arrays`` call returns every candidate with its position
+as struct-packed parallel arrays, distances and delivery probabilities
+are computed in one numpy pass (or a pure-Python twin when numpy is
+absent — bit-identical by the :mod:`repro.util.array` contract), and all
+of a transmission's arrivals are scheduled as a single
+:class:`_BatchDelivery` event.  Candidate batches are cached per
+(technology, grid cell) within one (timestamp, attach/move version), so a
+beacon round's many same-cell senders share one gather + attach-order
+sort.  The cache's candidate set is slightly larger than a per-origin
+query (it covers the whole cell); by the exactness invariant above the
+extra candidates have delivery probability 0 and change nothing.
+
+The RNG draw-order contract (see :mod:`repro.phy.propagation`) is what
+keeps all of this byte-identical to the scalar loop: one uniform draw per
+candidate with ``0 < p < 1``, consumed in ascending attach order with the
+sender excluded — exactly the draws, and the order, of the scalar path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import math
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
 
+from repro.phy.geometry import Position
 from repro.phy.index import TimeAwareGridIndex
 from repro.phy.propagation import PropagationModel, UnitDisk, frame_delivered
 from repro.phy.world import World, WorldNode
 from repro.radio.base import Radio
 from repro.radio.frame import Frame, RadioKind
 from repro.sim.kernel import Kernel
+from repro.util import array
 from repro.util.rng import SeededRng
 
 #: Default communication ranges per technology, in meters.  BLE and WiFi
@@ -74,6 +98,57 @@ class _Delivery:
             self.medium.frames_dropped += 1
 
 
+class _BatchDelivery:
+    """All of one broadcast's arrivals as a single scheduled event.
+
+    The vectorized broadcast schedules one kernel event per transmission
+    instead of one per receiver.  Arrival semantics are unchanged: the
+    same per-receiver re-check runs at the same instant, in ascending
+    attach order — exactly the order the scalar path's per-receiver
+    events (scheduled back-to-back, hence contiguous in the kernel's
+    same-timestamp FIFO) would run in.
+    """
+
+    __slots__ = ("medium", "receivers", "frame", "distances")
+
+    def __init__(self, medium: "Medium", receivers: List[Radio], frame: Frame,
+                 distances: List[float]) -> None:
+        self.medium = medium
+        self.receivers = receivers
+        self.frame = frame
+        self.distances = distances
+
+    def __call__(self) -> None:
+        medium = self.medium
+        frame = self.frame
+        for receiver, distance in zip(self.receivers, self.distances):
+            if receiver._accepts_frame(frame):
+                medium.frames_delivered += 1
+                if receiver.is_mirror:
+                    medium.frames_cross_shard += 1
+                receiver._deliver(frame, distance)
+            else:
+                medium.frames_dropped += 1
+
+
+class _CellBatch:
+    """Cached candidate arrays for every sender in one grid cell.
+
+    ``radios`` is attach-order sorted; ``xs``/``ys`` are the matching
+    coordinates (ndarray under numpy, lists otherwise) and ``seqs`` the
+    matching ascending ``_medium_seq`` list used to locate the sender by
+    binary search.
+    """
+
+    __slots__ = ("radios", "xs", "ys", "seqs")
+
+    def __init__(self, radios, xs, ys, seqs) -> None:
+        self.radios = radios
+        self.xs = xs
+        self.ys = ys
+        self.seqs = seqs
+
+
 class Medium:
     """Routes frames from a transmitting radio to in-range receivers."""
 
@@ -84,10 +159,12 @@ class Medium:
         propagation: Optional[Dict[RadioKind, PropagationModel]] = None,
         rng: Optional[SeededRng] = None,
         use_spatial_index: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self.kernel = kernel
         self.world = world
         self.rng = rng or kernel.rng.child("medium")
+        self.vectorized = vectorized
         self.propagation: Dict[RadioKind, PropagationModel] = {
             kind: UnitDisk(radius) for kind, radius in DEFAULT_RANGES.items()
         }
@@ -108,6 +185,11 @@ class Medium:
         self._attach_seq = 0
         self._grids: Dict[RadioKind, Optional[TimeAwareGridIndex]] = {}
         self._node_radios: Dict[WorldNode, List[Radio]] = {}
+        # Per-(kind, cell) candidate batches, valid for one (timestamp,
+        # attach/move version) — see _cell_batch.
+        self._batch_cache: Dict[Tuple[RadioKind, Tuple[int, int]], _CellBatch] = {}
+        self._batch_stamp: Tuple[float, int] = (-1.0, -1)
+        self._batch_version = 0
         if use_spatial_index:
             for kind, model in self.propagation.items():
                 cutoff = model.max_range()
@@ -135,6 +217,7 @@ class Medium:
         """Register a radio; called by the Radio constructor."""
         radio._medium_seq = self._attach_seq
         self._attach_seq += 1
+        self._batch_version += 1
         self._radios[radio.kind].append(radio)
         grid = self._grids.get(radio.kind)
         if grid is not None:
@@ -144,6 +227,7 @@ class Medium:
     def detach(self, radio: Radio) -> None:
         """Unregister a radio (device leaving the simulation)."""
         self._radios[radio.kind].remove(radio)
+        self._batch_version += 1
         grid = self._grids.get(radio.kind)
         if grid is not None and radio in grid:
             grid.remove(radio)
@@ -155,27 +239,96 @@ class Medium:
     def _node_moved(self, node: WorldNode) -> None:
         """Re-bucket a node's radios after a mobility-model change."""
         mobility = node.mobility
+        self._batch_version += 1
         for radio in self._node_radios.get(node, ()):
             self._grids[radio.kind].update(radio, mobility)
 
-    def radios(self, kind: RadioKind) -> List[Radio]:
-        """All attached radios of ``kind`` (enabled or not)."""
-        return list(self._radios[kind])
+    def radios(self, kind: RadioKind) -> Tuple[Radio, ...]:
+        """All attached radios of ``kind`` (enabled or not), attach order.
 
-    def _candidates(self, kind: RadioKind, origin, cutoff: Optional[float]) -> List[Radio]:
-        """Radios that might be within ``cutoff`` of ``origin``, attach order.
+        A tuple: the attach-order registry is the medium's source of truth
+        for RNG draw order, so callers get an immutable snapshot rather
+        than a list they could corrupt.
+        """
+        return tuple(self._radios[kind])
 
-        Falls back to every attached radio of ``kind`` when the technology
-        is unindexed.  Sorting the (few) grid candidates by attach sequence
-        reproduces the exact iteration order of the exhaustive scan, which
-        is what keeps RNG draws and delivery callbacks in the same order.
+    def _candidates(
+        self,
+        kind: RadioKind,
+        origin: Position,
+        radius: Optional[float],
+        now: Optional[float] = None,
+    ) -> List[Radio]:
+        """Radios that might be within ``radius`` of ``origin``, attach order.
+
+        SpatialQuery-protocol spelling: ``(origin, radius, now)`` after the
+        technology selector; ``now`` defaults to the kernel clock.  Falls
+        back to every attached radio of ``kind`` when the technology is
+        unindexed (or ``radius`` is None, i.e. the model is unbounded).
+        Sorting the (few) grid candidates by attach sequence reproduces the
+        exact iteration order of the exhaustive scan, which is what keeps
+        RNG draws and delivery callbacks in the same order.
         """
         grid = self._grids.get(kind)
-        if grid is None or cutoff is None:
+        if grid is None or radius is None:
             return self._radios[kind]
-        candidates = grid.query(origin, cutoff, self.kernel.now)
+        if now is None:
+            now = self.kernel.now
+        candidates = grid.query(origin, radius, now)
         candidates.sort(key=_attach_order)
         return candidates
+
+    def _cell_batch(
+        self,
+        kind: RadioKind,
+        grid: TimeAwareGridIndex,
+        origin: Position,
+        cutoff: float,
+    ) -> _CellBatch:
+        """The cached candidate batch covering ``origin``'s grid cell.
+
+        One query serves every same-cell sender at this timestamp: the
+        query disk is centred on the cell and inflated by half a cell, so
+        its scan box covers the union of the per-origin boxes.  The batch
+        is therefore a superset of any per-origin candidate set — and by
+        the exactness invariant (candidates beyond ``cutoff`` have
+        delivery probability 0, no frame, no draw) the surplus is
+        unobservable in delivery logs.  Invalidated whenever the clock
+        advances or a radio attaches/detaches/moves.
+        """
+        stamp = (self.kernel.now, self._batch_version)
+        if stamp != self._batch_stamp:
+            self._batch_cache.clear()
+            self._batch_stamp = stamp
+        size = grid.cell_size
+        cell = (math.floor(origin.x / size), math.floor(origin.y / size))
+        key = (kind, cell)
+        batch = self._batch_cache.get(key)
+        if batch is None:
+            center = Position((cell[0] + 0.5) * size, (cell[1] + 0.5) * size)
+            arrays = grid.query_arrays(center, cutoff + 0.5 * size, stamp[0])
+            items = arrays.items
+            xs = arrays.xs
+            ys = arrays.ys
+            for item in arrays.unpositioned:  # pragma: no cover - time-aware
+                position = item.node.position  # grids resolve every mover
+                items.append(item)
+                xs.append(position.x)
+                ys.append(position.y)
+            order = array.argsort([radio._medium_seq for radio in items])
+            radios = [items[i] for i in order]
+            np = array.numpy
+            if np is not None:
+                take = np.asarray(order, dtype=np.intp)
+                xs = np.asarray(xs, dtype=np.float64)[take]
+                ys = np.asarray(ys, dtype=np.float64)[take]
+            else:
+                xs = [xs[i] for i in order]
+                ys = [ys[i] for i in order]
+            seqs = [radio._medium_seq for radio in radios]
+            batch = _CellBatch(radios, xs, ys, seqs)
+            self._batch_cache[key] = batch
+        return batch
 
     def in_range(self, a: Radio, b: Radio) -> bool:
         """True if radios ``a`` and ``b`` are within their technology's range."""
@@ -188,9 +341,22 @@ class Medium:
         """Enabled same-kind radios currently in range of ``sender``."""
         model = self.propagation[sender.kind]
         origin = sender.node.position
+        cutoff = model.max_range()
+        grid = self._grids.get(sender.kind)
+        if self.vectorized and grid is not None and cutoff is not None:
+            batch = self._cell_batch(sender.kind, grid, origin, cutoff)
+            distances = array.euclidean_distances(
+                origin.x, origin.y, batch.xs, batch.ys
+            )
+            mask = model.in_range_mask(distances)
+            return [
+                radio
+                for radio, hit in zip(batch.radios, mask)
+                if hit and radio is not sender and radio.enabled
+            ]
         return [
             radio
-            for radio in self._candidates(sender.kind, origin, model.max_range())
+            for radio in self._candidates(sender.kind, origin, cutoff)
             if radio is not sender
             and radio.enabled
             and model.in_range(origin.distance_to(radio.node.position))
@@ -204,12 +370,26 @@ class Medium:
         """
         self.frames_sent += 1
         model = self.propagation[sender.kind]
+        cutoff = model.max_range()
+        grid = self._grids.get(sender.kind)
+        if self.vectorized and grid is not None and cutoff is not None:
+            return self._broadcast_batch(sender, frame, model, grid, cutoff)
+        return self._broadcast_scalar(sender, frame, model, cutoff)
+
+    def _broadcast_scalar(
+        self,
+        sender: Radio,
+        frame: Frame,
+        model: PropagationModel,
+        cutoff: Optional[float],
+    ) -> int:
+        """The reference one-receiver-at-a-time loop (also the unindexed path)."""
         origin = sender.node.position
         scheduled = 0
         is_unit_disk = type(model) is UnitDisk
         radius = model.radius if is_unit_disk else None
         delay = frame.airtime + PROPAGATION_DELAY_S
-        for receiver in self._candidates(sender.kind, origin, model.max_range()):
+        for receiver in self._candidates(sender.kind, origin, cutoff):
             if receiver is sender:
                 continue
             distance = origin.distance_to(receiver.node.position)
@@ -225,6 +405,97 @@ class Medium:
             self.kernel.call_in(delay, _Delivery(self, receiver, frame, distance))
             scheduled += 1
         return scheduled
+
+    def _broadcast_batch(
+        self,
+        sender: Radio,
+        frame: Frame,
+        model: PropagationModel,
+        grid: TimeAwareGridIndex,
+        cutoff: float,
+    ) -> int:
+        """Vectorized broadcast: distances, probabilities, draws in one pass.
+
+        Byte-identical to :meth:`_broadcast_scalar`: the candidate surplus
+        from the cell-aligned batch is provably silent (p == 0 beyond
+        ``cutoff``), distances use the same correctly-rounded formula, and
+        RNG draws are spent per the draw-order contract — ascending attach
+        order over candidates with 0 < p < 1, sender excluded.
+        """
+        origin = sender.node.position
+        batch = self._cell_batch(sender.kind, grid, origin, cutoff)
+        radios = batch.radios
+        if not radios:
+            return 0
+        seqs = batch.seqs
+        sender_pos = bisect_left(seqs, sender._medium_seq)
+        if sender_pos == len(seqs) or seqs[sender_pos] != sender._medium_seq:
+            sender_pos = -1
+        receivers: List[Radio] = []
+        distances_out: List[float] = []
+        np = array.numpy
+        if np is not None:
+            dx = batch.xs - origin.x
+            dy = batch.ys - origin.y
+            distances = np.sqrt(dx * dx + dy * dy)
+            if type(model) is UnitDisk:
+                delivered = distances <= model.radius
+            else:
+                ps = np.asarray(
+                    model.delivery_probabilities(distances), dtype=np.float64
+                )
+                delivered = ps >= 1.0
+                need_draw = (ps > 0.0) & ~delivered
+                if sender_pos >= 0:
+                    # Exclude the sender *before* drawing: a model may give
+                    # 0 < p < 1 even at distance 0, and the scalar loop
+                    # never rolls for the sender.
+                    need_draw[sender_pos] = False
+                draw_at = np.nonzero(need_draw)[0]
+                if draw_at.size:
+                    rng = self.rng
+                    draws = np.fromiter(
+                        (rng.random() for _ in range(draw_at.size)),
+                        dtype=np.float64,
+                        count=draw_at.size,
+                    )
+                    # Mirrors SeededRng.bernoulli: delivered iff u < p.
+                    delivered[draw_at] = draws < ps[draw_at]
+            if sender_pos >= 0:
+                delivered[sender_pos] = False
+            for pos in np.nonzero(delivered)[0].tolist():
+                receiver = radios[pos]
+                if receiver._accepts_frame(frame):
+                    receivers.append(receiver)
+                    distances_out.append(float(distances[pos]))
+        else:
+            xs = batch.xs
+            ys = batch.ys
+            sqrt = math.sqrt
+            is_unit_disk = type(model) is UnitDisk
+            radius = model.radius if is_unit_disk else None
+            rng = self.rng
+            for pos, receiver in enumerate(radios):
+                if pos == sender_pos:
+                    continue
+                dx = xs[pos] - origin.x
+                dy = ys[pos] - origin.y
+                distance = sqrt(dx * dx + dy * dy)
+                if is_unit_disk:
+                    if distance > radius:
+                        continue
+                elif not frame_delivered(model, distance, rng):
+                    continue
+                if receiver._accepts_frame(frame):
+                    receivers.append(receiver)
+                    distances_out.append(distance)
+        if not receivers:
+            return 0
+        self.kernel.call_in(
+            frame.airtime + PROPAGATION_DELAY_S,
+            _BatchDelivery(self, receivers, frame, distances_out),
+        )
+        return len(receivers)
 
 
 def _attach_order(radio: Radio) -> int:

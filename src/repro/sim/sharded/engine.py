@@ -117,13 +117,19 @@ def _check_distinct(records: Sequence[Record]) -> None:
 # -- serial reference --------------------------------------------------------
 
 
-def run_serial(spec: ScenarioSpec) -> SimOutcome:
-    """Run the scenario on a single kernel: the correctness reference."""
+def run_serial(spec: ScenarioSpec, vectorized: bool = True) -> SimOutcome:
+    """Run the scenario on a single kernel: the correctness reference.
+
+    ``vectorized=False`` forces the scalar one-receiver-at-a-time
+    broadcast loop; the delivery digest is identical either way (the
+    batch pipeline's RNG draw-order contract), which the vectorized
+    benchmark asserts.
+    """
     started = time.perf_counter()
     models = build_models(spec)
     kernel = Kernel(seed=spec.seed)
     world = World(kernel)
-    medium = Medium(kernel, world)
+    medium = Medium(kernel, world, vectorized=vectorized)
     records: List[Record] = []
 
     def on_scan(payload: bytes, distance: float, receiver: int) -> None:
@@ -233,6 +239,7 @@ def run_sharded(
     shards: int,
     processes: Optional[bool] = None,
     use_shared_memory: bool = True,
+    vectorized: bool = True,
 ) -> SimOutcome:
     """Run the scenario across ``shards`` spatial partitions.
 
@@ -246,16 +253,20 @@ def run_sharded(
     if processes is None:
         processes = shards > 1 and not multiprocessing.current_process().daemon
     if processes:
-        return _run_sharded_processes(spec, shards, use_shared_memory)
-    return _run_sharded_inline(spec, shards)
+        return _run_sharded_processes(spec, shards, use_shared_memory, vectorized)
+    return _run_sharded_inline(spec, shards, vectorized)
 
 
 # -- sharded: inline transport -----------------------------------------------
 
 
-def _run_sharded_inline(spec: ScenarioSpec, shards: int) -> SimOutcome:
+def _run_sharded_inline(
+    spec: ScenarioSpec, shards: int, vectorized: bool = True
+) -> SimOutcome:
     started = time.perf_counter()
-    runtimes = [ShardRuntime(spec, shards, index) for index in range(shards)]
+    runtimes = [
+        ShardRuntime(spec, shards, index, vectorized) for index in range(shards)
+    ]
     walls = [0.0] * shards
     records: List[Record] = []
     t0 = 0.0
@@ -343,6 +354,7 @@ def _shard_worker(
     conn: Any,
     use_shared_memory: bool,
     token: str,
+    vectorized: bool = True,
 ) -> None:
     """One shard's process body: horizon loop against the coordinator."""
     # Arm the global-RNG tripwire for this shard unless the process already
@@ -354,7 +366,7 @@ def _shard_worker(
         armed = tripwire.install(f"shard {shard_index}")
     try:
         started = time.perf_counter()
-        runtime = ShardRuntime(spec, shards, shard_index)
+        runtime = ShardRuntime(spec, shards, shard_index, vectorized)
         t0 = 0.0
         for k, t1 in enumerate(spec.window_ends()):
             adverts, handoffs = runtime.horizon_packet(t0, t1)
@@ -436,7 +448,8 @@ def _recv(conn: Any, shard_index: int) -> Tuple[Any, ...]:
 
 
 def _run_sharded_processes(
-    spec: ScenarioSpec, shards: int, use_shared_memory: bool
+    spec: ScenarioSpec, shards: int, use_shared_memory: bool,
+    vectorized: bool = True,
 ) -> SimOutcome:
     started = time.perf_counter()
     context = _mp_context()
@@ -446,7 +459,8 @@ def _run_sharded_processes(
     workers = [
         context.Process(
             target=_shard_worker,
-            args=(spec, shards, index, child, use_shared_memory, token),
+            args=(spec, shards, index, child, use_shared_memory, token,
+                  vectorized),
             name=f"shard-{index}",
         )
         for index, (_, child) in enumerate(pipes)

@@ -87,7 +87,13 @@ class MirrorRadio:
 class ShardRuntime:
     """Builds and advances one shard of a :class:`ScenarioSpec` run."""
 
-    def __init__(self, spec: ScenarioSpec, shards: int, shard_index: int) -> None:
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        shards: int,
+        shard_index: int,
+        vectorized: bool = True,
+    ) -> None:
         self.spec = spec
         self.plan = StripPlan(spec.arena_m, shards)
         self.shard_index = shard_index
@@ -97,7 +103,10 @@ class ShardRuntime:
         self.global_bound = population_speed_cap(self.models) * spec.horizon_s
         self.kernel = Kernel(seed=spec.seed)
         self.world = World(self.kernel)
-        self.medium = Medium(self.kernel, self.world)
+        # Shards reuse the batch broadcast pipeline (byte-identical to the
+        # scalar loop by contract); vectorized=False forces the reference
+        # path for differential tests.
+        self.medium = Medium(self.kernel, self.world, vectorized=vectorized)
         self._range = DEFAULT_RANGES[RadioKind.BLE]
         self._owned: Dict[int, BleRadio] = {}
         self._mirrors: Dict[int, MirrorRadio] = {}

@@ -1,0 +1,85 @@
+"""Optional numpy acceleration with a bit-identical pure-Python fallback.
+
+numpy is an *accelerator*, never a dependency: every batch code path in
+the tree (``PropagationModel.delivery_probabilities``, the vectorized
+``Medium`` broadcast, index ``query_arrays`` consumers) must have a
+pure-Python twin that produces **bit-identical** floats, mirroring the
+``--no-shared-memory`` transport fallback idiom.  This module is the one
+place backend selection happens:
+
+* ``numpy`` — the imported module, or ``None`` when numpy is missing or
+  the ``REPRO_NO_NUMPY=1`` environment variable disabled it at import
+  time.  Hot paths read this attribute *per call* (not a cached local),
+  so tests can monkeypatch ``repro.util.array.numpy`` to ``None`` and
+  exercise the fallback without a second interpreter.
+* ``HAVE_NUMPY`` — the selection frozen at import, for reporting.
+
+Bit-parity ground rules (verified empirically on numpy 2.x, whose ufuncs
+use SIMD kernels):
+
+* Plain IEEE-754 arithmetic (``+ - * /``) and ``np.sqrt`` are correctly
+  rounded and **identical** to the ``math`` module scalar-by-scalar.
+* ``np.hypot``, ``np.log10``, ``np.power`` are **not** bit-identical to
+  ``math.hypot`` / ``math.log10`` / ``math.pow`` and are banned from any
+  path whose floats can reach a delivery log.  This is why
+  :meth:`repro.phy.geometry.Position.distance_to` is written as
+  ``sqrt(dx*dx + dy*dy)`` (reproducible by a vector backend) rather than
+  ``hypot`` (not), and why :class:`repro.phy.propagation.LogDistance`
+  keeps a scalar loop in its batch methods.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import List, Sequence
+
+try:  # pragma: no cover - exercised via the REPRO_NO_NUMPY CI leg
+    import numpy as _numpy
+except ImportError:  # pragma: no cover
+    _numpy = None
+
+if os.environ.get("REPRO_NO_NUMPY") == "1":
+    _numpy = None
+
+#: The active backend: the numpy module, or None for pure Python.
+#: Monkeypatchable; hot paths must read it per call.
+numpy = _numpy
+
+#: Whether numpy was importable (and not disabled) at import time.
+HAVE_NUMPY = numpy is not None
+
+
+def backend_name() -> str:
+    """``"numpy"`` or ``"python"`` — the currently active backend."""
+    return "numpy" if numpy is not None else "python"
+
+
+def euclidean_distances(
+    origin_x: float, origin_y: float, xs: Sequence[float], ys: Sequence[float]
+):
+    """Distances from ``(origin_x, origin_y)`` to each ``(xs[i], ys[i])``.
+
+    Bit-identical to ``Position.distance_to`` under either backend:
+    ``sqrt(dx*dx + dy*dy)`` with correctly-rounded primitives only.
+    Returns an ndarray when numpy is active (and the inputs are arrays
+    or convertible), else a list of floats.
+    """
+    np = numpy
+    if np is not None:
+        dx = np.asarray(xs, dtype=np.float64) - origin_x
+        dy = np.asarray(ys, dtype=np.float64) - origin_y
+        return np.sqrt(dx * dx + dy * dy)
+    sqrt = math.sqrt
+    return [
+        sqrt((x - origin_x) * (x - origin_x) + (y - origin_y) * (y - origin_y))
+        for x, y in zip(xs, ys)
+    ]
+
+
+def argsort(keys: Sequence[int]) -> List[int]:
+    """Indices that sort ``keys`` ascending (ties in original order)."""
+    np = numpy
+    if np is not None:
+        return np.argsort(np.asarray(keys, dtype=np.int64), kind="stable").tolist()
+    return sorted(range(len(keys)), key=keys.__getitem__)

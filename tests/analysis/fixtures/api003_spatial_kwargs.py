@@ -1,0 +1,9 @@
+"""Fixture: legacy spatial-query keyword spellings (API003).  Linted, never imported."""
+
+
+def probe(world, medium, index, kind, node, origin):
+    stale = world.nodes_within(center=node, radius=30.0)
+    older = medium._candidates(kind, origin, cutoff=30.0)
+    fine = index.query(origin, 30.0, now=0.0)
+    finer = index.query_arrays(origin=origin, radius=30.0, now=0.0)
+    return stale, older, fine, finer

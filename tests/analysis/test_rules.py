@@ -164,6 +164,35 @@ def test_api002_cellresult_fixture():
     # repro.runner.artifacts.CellResult (line 5) is the real one — clean.
 
 
+def test_api001_api002_retired_rules_fire_everywhere():
+    # The deprecation cycle completed: the former shim modules lost their
+    # exemptions, so reintroducing either interface anywhere — including
+    # the modules that used to host the shims — is a lint error.
+    call = "def f(meter):\n    return meter.average_ma(0.0, 0.0)\n"
+    assert analyze_source(call, "repro/energy/meter.py")
+    alias = "from repro.experiments import CellResult\n"
+    assert analyze_source(alias, "repro/experiments/__init__.py")
+    from repro.analysis.rules import RULES
+
+    assert RULES["API001"].status == "removed"
+    assert RULES["API002"].status == "removed"
+
+
+def test_api003_spatial_kwargs_fixture():
+    findings = analyze_file(FIXTURES / "api003_spatial_kwargs.py")
+    assert keys(findings) == [
+        ("API003", 5),   # nodes_within(center=...)
+        ("API003", 6),   # _candidates(..., cutoff=...)
+    ]
+    # The protocol spellings on lines 7-8 stay clean.
+
+
+def test_api003_exempts_the_deprecation_shim():
+    source = "def f(world, n):\n    return world.nodes_within(center=n, radius=1.0)\n"
+    assert analyze_source(source, "repro/apps/example.py")
+    assert not analyze_source(source, "repro/phy/world.py")
+
+
 def test_every_rule_has_a_fixture_exercising_it():
     from repro.analysis import analyze_project
 

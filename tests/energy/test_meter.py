@@ -157,20 +157,22 @@ def test_average_ma_zero_window_degenerates_to_current(kernel):
     assert meter.average_ma(since=snapshot, floor_ma=2.0) == pytest.approx(5.0)
 
 
-def test_average_ma_two_float_form_warns_but_still_works(kernel):
+def test_average_ma_two_float_form_is_gone(kernel):
+    # The deprecation cycle for average_ma(since_time, since_charge_mas)
+    # completed: the keyword-only signature rejects the old positional form
+    # outright (and API001 lints any reintroduction).
     meter = EnergyMeter(kernel)
     meter.set_draw("x", 4.0)
     kernel.run_until(5.0)
-    with pytest.warns(DeprecationWarning, match="snapshot"):
-        value = meter.average_ma(0.0, 0.0)
-    assert value == pytest.approx(4.0)
+    with pytest.raises(TypeError):
+        meter.average_ma(0.0, 0.0)
 
 
-def test_average_ma_rejects_mixed_and_missing_forms(kernel):
+def test_average_ma_rejects_legacy_kwargs_and_missing_since(kernel):
     meter = EnergyMeter(kernel)
     snapshot = meter.snapshot()
     with pytest.raises(TypeError):
-        meter.average_ma(0.0, 0.0, since=snapshot)
+        meter.average_ma(since_time=0.0, since_charge_mas=0.0, since=snapshot)
     with pytest.raises(TypeError):
         meter.average_ma()
 

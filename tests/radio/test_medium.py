@@ -148,3 +148,18 @@ def test_detach_removes_radio(kernel, medium, make_device):
     b = make_device("b", x=5)
     medium.detach(b.radios[RadioKind.BLE])
     assert b.radios[RadioKind.BLE] not in medium.radios(RadioKind.BLE)
+
+
+def test_radios_returns_an_immutable_snapshot(medium, make_device):
+    """``Medium.radios`` hands out a tuple, not the live internal list:
+    callers can neither mutate the attach registry (which would corrupt
+    the RNG draw order) nor observe it shifting under iteration."""
+    a = make_device("a", x=0)
+    b = make_device("b", x=5)
+    snapshot = medium.radios(RadioKind.BLE)
+    assert isinstance(snapshot, tuple)
+    assert a.radios[RadioKind.BLE] in snapshot
+    # Detaching after the snapshot leaves the snapshot untouched.
+    medium.detach(b.radios[RadioKind.BLE])
+    assert b.radios[RadioKind.BLE] in snapshot
+    assert b.radios[RadioKind.BLE] not in medium.radios(RadioKind.BLE)

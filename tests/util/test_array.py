@@ -1,0 +1,99 @@
+"""The numpy shim: backend selection and bit-identical fallbacks."""
+
+from __future__ import annotations
+
+import math
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util import array
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def test_backend_name_tracks_the_numpy_attribute(monkeypatch):
+    if array.numpy is not None:
+        assert array.backend_name() == "numpy"
+    monkeypatch.setattr(array, "numpy", None)
+    assert array.backend_name() == "python"
+
+
+def test_have_numpy_is_frozen_at_import(monkeypatch):
+    # HAVE_NUMPY reports the import-time selection; monkeypatching the
+    # live attribute (what hot paths read) must not retroactively flip it.
+    before = array.HAVE_NUMPY
+    monkeypatch.setattr(array, "numpy", None)
+    assert array.HAVE_NUMPY is before
+
+
+def test_euclidean_distances_python_matches_math_sqrt(monkeypatch):
+    monkeypatch.setattr(array, "numpy", None)
+    xs = [0.0, 3.0, -7.5, 123.456]
+    ys = [0.0, 4.0, 2.25, -9.0]
+    got = array.euclidean_distances(1.0, -2.0, xs, ys)
+    assert isinstance(got, list)
+    for d, x, y in zip(got, xs, ys):
+        dx = x - 1.0
+        dy = y + 2.0
+        assert d == math.sqrt(dx * dx + dy * dy)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.tuples(coords, coords),
+    st.lists(st.tuples(coords, coords), max_size=20),
+)
+def test_euclidean_distances_backends_are_bit_identical(origin, points):
+    """The ground rule the whole batch pipeline rests on: numpy's
+    sqrt(dx*dx + dy*dy) is bit-identical to the math-module scalar form."""
+    if array.numpy is None:
+        pytest.skip("numpy inactive in this environment")
+    ox, oy = origin
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    vectorized = array.euclidean_distances(ox, oy, xs, ys)
+    sqrt = math.sqrt
+    scalar = [
+        sqrt((x - ox) * (x - ox) + (y - oy) * (y - oy)) for x, y in zip(xs, ys)
+    ]
+    assert [float(d) for d in vectorized] == scalar
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=30))
+def test_argsort_backends_agree_and_are_stable(keys):
+    expected = sorted(range(len(keys)), key=keys.__getitem__)
+    assert array.argsort(keys) == expected
+
+
+def test_argsort_python_fallback(monkeypatch):
+    monkeypatch.setattr(array, "numpy", None)
+    assert array.argsort([30, 10, 20, 10]) == [1, 3, 2, 0]
+    assert array.argsort([]) == []
+
+
+def test_repro_no_numpy_disables_the_backend_at_import():
+    """REPRO_NO_NUMPY=1 must force the pure-Python backend in a fresh
+    interpreter even when numpy is installed."""
+    env = dict(os.environ, REPRO_NO_NUMPY="1")
+    env["PYTHONPATH"] = "src"
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro.util import array; "
+            "print(array.backend_name(), array.HAVE_NUMPY)",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        check=True,
+    )
+    assert out.stdout.split() == ["python", "False"]
