@@ -330,11 +330,19 @@ def analyze_paths_incremental(
         for finding in project_findings:
             by_path.setdefault(finding.path, []).append(finding)
         for index, (file_path, root) in enumerate(files):
+            normalized = normalize_path(file_path)
+            fresh = _findings_to_json(by_path.get(normalized, []))
             entry = cache_entries[index]
             if (entry is not None and isinstance(entry.get("project"), dict)
-                    and entry["project"].get("key") == project_keys[index]):
-                continue  # entry is current, including its project section
-            normalized = normalize_path(file_path)
+                    and entry["project"].get("key") == project_keys[index]
+                    and entry["project"].get("findings") == fresh):
+                # Entry is current, including its project section.  The
+                # findings comparison matters for caller-ward domains
+                # (the VEC parity taint): a callee's project findings can
+                # change when only a *caller* was edited, leaving the
+                # callee's import-derived key untouched — without the
+                # repair, the next fully-warm run would resurrect them.
+                continue
             cache.store(
                 normalized, sources[index], per_file[index],
                 module=metas[index][0], deps=metas[index][1],

@@ -57,11 +57,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "determinism (DET: seeded RNG only, no wall clock, no hash()-derived "
         "seeds, no unsorted set iteration, ...), sim-time hygiene (SIM), "
         "fork/pickle safety in the parallel runner (FRK), sharded-engine "
-        "invariants via the whole-program pass (SHD), and in-repo "
+        "invariants via the whole-program pass (SHD), numpy bit-parity and "
+        "RNG draw order on delivery-log-reaching paths (VEC), and in-repo "
         "deprecated API use (API).  Per-file findings are joined by "
         "interprocedural ones: DET taints flow through the project call "
         "graph and fire at the cross-module call site with the chain in "
-        "the message.",
+        "the message; VEC parity-sensitivity flows the other way, from the "
+        "delivery-log roots down into their callees.",
     )
     parser.add_argument(
         "paths",

@@ -168,6 +168,24 @@ def symbol_types(symbol: Symbol) -> Set[str]:
     return types
 
 
+def is_unordered_set_expr(expr: ast.AST, scope: Scope) -> bool:
+    """True when ``expr`` is statically set-typed (iteration order varies).
+
+    Covers set literals/comprehensions, ``set()``/``frozenset()`` calls,
+    and names whose symbol carries set-type evidence in ``scope``.  Used
+    by the VEC004 draw-order check: an RNG draw inside iteration over
+    such an expression consumes uniforms in an unstable order.
+    """
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        return _call_name(expr) in {"set", "frozenset"}
+    if isinstance(expr, ast.Name):
+        resolved = scope.resolve(expr.id)
+        return resolved is not None and "set" in symbol_types(resolved[1])
+    return False
+
+
 def attribute_set_names(bindings: Iterable[AttributeBinding]) -> Set[str]:
     """Attribute names bound to sets anywhere in the module.
 

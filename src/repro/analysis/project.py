@@ -24,6 +24,13 @@ taint summaries (:mod:`repro.analysis.taint`), and emits:
   feeding an ordered accumulator (``.append``/``.extend`` or a
   list/dict comprehension) in sharded code — per-shard insertion order
   differs, so the canonical merge would see a shard-dependent stream.
+- **VEC001/VEC004/VEC005** — the numpy bit-parity ground rules on the
+  parity-sensitive closure (:func:`repro.analysis.taint
+  .compute_parity_chains`): banned non-correctly-rounded ufuncs, bulk or
+  unordered RNG draws, and order-sensitive reductions fire at the
+  primitive with the call chain from the delivery-log root in the
+  message.  (VEC002/VEC003 — numpy imports outside the shim and
+  module-scope backend caching — are per-file rules in the visitor.)
 
 :func:`analyze_paths` here is the package's public entry point: per-file
 findings plus project findings, globally sorted, byte-identical however
@@ -49,8 +56,12 @@ from repro.analysis.rules import RULES, Finding
 from repro.analysis.taint import (
     TAINT_RULES,
     Chain,
+    _body_nodes,
     _effective_dotted,
+    compute_parity_chains,
     compute_summaries,
+    numpy_alias_names,
+    vec_effective_dotted,
 )
 from repro.analysis.visitor import iter_python_files, normalize_path
 
@@ -91,6 +102,51 @@ _UNPICKLABLE_CONSTRUCTORS = {
 _ORDERED_ACCUMULATOR_METHODS = {"append", "extend", "insert", "appendleft"}
 _DICT_VIEW_METHODS = {"keys", "values", "items"}
 _SHARDED_PREFIX = "repro/sim/sharded/"
+
+#: VEC001 — ufuncs that are *not* correctly rounded (SIMD kernels differ
+#: from the math module bit-for-bit) plus math.fsum (whose compensated
+#: order-insensitive sum the numpy twin cannot reproduce).  The
+#: admissible primitives (+ - * /, numpy.sqrt, stable argsort) are
+#: simply absent from this set.
+_VEC_BANNED_UFUNCS = {
+    "numpy.hypot",
+    "numpy.log10",
+    "numpy.power",
+    "numpy.exp",
+    "math.fsum",
+}
+
+#: VEC005 — reductions whose association order (numpy's pairwise
+#: summation) differs from the sequential pure-Python accumulation.
+_VEC_ORDER_SENSITIVE_REDUCTIONS = {
+    "numpy.sum",
+    "numpy.nansum",
+    "numpy.dot",
+    "numpy.vdot",
+    "numpy.inner",
+    "numpy.matmul",
+    "numpy.einsum",
+    "numpy.prod",
+    "numpy.cumsum",
+    "numpy.cumprod",
+    "numpy.mean",
+}
+
+#: VEC004 — SeededRng / numpy Generator draw methods; a call to one of
+#: these on an rng-shaped receiver inside unordered iteration breaks the
+#: ascending-attach-order contract.
+_VEC_RNG_DRAW_METHODS = {
+    "random",
+    "uniform",
+    "bernoulli",
+    "randint",
+    "choice",
+    "sample",
+    "shuffle",
+    "normal",
+    "gauss",
+    "expovariate",
+}
 
 
 def collect_entries(paths: Sequence) -> List[ProjectEntry]:
@@ -147,6 +203,119 @@ def _emit_taint(graph: ProjectGraph, findings: List[Finding]) -> None:
                             f"chain: {rendered}"
                         ),
                     ))
+
+
+# -- VEC001/004/005: bit-parity and draw order on parity-sensitive paths ------
+
+def _rng_like_receiver(func: ast.Attribute) -> bool:
+    """``rng.random`` / ``self._rng.uniform`` — the receiver's last
+    identifier names an RNG.  ``MacAddress.random(...)``-style factory
+    classmethods do not match (their receiver is the class)."""
+    receiver = _dotted_name(func.value)
+    if receiver is None:
+        return False
+    return "rng" in receiver.rsplit(".", 1)[-1].lower()
+
+
+def _is_rng_draw(node: ast.Call) -> bool:
+    return (isinstance(node.func, ast.Attribute)
+            and node.func.attr in _VEC_RNG_DRAW_METHODS
+            and _rng_like_receiver(node.func))
+
+
+def _vec_bulk_draw(info: ModuleInfo, aliases: frozenset,
+                   node: ast.Call) -> Optional[str]:
+    """A short description when ``node`` draws a vector of randoms."""
+    dotted = _dotted_name(node.func)
+    if dotted is not None:
+        effective = vec_effective_dotted(info, aliases, dotted)
+        if effective.startswith("numpy.random."):
+            return f"{dotted}() (the process-global numpy RNG, vectorized)"
+    if not _is_rng_draw(node):
+        return None
+    has_size = any(kw.arg == "size" for kw in node.keywords)
+    if node.func.attr == "random" and (node.args or has_size):
+        return f"{_dotted_name(node.func)}(n)"
+    if has_size:
+        return f"{_dotted_name(node.func)}(size=...)"
+    return None
+
+
+def _check_vec(info: ModuleInfo, parity: Dict[FunctionInfo, Chain],
+               findings: List[Finding]) -> None:
+    """VEC001/VEC004/VEC005 inside this module's parity-sensitive functions.
+
+    Each finding fires once, at the offending primitive, with the
+    shortest root-to-here call chain in the message — so a ufunc two
+    calls away from ``Medium.broadcast`` still names the delivery path
+    that makes it a hazard.
+    """
+    def emit(code: str, node: ast.AST, chain: Chain, label: str,
+             lead: str) -> None:
+        rendered = chain.append(
+            f"{label} [{info.path}:{node.lineno}]").render()
+        findings.append(Finding(
+            code=code, path=info.path,
+            line=node.lineno, col=node.col_offset,
+            message=(
+                f"{lead} on a parity-sensitive path — floats here reach "
+                f"the delivery log via {chain.terminal_label} "
+                f"({chain.terminal_path}:{chain.terminal_line}); "
+                f"chain: {rendered}"
+            ),
+        ))
+
+    for function in _iter_functions(info):
+        chain = parity.get(function)
+        if chain is None:
+            continue
+        aliases = numpy_alias_names(info, function)
+        scope = info.builder.scopes.get(
+            function.node, info.builder.module_scope)
+        for node in _body_nodes(function):
+            if isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted is not None:
+                    effective = vec_effective_dotted(info, aliases, dotted)
+                    if effective in _VEC_BANNED_UFUNCS:
+                        emit("VEC001", node, chain, f"{dotted}()",
+                             f"{dotted}() ({effective}) is not correctly "
+                             "rounded — its bits differ from the "
+                             "pure-Python twin")
+                    elif effective in _VEC_ORDER_SENSITIVE_REDUCTIONS:
+                        emit("VEC005", node, chain, f"{dotted}()",
+                             f"{dotted}() ({effective}) reduces in "
+                             "pairwise order, not the sequential order "
+                             "of the pure-Python twin")
+                bulk = _vec_bulk_draw(info, aliases, node)
+                if bulk is not None:
+                    emit("VEC004", node, chain, f"{_dotted_name(node.func)}()",
+                         f"bulk RNG draw {bulk} violates the "
+                         "one-uniform-per-candidate ascending-order "
+                         "contract")
+            elif isinstance(node, ast.For):
+                if not dataflow.is_unordered_set_expr(node.iter, scope):
+                    continue
+                for inner in ast.walk(ast.Module(body=node.body,
+                                                 type_ignores=[])):
+                    if isinstance(inner, ast.Call) and _is_rng_draw(inner):
+                        emit("VEC004", inner, chain,
+                             f"{_dotted_name(inner.func)}()",
+                             f"{_dotted_name(inner.func)}() drawn inside "
+                             "unordered (set) iteration — uniforms attach "
+                             "in an unstable candidate order")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                if not any(dataflow.is_unordered_set_expr(gen.iter, scope)
+                           for gen in node.generators):
+                    continue
+                for inner in ast.walk(node):
+                    if isinstance(inner, ast.Call) and _is_rng_draw(inner):
+                        emit("VEC004", inner, chain,
+                             f"{_dotted_name(inner.func)}()",
+                             f"{_dotted_name(inner.func)}() drawn inside "
+                             "unordered (set) iteration — uniforms attach "
+                             "in an unstable candidate order")
 
 
 # -- SHD002: horizon-unbounded scheduling -------------------------------------
@@ -407,6 +576,7 @@ def analyze_project_entries(entries: Sequence[ProjectEntry]) -> List[Finding]:
     findings: List[Finding] = []
     _emit_taint(graph, findings)
     class_chains = _class_unpicklable_chains(graph)
+    parity_chains = compute_parity_chains(graph)
     for name in sorted(graph.modules):
         info = graph.modules[name]
         if RULES["SHD002"].applies_to(info.path):
@@ -415,6 +585,7 @@ def analyze_project_entries(entries: Sequence[ProjectEntry]) -> List[Finding]:
             _check_shd003(graph, info, class_chains, findings)
         if RULES["SHD004"].applies_to(info.path):
             _check_shd004(info, findings)
+        _check_vec(info, parity_chains, findings)
     findings = [
         finding for finding in findings
         if RULES[finding.code].applies_to(finding.path)

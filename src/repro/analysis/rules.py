@@ -29,7 +29,7 @@ from typing import Dict, Tuple
 #: Bumped whenever the analysis passes change behaviour; folded into the
 #: incremental cache key so stale cached findings can never survive a rule
 #: change (see :mod:`repro.analysis.cache`).
-ANALYSIS_VERSION = 5
+ANALYSIS_VERSION = 6
 
 
 def _path_matches_prefix(path: str, prefix: str) -> bool:
@@ -290,6 +290,71 @@ _RULE_LIST = [
         "records before they reach the merge), as the horizon protocol "
         "does everywhere",
         only_paths=("repro/sim/sharded/",),
+    ),
+    # -- VEC: numpy bit-parity on delivery-log-reaching paths -----------------
+    Rule(
+        code="VEC001",
+        name="banned-ufunc-on-parity-path",
+        summary="a numpy ufunc that is not correctly rounded (np.hypot / "
+        "np.log10 / np.power / np.exp) or math.fsum is called on a "
+        "parity-sensitive path — its floats can reach a delivery log, "
+        "where the pure-Python twin would produce different bits",
+        suggestion="stick to the admissible primitives (+ - * /, np.sqrt, "
+        "stable argsort) or keep a scalar math-module loop, as "
+        "repro.phy.propagation.LogDistance does; the finding prints the "
+        "call chain from the delivery-log root down to the ufunc",
+        # The shim documents the ban and the analysis tooling may name the
+        # banned ufuncs in strings/fixtures it builds.
+        exempt_paths=("repro/util/array.py", "repro/analysis/"),
+    ),
+    Rule(
+        code="VEC002",
+        name="numpy-import-outside-shim",
+        summary="numpy imported outside repro.util.array — backend "
+        "selection (REPRO_NO_NUMPY, monkeypatched fallback) only works "
+        "when every consumer goes through the shim",
+        suggestion="use `from repro.util import array` and read "
+        "array.numpy per call (None means pure-Python fallback)",
+        # The shim performs the one sanctioned import; the runtime
+        # tripwire patches numpy.random when present.
+        exempt_paths=("repro/util/array.py", "repro/analysis/"),
+    ),
+    Rule(
+        code="VEC003",
+        name="module-scope-backend-cache",
+        summary="the shim backend is cached at module scope (`np = "
+        "array.numpy` at import time, or `from repro.util.array import "
+        "numpy`) — monkeypatching repro.util.array.numpy to None no "
+        "longer reaches this module, defeating the fallback contract",
+        suggestion="bind the backend inside the function body "
+        "(`np = array.numpy` per call), per the repro.util.array "
+        "docstring's read-per-call rule",
+        exempt_paths=("repro/util/array.py",),
+    ),
+    Rule(
+        code="VEC004",
+        name="bulk-rng-draw-on-delivery-path",
+        summary="a bulk RNG draw (rng.random(n) / np.random.* / size=) or "
+        "a draw inside unordered iteration happens on a parity-sensitive "
+        "path — the RNG draw-order contract requires exactly one uniform "
+        "per 0<p<1 candidate in ascending attach order",
+        suggestion="draw scalars in candidate order (the "
+        "`np.fromiter((rng.random() for _ in ...))` idiom in "
+        "Medium._broadcast_batch); never draw a vector or draw while "
+        "iterating a set",
+        exempt_paths=("repro/analysis/",),
+    ),
+    Rule(
+        code="VEC005",
+        name="order-sensitive-reduction-on-parity-path",
+        summary="an order-sensitive numpy reduction (np.sum / np.dot / "
+        "np.prod / np.matmul ... — pairwise summation) feeds "
+        "parity-sensitive floats; the sequential pure-Python twin "
+        "accumulates in a different association order, so the bits differ",
+        suggestion="accumulate with a sequential loop / builtin sum() on "
+        "both backends, or restructure so the reduction's result never "
+        "reaches a delivery log",
+        exempt_paths=("repro/analysis/",),
     ),
     # -- API: in-repo deprecated interfaces -----------------------------------
     Rule(

@@ -28,6 +28,17 @@ modules *own* their hazard (``repro/util/rng.py`` may touch ``random``;
 Because the tree is per-file clean, every direct source in the repo
 lives in an exempt file, which is what keeps the whole-program pass
 finding-free on a healthy tree.
+
+**The parity-sensitive domain** (VEC family) flows the *other way*:
+instead of a primitive tainting its callers, a delivery-log root
+(``Medium.broadcast``, ``PropagationModel.delivery_probabilities``,
+``Position.distance_to``, the trace/energy payload writers, ...) marks
+its transitive *callees* — any float computed under one of these frames
+can reach a delivery log, so the numpy bit-parity ground rules from the
+``repro.util.array`` docstring apply there.
+:func:`compute_parity_chains` computes that closure with the shortest
+root-to-function chain for each member, which VEC001/VEC004/VEC005 put
+in their messages.
 """
 
 from __future__ import annotations
@@ -46,10 +57,17 @@ from repro.analysis.dataflow import _dotted_name
 from repro.analysis.rules import RULES, _path_matches_prefix
 
 __all__ = [
+    "PARITY_ROOT_CLASSES",
+    "PARITY_ROOT_NAMES",
+    "SHIM_BACKEND",
     "TAINT_RULES",
     "Chain",
+    "compute_parity_chains",
     "compute_summaries",
     "direct_sources",
+    "is_parity_root",
+    "numpy_alias_names",
+    "vec_effective_dotted",
 ]
 
 #: taint kind -> rule code the interprocedural finding fires under.
@@ -95,6 +113,16 @@ class Chain:
     def prepend(self, hop: str) -> "Chain":
         return Chain(
             hops=(hop,) + self.hops,
+            terminal_label=self.terminal_label,
+            terminal_path=self.terminal_path,
+            terminal_line=self.terminal_line,
+        )
+
+    def append(self, hop: str) -> "Chain":
+        """Extend the chain away from the terminal (parity chains grow
+        root → callee, so the terminal stays the delivery-log root)."""
+        return Chain(
+            hops=self.hops + (hop,),
             terminal_label=self.terminal_label,
             terminal_path=self.terminal_path,
             terminal_line=self.terminal_line,
@@ -245,3 +273,143 @@ def compute_summaries(graph: ProjectGraph) -> Summaries:
                               summaries[callee][kind].prepend(hop)):
                         changed = True
     return summaries
+
+
+# -- the parity-sensitive domain (VEC family) ---------------------------------
+
+#: Function/method names whose frames originate delivery-log-reaching
+#: floats: the broadcast pipeline, the propagation batch/scalar surface,
+#: exact geometry, and the trace/energy artifact payload writers.
+PARITY_ROOT_NAMES = frozenset({
+    "broadcast",
+    "_broadcast_batch",
+    "_broadcast_scalar",
+    "delivery_probabilities",
+    "delivery_probability",
+    "in_range_mask",
+    "distance_to",
+    "frame_delivered",
+    "to_payload",
+    "timeline_payload",
+})
+
+#: Classes every method of which is a root (the delivery record writers:
+#: their fields are the delivery log).
+PARITY_ROOT_CLASSES = frozenset({"_Delivery", "_BatchDelivery"})
+
+#: The one sanctioned backend attribute; everything numpy-shaped must
+#: resolve here (``from repro.util import array``; ``array.numpy``).
+SHIM_BACKEND = "repro.util.array.numpy"
+
+
+def is_parity_root(function: FunctionInfo) -> bool:
+    """True when ``function`` originates parity-sensitive floats."""
+    if function.qualname == "<module>":
+        return False
+    cls, _, leaf = function.qualname.rpartition(".")
+    return leaf in PARITY_ROOT_NAMES or cls in PARITY_ROOT_CLASSES
+
+
+def _ordered_functions(
+    graph: ProjectGraph,
+) -> List[Tuple[ModuleInfo, FunctionInfo]]:
+    ordered: List[Tuple[ModuleInfo, FunctionInfo]] = []
+    for name in sorted(graph.modules):
+        info = graph.modules[name]
+        ordered.append((info, info.module_body))
+        for qualname in sorted(info.functions):
+            ordered.append((info, info.functions[qualname]))
+    return ordered
+
+
+def compute_parity_chains(graph: ProjectGraph) -> Dict[FunctionInfo, Chain]:
+    """function → shortest chain from a delivery-log root down to it.
+
+    The parity-sensitive set is the roots plus every function reachable
+    from a root through resolved call edges (caller → callee: a helper a
+    broadcast frame calls computes floats that land in the delivery
+    log).  Chains carry the root as their terminal and grow by
+    :meth:`Chain.append`; fixpoint order and strict-improvement offers
+    make the result deterministic, mirroring :func:`compute_summaries`.
+    """
+    ordered = _ordered_functions(graph)
+    chains: Dict[FunctionInfo, Chain] = {}
+    for info, function in ordered:
+        if is_parity_root(function):
+            chains[function] = Chain(
+                hops=(f"{function.display} "
+                      f"[{function.path}:{function.line}]",),
+                terminal_label=function.display,
+                terminal_path=function.path,
+                terminal_line=function.line,
+            )
+
+    changed = True
+    while changed:
+        changed = False
+        for info, function in ordered:
+            chain = chains.get(function)
+            if chain is None:
+                continue
+            for site in function.calls:
+                callee = site.callee
+                if callee is None or callee is function:
+                    continue
+                candidate = chain.append(
+                    f"{callee.display} [{function.path}:{site.line}]")
+                if len(candidate.hops) > _MAX_CHAIN_HOPS:
+                    continue
+                current = chains.get(callee)
+                if current is None or candidate.sort_key < current.sort_key:
+                    chains[callee] = candidate
+                    changed = True
+    return chains
+
+
+def numpy_alias_names(info: ModuleInfo, function: FunctionInfo) -> frozenset:
+    """Local names bound to the shim backend inside ``function``.
+
+    ``np = array.numpy`` (the sanctioned read-per-call idiom) makes
+    ``np`` a numpy handle for the rest of the function, so
+    ``np.hypot(...)`` must count as ``numpy.hypot``.  Module-scope
+    bindings are collected off the module body and apply everywhere in
+    the file (they are *also* a VEC003 finding, but calls through them
+    still deserve their VEC001/VEC005).
+    """
+    names = set()
+    bodies = [info.module_body, function]
+    for body in bodies:
+        if body is None:
+            continue
+        for node in _body_nodes(body):
+            if not isinstance(node, ast.Assign):
+                continue
+            dotted = _dotted_name(node.value)
+            if dotted is None:
+                continue
+            effective = _effective_dotted(info, dotted)
+            if effective not in (SHIM_BACKEND, "numpy"):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return frozenset(names)
+
+
+def vec_effective_dotted(
+    info: ModuleInfo, aliases: frozenset, dotted: str
+) -> str:
+    """Like :func:`_effective_dotted`, but numpy-aware.
+
+    Names bound to the shim backend (``aliases``) and dotted paths
+    through it (``array.numpy.sqrt``) are rewritten to the plain
+    ``numpy.*`` spelling so one banned-name set matches every way of
+    reaching the backend.
+    """
+    root, _, rest = dotted.partition(".")
+    if root in aliases:
+        return f"numpy.{rest}" if rest else "numpy"
+    effective = _effective_dotted(info, dotted)
+    if effective == SHIM_BACKEND or effective.startswith(SHIM_BACKEND + "."):
+        return "numpy" + effective[len(SHIM_BACKEND):]
+    return effective

@@ -91,6 +91,12 @@ _DEPRECATED_CELLRESULT_MODULES = {
 _SPATIAL_QUERY_METHODS = {"nodes_within", "query", "query_arrays", "_candidates"}
 _LEGACY_SPATIAL_KWARGS = {"center", "cutoff"}
 
+#: Module spellings of the numpy shim (VEC003): importing its ``numpy``
+#: attribute — or assigning it at module scope — freezes backend selection
+#: at import time ("array" covers ``from .array import numpy`` inside the
+#: util package).
+_SHIM_BACKEND_MODULES = {"repro.util.array", "array"}
+
 
 def normalize_path(path) -> str:
     """A stable posix path key, rooted at the ``repro`` package when inside it.
@@ -197,6 +203,13 @@ class AnalysisVisitor(ast.NodeVisitor):
                     f"import of {alias.name!r} (global RNG state); "
                     "use repro.util.rng.SeededRng",
                 )
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                self._emit(
+                    "VEC002", node,
+                    f"import of {alias.name!r} outside the repro.util.array "
+                    "shim; read array.numpy per call so the pure-Python "
+                    "fallback stays reachable",
+                )
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -212,6 +225,22 @@ class AnalysisVisitor(ast.NodeVisitor):
                 "DET001", node,
                 "import of numpy.random (global RNG state); "
                 "use repro.util.rng.SeededRng",
+            )
+        if module == "numpy" or module.startswith("numpy."):
+            self._emit(
+                "VEC002", node,
+                f"import from {module!r} outside the repro.util.array "
+                "shim; read array.numpy per call so the pure-Python "
+                "fallback stays reachable",
+            )
+        if module in _SHIM_BACKEND_MODULES and any(
+            alias.name == "numpy" for alias in node.names
+        ):
+            self._emit(
+                "VEC003", node,
+                "importing the shim's numpy attribute freezes backend "
+                "selection at import time; bind `np = array.numpy` inside "
+                "the function body instead",
             )
         if module in _DEPRECATED_CELLRESULT_MODULES and any(
             alias.name == "CellResult" for alias in node.names
@@ -398,7 +427,36 @@ class AnalysisVisitor(ast.NodeVisitor):
             self._emit_frk001(node, mutated)
         for target in node.targets:
             self._check_mirror_attribute(target)
+        self._check_module_backend_cache(node)
         self.generic_visit(node)
+
+    # -- VEC003: shim backend cached at module scope --------------------------
+
+    def _check_module_backend_cache(self, node: ast.Assign) -> None:
+        """Flag module-scope ``np = array.numpy``.
+
+        A module-level binding reads ``repro.util.array.numpy`` once, at
+        import time — monkeypatching the shim (or REPRO_NO_NUMPY in a
+        later interpreter) never reaches it.  The same expression inside
+        a function body is the sanctioned read-per-call idiom and stays
+        silent.
+        """
+        if self.scope is not self.builder.module_scope:
+            return
+        dotted = _dotted_name(node.value)
+        if dotted is None or not dotted.endswith(".numpy"):
+            return
+        root, _, rest = dotted.partition(".")
+        resolved = self.scope.resolve(root)
+        origin = resolved[1].import_origin if resolved else None
+        effective = f"{origin}.{rest}" if origin and rest else (origin or dotted)
+        if effective in {"repro.util.array.numpy", "array.numpy"}:
+            self._emit(
+                "VEC003", node,
+                f"{dotted} cached at module scope freezes backend "
+                "selection at import time; bind np = array.numpy inside "
+                "the function body (read per call)",
+            )
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         mutated = dataflow.mutates_module_state(

@@ -189,8 +189,19 @@ class LogDistance(PropagationModel):
         if distance <= 0.0:
             return 1.0
         # Logistic curve in log-distance space, centred at reference_range.
-        x = self.exponent * math.log10(distance / self.reference_range)
-        probability = 1.0 / (1.0 + math.pow(10.0, x))
+        ratio = distance / self.reference_range
+        if ratio <= 0.0:
+            # A subnormal distance can underflow the division to exactly
+            # 0.0, which log10 rejects; the logistic limit toward zero
+            # distance is certain delivery, same as distance <= 0.0.
+            return 1.0
+        x = self.exponent * math.log10(ratio)
+        try:
+            probability = 1.0 / (1.0 + math.pow(10.0, x))
+        except OverflowError:
+            # 10**x exceeds float range only when the probability has
+            # long since rounded to exactly 0.0.
+            return 0.0
         return max(0.0, min(1.0, probability))
 
     def in_range(self, distance: float) -> bool:

@@ -24,11 +24,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tripwire import guard as rng_tripwire
 from repro.runner import artifacts as artifact_transport
+from repro.util import array
 from repro.runner.artifacts import CellResult
 from repro.runner.jobs import Job, jobs_for
 
 #: JSON schema tag for BENCH_runner.json, bumped on layout changes.
-#: (Artifact metadata and digest_match are additive optional keys of v1.)
+#: (Artifact metadata, digest_match, and the array_backend/numpy_version
+#: pair are additive optional keys of v1.)
 BENCH_SCHEMA = "repro.runner/bench.v1"
 
 #: Back-compat alias: the engine's per-cell outcome type was ``JobOutcome``
@@ -52,6 +54,12 @@ class RunReport:
     #: digests match between the parallel run and the serial replay?
     digest_match: Optional[bool] = None
     digest_mismatches: List[str] = field(default_factory=list)
+    #: The array backend active in the coordinating process ("numpy" or
+    #: "python") and the numpy version string ("" under pure Python).
+    #: Parity debugging needs these: a digest that differs between two
+    #: machines is meaningless without knowing which kernels ran.
+    array_backend: str = field(default_factory=array.backend_name)
+    numpy_version: str = field(default_factory=array.numpy_version)
 
     @property
     def mode(self) -> str:
@@ -90,6 +98,8 @@ class RunReport:
             "workers": self.workers,
             "start_method": self.start_method,
             "total_wall_s": self.total_wall_s,
+            "array_backend": self.array_backend,
+            "numpy_version": self.numpy_version,
             "cells": [],
         }
         for outcome in self.outcomes:

@@ -55,6 +55,17 @@ def backend_name() -> str:
     return "numpy" if numpy is not None else "python"
 
 
+def numpy_version() -> str:
+    """The active numpy's version string, or ``""`` under pure Python.
+
+    Recorded alongside :func:`backend_name` in run/bench metadata so a
+    parity regression can be traced to the exact kernel generation that
+    produced the floats.
+    """
+    np = numpy
+    return "" if np is None else str(np.__version__)
+
+
 def euclidean_distances(
     origin_x: float, origin_y: float, xs: Sequence[float], ys: Sequence[float]
 ):
@@ -63,8 +74,16 @@ def euclidean_distances(
     Bit-identical to ``Position.distance_to`` under either backend:
     ``sqrt(dx*dx + dy*dy)`` with correctly-rounded primitives only.
     Returns an ndarray when numpy is active (and the inputs are arrays
-    or convertible), else a list of floats.
+    or convertible), else a list of floats.  Mismatched coordinate
+    lengths raise ``ValueError`` under *both* backends — ``zip`` would
+    silently truncate to the shorter sequence in pure Python while numpy
+    broadcasts or errors differently, a parity break worse than either.
     """
+    if len(xs) != len(ys):
+        raise ValueError(
+            "euclidean_distances: xs and ys must have equal length "
+            f"(got {len(xs)} and {len(ys)})"
+        )
     np = numpy
     if np is not None:
         dx = np.asarray(xs, dtype=np.float64) - origin_x

@@ -1,0 +1,14 @@
+"""Fixture: RNG draw-order violations on delivery paths (VEC004).
+
+``broadcast`` draws a vector of uniforms at once; ``in_range_mask``
+draws while iterating a set.  Both break the one-uniform-per-candidate
+ascending-attach-order contract.
+"""
+
+
+def broadcast(rng, candidates):
+    return rng.random(len(candidates))
+
+
+def in_range_mask(rng, nodes):
+    return [rng.random() for node in set(nodes)]

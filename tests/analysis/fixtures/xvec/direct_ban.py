@@ -1,0 +1,12 @@
+"""Fixture: banned ufunc directly inside a parity root (VEC001).
+
+The backend is bound per call through the shim — the sanctioned idiom —
+so only the ``np.hypot`` call itself is a finding (no VEC002/VEC003).
+"""
+
+from repro.util import array
+
+
+def delivery_probabilities(distances):
+    np = array.numpy
+    return np.hypot(distances, distances)

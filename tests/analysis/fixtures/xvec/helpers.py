@@ -1,0 +1,7 @@
+"""Fixture: the middle hop — no numpy of its own, just a call through."""
+
+import mathops
+
+
+def attenuate(candidates):
+    return [mathops.raw_loss(c.distance) for c in candidates]

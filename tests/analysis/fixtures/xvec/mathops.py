@@ -1,0 +1,10 @@
+"""Fixture: banned ufunc two calls from the delivery path (VEC001).
+
+Also fires the per-file VEC002 for the bare numpy import.
+"""
+
+import numpy as np
+
+
+def raw_loss(distance):
+    return np.power(10.0, distance / 10.0)

@@ -1,0 +1,14 @@
+"""Fixture: shim backend cached at module scope (VEC003).
+
+The module-level ``np = array.numpy`` reads the backend once, at import
+time — monkeypatching ``repro.util.array.numpy`` to None never reaches
+this module, so the pure-Python fallback becomes unreachable from here.
+"""
+
+from repro.util import array
+
+np = array.numpy
+
+
+def delivery_probabilities(distances):
+    return [d * 0.5 for d in distances]

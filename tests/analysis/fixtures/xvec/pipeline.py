@@ -1,0 +1,13 @@
+"""Fixture: the delivery-path root of a two-hop VEC001 chain.
+
+``broadcast`` is a parity root; it reaches ``mathops.raw_loss`` (and its
+banned ``np.power``) through ``helpers.attenuate`` — the ufunc is two
+calls away from the delivery path.  Linted, never imported.
+"""
+
+import helpers
+
+
+def broadcast(medium, frame, candidates):
+    losses = helpers.attenuate(candidates)
+    return [c for loss, c in zip(losses, candidates) if loss < 1.0]

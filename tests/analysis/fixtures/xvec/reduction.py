@@ -1,0 +1,11 @@
+"""Fixture: order-sensitive reduction feeding a parity root (VEC005).
+
+numpy's pairwise summation associates differently from the sequential
+pure-Python twin; the bare import also fires VEC002 per file.
+"""
+
+import numpy as np
+
+
+def delivery_probabilities(gains):
+    return np.sum(gains) / len(gains)

@@ -176,6 +176,90 @@ def test_leaf_edit_invalidates_exactly_its_dependents(tmp_path):
     assert before["other.py"] == after["other.py"]
 
 
+def write_parity_tree(root):
+    """A miniature src layout: the shim leaf plus a parity dependent."""
+    tree = root / "tree"
+    (tree / "repro" / "util").mkdir(parents=True)
+    (tree / "repro" / "net").mkdir(parents=True)
+    (tree / "repro" / "util" / "array.py").write_text(
+        "numpy = None\n", encoding="utf-8")
+    (tree / "repro" / "net" / "prop.py").write_text(
+        "from repro.util import array\n"
+        "\n"
+        "\n"
+        "def delivery_probabilities(distances):\n"
+        "    np = array.numpy\n"
+        "    return np.hypot(distances, distances)\n",
+        encoding="utf-8",
+    )
+    (tree / "repro" / "idle.py").write_text("VALUE = 1\n", encoding="utf-8")
+    return tree
+
+
+def test_shim_leaf_edit_invalidates_exactly_its_vec_dependents(tmp_path):
+    tree = write_parity_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache")
+    cold, _ = analyze_paths_incremental([tree], cache=cache)
+    assert any(f.code == "VEC001" and f.path.endswith("prop.py")
+               for f in cold)
+    before = entries_by_file(cache)
+
+    # Touch the shim leaf only: the dependent's per-file findings stay
+    # cached, but its project key (which folds in the leaf's digest)
+    # moves, so its VEC section is recomputed — the bystander's is not.
+    (tree / "repro" / "util" / "array.py").write_text(
+        "numpy = None\nBACKEND_GENERATION = 2\n", encoding="utf-8")
+    findings, stats = analyze_paths_incremental([tree], cache=cache)
+    assert stats.analyzed == 1 and stats.cached == 2
+    assert not stats.project_cached
+    assert any(f.code == "VEC001" and f.path.endswith("prop.py")
+               for f in findings)
+
+    after = entries_by_file(cache)
+    changed = {name for name in before if before[name] != after[name]}
+    assert changed == {"array.py", "prop.py"}
+    assert before["idle.py"] == after["idle.py"]
+
+
+def test_caller_edit_repairs_the_callees_stale_vec_section(tmp_path):
+    # The parity domain flows caller-ward: a VEC001 finding lands at the
+    # callee, but exists only because of a *caller* elsewhere.  Editing
+    # that caller leaves the callee's import-derived project key intact,
+    # so the store pass must repair the callee's section by content —
+    # otherwise the next fully-warm run resurrects the dead finding.
+    tree = tmp_path / "proj"
+    tree.mkdir()
+    (tree / "entry.py").write_text(
+        "import loss\n\n\ndef broadcast(frame, candidates):\n"
+        "    return loss.attenuate(candidates)\n",
+        encoding="utf-8",
+    )
+    (tree / "loss.py").write_text(
+        "import numpy as np\n\n\ndef attenuate(gains):\n"
+        "    return np.power(10.0, gains)\n",
+        encoding="utf-8",
+    )
+    cache = AnalysisCache(tmp_path / "cache")
+    cold, _ = analyze_paths_incremental([tree], cache=cache)
+    assert [(f.code, f.line) for f in cold
+            if f.path.endswith("loss.py")] == [("VEC002", 1), ("VEC001", 5)]
+
+    # Rename the root: broadcast() stops being a delivery path, so the
+    # callee's VEC001 dies even though loss.py itself never changed.
+    (tree / "entry.py").write_text(
+        "import loss\n\n\ndef prepare(frame, candidates):\n"
+        "    return loss.attenuate(candidates)\n",
+        encoding="utf-8",
+    )
+    edited, stats = analyze_paths_incremental([tree], cache=cache)
+    assert stats.analyzed == 1 and stats.cached == 1
+    assert not any(f.code == "VEC001" for f in edited)
+
+    warm, warm_stats = analyze_paths_incremental([tree], cache=cache)
+    assert warm_stats.project_cached
+    assert warm == edited  # no resurrection from the stale section
+
+
 def test_dependency_cache_output_is_byte_identical(tmp_path):
     tree = write_linked_tree(tmp_path)
 

@@ -23,7 +23,9 @@ def test_det001_global_random_fixture():
         ("DET001", 3),   # import random
         ("DET001", 4),   # from random import choice
         ("DET001", 5),   # import numpy.random
+        ("VEC002", 5),   # ...which is also a bare numpy import
         ("DET001", 6),   # from numpy import random
+        ("VEC002", 6),   # ...likewise outside the shim
         ("DET001", 10),  # random.random() call
     ]
 

@@ -116,6 +116,19 @@ def test_log_distance_batch_matches_scalar(reference, exponent, data):
     _assert_batch_matches_scalar(model, distances)
 
 
+def test_log_distance_survives_the_float64_edges():
+    """A subnormal distance can underflow distance/reference to exactly
+    0.0 (log10 domain error), and a huge one can overflow 10**x — both
+    must resolve to the logistic limits, not raise."""
+    model = LogDistance(1e3, 6.0)
+    assert model.delivery_probability(5e-324) == 1.0
+    assert model.delivery_probabilities([5e-324]) == [1.0]
+    assert model.in_range(5e-324) is True
+    huge = 1.7976931348623157e308
+    assert model.delivery_probability(huge) == 0.0
+    assert model.in_range(huge) is False
+
+
 def test_log_distance_mask_follows_the_one_percent_cutoff():
     """LogDistance.in_range cuts off at 1% delivery, so its mask must
     disagree with ``probability > 0`` in the tail — the case that proves

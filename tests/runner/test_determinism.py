@@ -62,6 +62,25 @@ def test_runner_timings_are_recorded():
                for cell in payload["cells"])
 
 
+def test_bench_payload_records_array_backend(monkeypatch):
+    from repro.util import array
+
+    report = run_experiment("fig7", serial=True)
+    payload = report.to_bench_dict()
+    assert payload["array_backend"] == array.backend_name()
+    assert payload["numpy_version"] == array.numpy_version()
+    if array.numpy is not None:
+        assert payload["array_backend"] == "numpy"
+        assert payload["numpy_version"]  # non-empty version string
+
+    # The fields snapshot the backend at report construction: a digest
+    # from a pure-Python run must say so even if numpy exists on disk.
+    monkeypatch.setattr(array, "numpy", None)
+    fallback = run_experiment("fig7", serial=True)
+    assert fallback.to_bench_dict()["array_backend"] == "python"
+    assert fallback.to_bench_dict()["numpy_version"] == ""
+
+
 # -- grid vs linear medium ---------------------------------------------------
 
 NODE_COUNT = 200

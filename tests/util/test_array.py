@@ -16,6 +16,19 @@ coords = st.floats(
     min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
 )
 
+# Adversarial floats for the parity suite: the full finite float64 range
+# including subnormals and signed zeros, where SIMD kernels historically
+# diverge from scalar libm (flush-to-zero, sign-of-zero, overflow order).
+adversarial = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=False, width=64,
+              allow_subnormal=True),
+    st.sampled_from([
+        0.0, -0.0, 5e-324, -5e-324, 2.2250738585072014e-308,
+        -2.2250738585072014e-308, 1.7976931348623157e308,
+        -1.7976931348623157e308, 1.0, -1.0,
+    ]),
+)
+
 
 def test_backend_name_tracks_the_numpy_attribute(monkeypatch):
     if array.numpy is not None:
@@ -76,6 +89,69 @@ def test_argsort_python_fallback(monkeypatch):
     monkeypatch.setattr(array, "numpy", None)
     assert array.argsort([30, 10, 20, 10]) == [1, 3, 2, 0]
     assert array.argsort([]) == []
+
+
+def test_numpy_version_tracks_the_backend(monkeypatch):
+    if array.numpy is not None:
+        assert array.numpy_version() == str(array.numpy.__version__)
+    monkeypatch.setattr(array, "numpy", None)
+    assert array.numpy_version() == ""
+
+
+def test_euclidean_distances_rejects_mismatched_lengths(monkeypatch):
+    with pytest.raises(ValueError, match="equal length"):
+        array.euclidean_distances(0.0, 0.0, [1.0, 2.0], [3.0])
+    # Identical contract under the pure-Python twin — no silent zip
+    # truncation to the shorter sequence.
+    monkeypatch.setattr(array, "numpy", None)
+    with pytest.raises(ValueError, match="equal length"):
+        array.euclidean_distances(0.0, 0.0, [1.0], [2.0, 3.0])
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    st.tuples(adversarial, adversarial),
+    st.lists(st.tuples(adversarial, adversarial), max_size=16),
+)
+def test_euclidean_distances_adversarial_bit_parity(origin, points):
+    """Bit-for-bit parity over the full finite float64 range — subnormals,
+    signed zeros, and magnitudes that overflow ``dx*dx`` to infinity must
+    round (and overflow) identically under both backends."""
+    if array.numpy is None:
+        pytest.skip("numpy inactive in this environment")
+    ox, oy = origin
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    vectorized = array.euclidean_distances(ox, oy, xs, ys)
+    sqrt = math.sqrt
+    scalar = [
+        sqrt((x - ox) * (x - ox) + (y - oy) * (y - oy)) for x, y in zip(xs, ys)
+    ]
+    got = [float(d) for d in vectorized]
+    assert len(got) == len(scalar)
+    for g, s in zip(got, scalar):
+        # Compare raw bit patterns: 0.0 == -0.0 under ==, but they are
+        # different floats and a parity suite must tell them apart.
+        assert math.copysign(1.0, g) == math.copysign(1.0, s)
+        assert g == s
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(min_value=-8, max_value=8), max_size=40))
+def test_argsort_tie_order_is_identical_across_backends(keys):
+    """Heavy-tie inputs: the stable kind must keep original order for
+    equal keys under numpy exactly as the pure-Python sorted() does."""
+    expected = sorted(range(len(keys)), key=keys.__getitem__)
+    assert array.argsort(keys) == expected
+    if array.numpy is not None:
+        # And the fallback agrees with the numpy path on the same input.
+        np_result = array.argsort(keys)
+        saved = array.numpy
+        try:
+            array.numpy = None
+            assert array.argsort(keys) == np_result
+        finally:
+            array.numpy = saved
 
 
 def test_repro_no_numpy_disables_the_backend_at_import():
