@@ -29,7 +29,7 @@ from typing import Dict, Tuple
 #: Bumped whenever the analysis passes change behaviour; folded into the
 #: incremental cache key so stale cached findings can never survive a rule
 #: change (see :mod:`repro.analysis.cache`).
-ANALYSIS_VERSION = 6
+ANALYSIS_VERSION = 7
 
 
 def _path_matches_prefix(path: str, prefix: str) -> bool:

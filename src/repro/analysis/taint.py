@@ -291,6 +291,16 @@ PARITY_ROOT_NAMES = frozenset({
     "frame_delivered",
     "to_payload",
     "timeline_payload",
+    # Batch delivery pipeline (PR 10): the acceptance and rebucketing
+    # surfaces feed the same delivery logs — one banned ufunc or bulk
+    # draw in any of them breaks cross-backend byte identity.
+    "accepts_mask",
+    "_acceptance_mask",
+    "_delivery_mask",
+    "positions_at",
+    "positions_for",
+    "_rebucket",
+    "insert_batch",
 })
 
 #: Classes every method of which is a root (the delivery record writers:

@@ -27,10 +27,11 @@ exact superset of the true answer at the queried instant.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional, Protocol, Tuple
+from typing import Dict, Hashable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.phy.geometry import Position
-from repro.phy.mobility import MobilityModel, Static
+from repro.phy.mobility import MobilityModel, Static, positions_for
+from repro.util import array
 
 _Cell = Tuple[int, int]
 
@@ -124,6 +125,14 @@ _EPOCH_CELL_FRACTION = 0.5
 #: is an upper bound on the mover's speed over the near future.
 _SPEED_PROBE_S = 1.0
 
+#: Hard cap on the per-(now, version) mover-position memo in
+#: :meth:`TimeAwareGridIndex.query_arrays`.  The memo already evicts
+#: wholesale on every stamp change; the cap additionally bounds its
+#: footprint *within* one stamp for degenerate scenarios (a broadcast
+#: round sweeping an enormous mover population), trading repeat
+#: ``position_at`` calls for memory once full.
+_MOVER_MEMO_CAP = 65536
+
 
 class _Bucket:
     """One grid cell's contents as parallel arrays (items, x, y)."""
@@ -193,6 +202,36 @@ class UniformGridIndex:
         bucket.items.append(item)
         bucket.xs.append(position.x)
         bucket.ys.append(position.y)
+
+    def insert_batch(
+        self,
+        items: Sequence[Hashable],
+        xs: Sequence[float],
+        ys: Sequence[float],
+    ) -> None:
+        """Bulk-insert positioned items; equals sequential :meth:`insert`.
+
+        Cell coordinates for the whole batch come from one
+        :func:`repro.util.array.grid_cells` pass (bit-identical to the
+        scalar ``floor(v / cell_size)``), and items land in their buckets
+        in input order — so bucket contents, and therefore every later
+        query's candidate order, match ``len(items)`` scalar inserts
+        exactly.
+        """
+        cell_xs, cell_ys = array.grid_cells(xs, ys, self.cell_size)
+        where = self._where
+        cells = self._cells
+        for index, item in enumerate(items):
+            if item in where:
+                raise ValueError(f"item {item!r} already indexed")
+            cell = (cell_xs[index], cell_ys[index])
+            where[item] = cell
+            bucket = cells.get(cell)
+            if bucket is None:
+                bucket = cells[cell] = _Bucket()
+            bucket.items.append(item)
+            bucket.xs.append(xs[index])
+            bucket.ys.append(ys[index])
 
     def remove(self, item: Hashable) -> None:
         """Remove ``item``; raises ``KeyError`` if absent."""
@@ -478,26 +517,45 @@ class TimeAwareGridIndex:
             epoch -= 1
         start = epoch * length
         end = (epoch + 1) * length
+        # Classify first, position later: all epoch-start positions for a
+        # class of movers are computed in one batch (positions_for →
+        # positions_at → one repro.util.array pass for closed-form models)
+        # and bulk-inserted.  Order parity with the old one-at-a-time
+        # loop: fine movers bulk-insert in registry order (bucket order
+        # preserved), roaming inserts never touch buckets, and the
+        # roaming items keep their relative registry order — so every
+        # later query's candidate order is unchanged.
         movers = UniformGridIndex(self.cell_size)
         max_bound = 0.0
-        sprinters: List[Tuple[Hashable, MobilityModel, float]] = []
+        fine_items: List[Hashable] = []
+        fine_models: List[MobilityModel] = []
+        roaming_items: List[Hashable] = []
+        sprinter_items: List[Hashable] = []
+        sprinter_models: List[MobilityModel] = []
         coarse_bound = 0.0
         for item, mobility in mobilities.items():
             bound = mobility.max_displacement(start, end)
             if bound <= self.cell_size:
-                movers.insert(item, mobility.position_at(start))
+                fine_items.append(item)
+                fine_models.append(mobility)
                 if bound > max_bound:
                     max_bound = bound
             elif math.isfinite(bound):  # sprinter: coarse second-level grid
-                sprinters.append((item, mobility, bound))
+                sprinter_items.append(item)
+                sprinter_models.append(mobility)
                 if bound > coarse_bound:
                     coarse_bound = bound
             else:  # unbounded model: legacy roaming scan
-                movers.insert(item, None)
-        if sprinters:
+                roaming_items.append(item)
+        if fine_items:
+            xs, ys = positions_for(fine_models, start)
+            movers.insert_batch(fine_items, xs, ys)
+        for item in roaming_items:
+            movers.insert(item, None)
+        if sprinter_items:
             coarse = UniformGridIndex(max(coarse_bound, self.cell_size))
-            for item, mobility, _ in sprinters:
-                coarse.insert(item, mobility.position_at(start))
+            xs, ys = positions_for(sprinter_models, start)
+            coarse.insert_batch(sprinter_items, xs, ys)
         else:
             coarse = None
         self._movers = movers
@@ -534,8 +592,10 @@ class TimeAwareGridIndex:
         roaming unbounded ones — are resolved to ``position_at(now)``,
         the same floats the scalar path reads per item, memoized per
         (``now``, mutation version) so a broadcast round touches each
-        mover's model once.  ``unpositioned`` is always empty here: this
-        index knows every item's mobility model.
+        mover's model once.  The memo is evicted wholesale on every
+        stamp change and hard-capped at ``_MOVER_MEMO_CAP`` entries
+        (overflow recomputes instead of caching).  ``unpositioned`` is
+        always empty here: this index knows every item's mobility model.
         """
         arrays = self._static.query_arrays(origin, radius)
         if not self._mobility:
@@ -554,7 +614,8 @@ class TimeAwareGridIndex:
             if pos is None:
                 point = mobilities[item].position_at(now)
                 pos = (point.x, point.y)
-                memo[item] = pos
+                if len(memo) < _MOVER_MEMO_CAP:
+                    memo[item] = pos
             items.append(item)
             xs.append(pos[0])
             ys.append(pos[1])

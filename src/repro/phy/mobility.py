@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.phy.geometry import Position
+from repro.util import array
 from repro.util.rng import SeededRng
 from repro.util.validation import check_non_negative, check_positive
 
@@ -39,6 +40,28 @@ class MobilityModel:
     def position_at(self, time: float) -> Position:
         """The device's position at simulated ``time`` seconds."""
         raise NotImplementedError
+
+    @classmethod
+    def positions_at(cls, models: Sequence["MobilityModel"], time: float):
+        """Batch twin of :meth:`position_at` over homogeneous ``models``.
+
+        Returns parallel coordinate lists ``(xs, ys)`` with ``(xs[i],
+        ys[i])`` **bit-identical** to ``models[i].position_at(time)`` —
+        the scalar method stays the defining reference, like the
+        :class:`~repro.phy.propagation.PropagationModel` batch methods.
+        The default delegates elementwise, so stateful models (e.g.
+        :class:`RandomWaypoint`'s lazy trajectory) and third-party models
+        that only implement the scalar surface inherit a correct batch
+        form; closed-form models override with an admissible
+        :mod:`repro.util.array` pass.
+        """
+        xs: List[float] = []
+        ys: List[float] = []
+        for model in models:
+            position = model.position_at(time)
+            xs.append(position.x)
+            ys.append(position.y)
+        return xs, ys
 
     def max_displacement(self, t0: float, t1: float) -> float:
         """Upper bound on distance travelled anywhere inside ``[t0, t1]``.
@@ -107,6 +130,36 @@ class Linear(MobilityModel):
         elapsed = max(0.0, time - self.start_time)
         return self.start.translated(self.velocity[0] * elapsed,
                                      self.velocity[1] * elapsed)
+
+    @classmethod
+    def positions_at(cls, models: Sequence["Linear"], time: float):
+        if cls.position_at is not Linear.position_at:
+            # A subclass redefined the scalar reference without a batch
+            # twin — delegate elementwise so the two can never disagree.
+            return MobilityModel.positions_at.__func__(cls, models, time)
+        np = array.numpy
+        if np is None:
+            return MobilityModel.positions_at.__func__(cls, models, time)
+        count = len(models)
+        starts = np.fromiter(
+            (m.start_time for m in models), dtype=np.float64, count=count
+        )
+        # max(0, t - t0), then start + v * elapsed: subtraction, maximum,
+        # multiplication, and addition are all correctly rounded in both
+        # numpy and scalar Python, so the batch is bit-identical to
+        # per-model position_at.
+        elapsed = np.maximum(0.0, time - starts)
+        xs = np.fromiter(
+            (m.start.x for m in models), dtype=np.float64, count=count
+        ) + np.fromiter(
+            (m.velocity[0] for m in models), dtype=np.float64, count=count
+        ) * elapsed
+        ys = np.fromiter(
+            (m.start.y for m in models), dtype=np.float64, count=count
+        ) + np.fromiter(
+            (m.velocity[1] for m in models), dtype=np.float64, count=count
+        ) * elapsed
+        return xs.tolist(), ys.tolist()
 
     def max_displacement(self, t0: float, t1: float) -> float:
         # Motion only happens after start_time; clamp the window to it.
@@ -264,3 +317,33 @@ class RandomWaypoint(MobilityModel):
 
     def max_speed(self) -> float:
         return self.speed
+
+
+def positions_for(
+    models: Sequence[MobilityModel], time: float
+) -> Tuple[List[float], List[float]]:
+    """Coordinates of a *heterogeneous* model list at ``time``.
+
+    Groups ``models`` by concrete class, asks each class for one
+    :meth:`MobilityModel.positions_at` batch, and scatters the results
+    back into input order — ``(xs[i], ys[i])`` is bit-identical to
+    ``models[i].position_at(time)``.  This is the grouping shim the
+    rebucketing path uses so closed-form models (e.g. :class:`Linear`)
+    vectorize while stateful ones fall through to their scalar reference.
+    """
+    groups: dict = {}
+    for index, model in enumerate(models):
+        groups.setdefault(type(model), []).append(index)
+    if len(groups) == 1:
+        (cls,) = groups
+        xs, ys = cls.positions_at(models, time)
+        return list(xs), list(ys)
+    xs = [0.0] * len(models)
+    ys = [0.0] * len(models)
+    for cls, indices in groups.items():
+        group = [models[i] for i in indices]
+        group_xs, group_ys = cls.positions_at(group, time)
+        for i, x, y in zip(indices, group_xs, group_ys):
+            xs[i] = x
+            ys[i] = y
+    return xs, ys

@@ -29,6 +29,15 @@ class Radio:
     #: checks on the hot path.
     is_mirror = False
 
+    #: Acceptance-state versioning vouch: a concrete radio class sets this
+    #: to its own ``_accepts_frame`` function when every field that method
+    #: reads bumps ``Medium._accept_version`` on mutation.  The medium may
+    #: then skip the delivery-time acceptance re-check for a batch whose
+    #: version is unchanged since scheduling.  Pinning the function object
+    #: (not a bare flag) means a subclass that overrides the scalar
+    #: reference loses the exemption automatically.
+    _accepts_versioned_ref = None
+
     def __init__(self, device: "Device", medium: "Medium") -> None:
         self.device = device
         self.medium = medium
@@ -84,6 +93,7 @@ class Radio:
         changed = not self.enabled
         self.enabled = True
         if changed:
+            self.medium._accept_version += 1
             self._notify_state()
 
     def disable(self) -> None:
@@ -91,6 +101,7 @@ class Radio:
         changed = self.enabled
         self.enabled = False
         if changed:
+            self.medium._accept_version += 1
             self._notify_state()
 
     # -- reception -----------------------------------------------------------
@@ -99,9 +110,47 @@ class Radio:
         """Whether this radio can currently hear ``frame`` (state gating)."""
         return self.enabled
 
+    @classmethod
+    def accepts_mask(cls, radios, frame: Frame, now: float):
+        """Batch twin of :meth:`_accepts_frame` over homogeneous ``radios``.
+
+        Returns a boolean sequence parallel to ``radios`` whose every
+        element equals ``radio._accepts_frame(frame)`` at time ``now`` —
+        the scalar method stays the defining reference, exactly like the
+        :class:`~repro.phy.propagation.PropagationModel` batch methods.
+        Acceptance draws no RNG, so implementations may evaluate in any
+        order; only the ``_deliver`` side effects the medium runs over
+        the mask are order-sensitive (ascending attach order).
+
+        The default delegates elementwise, so custom Radio subclasses
+        that only override the scalar surface keep working under the
+        batch delivery pipeline automatically.  Concrete overrides
+        (BLE/WiFi/NFC) must take ``now`` as the time authority for any
+        window bounds (e.g. WiFi monitor windows) rather than reading
+        per-radio clocks mid-loop.
+        """
+        return [radio._accepts_frame(frame) for radio in radios]
+
     def _deliver(self, frame: Frame, distance: float) -> None:
         """Handle a frame the medium decided this radio receives."""
         raise NotImplementedError
+
+    @classmethod
+    def deliver_batch(cls, radios, frame: Frame, distances) -> None:
+        """Batch twin of :meth:`_deliver` over accepted homogeneous radios.
+
+        Runs the delivery side effects for one broadcast's receivers —
+        ``radios`` parallel to ``distances``, already in ascending attach
+        order and already past the acceptance mask.  The default is the
+        elementwise reference loop; concrete radios may inline their
+        ``_deliver`` body to shed half a million method dispatches per
+        beacon round, but the observable effects (handler calls, counters,
+        RNG draws, and their order) must stay exactly those of calling
+        ``_deliver`` per radio — the scalar method remains the defining
+        reference, mirroring :meth:`accepts_mask`.
+        """
+        for radio, distance in zip(radios, distances):
+            radio._deliver(frame, distance)
 
     def __repr__(self) -> str:
         state = "on" if self.enabled else "off"

@@ -111,6 +111,18 @@ class BleRadio(Radio):
         self._advertising_sets: List[AdvertisingSet] = []
         self._scan_handler: Optional[ScanHandler] = None
         self._scan_config = ScanConfig()
+        # Duty is sampled once per start_scanning (the instant the meter
+        # draw is set from it too) and cached flat: _deliver sits on the
+        # per-receiver delivery hot path and must not recompute the
+        # property half a million times per beacon round.
+        self._scan_duty = 1.0
+        # Struct-packed acceptance state: `enabled and scanning` folded to
+        # one flag, maintained at the four transitions that can change it
+        # (start/stop scanning; disable routes through stop_scanning) so
+        # accepts_mask reads one attribute per radio.  _accepts_frame
+        # stays the defining reference over the raw fields — the parity
+        # suite churns both surfaces against each other.
+        self._scan_active = False
         self._scan_rng = device.kernel.rng.child("ble-scan", device.name)
         self.adv_events_sent = 0
         self.frames_heard = 0
@@ -205,14 +217,23 @@ class BleRadio(Radio):
         if self._scan_handler is not None:
             raise RuntimeError(f"{self.name}: already scanning")
         self._scan_config = config or ScanConfig()
+        self._scan_duty = self._scan_config.duty
         self._scan_handler = handler
-        self.meter.set_draw("ble.scan", BLE_SCAN_MA * self._scan_config.duty)
+        self._scan_active = True
+        if self._scan_duty < 1.0:
+            self.medium._duty_cycled_scanners += 1
+        self.medium._accept_version += 1
+        self.meter.set_draw("ble.scan", BLE_SCAN_MA * self._scan_duty)
 
     def stop_scanning(self) -> None:
         """Stop listening. Idempotent."""
         if self._scan_handler is None:
             return
         self._scan_handler = None
+        self._scan_active = False
+        if self._scan_duty < 1.0:
+            self.medium._duty_cycled_scanners -= 1
+        self.medium._accept_version += 1
         self.meter.set_draw("ble.scan", 0.0)
 
     # -- reception ------------------------------------------------------------
@@ -224,11 +245,67 @@ class BleRadio(Radio):
             and self._scan_handler is not None
         )
 
+    @classmethod
+    def accepts_mask(cls, radios, frame: Frame, now: float):
+        if cls._accepts_frame is not BleRadio._accepts_frame:
+            # A subclass redefined the scalar reference without a matching
+            # batch form — fall back to the elementwise delegate so the
+            # mask can never disagree with the override.
+            return Radio.accepts_mask.__func__(cls, radios, frame, now)
+        if frame.kind is not FrameKind.BLE_ADVERTISEMENT:
+            return [False] * len(radios)
+        return [radio._scan_active for radio in radios]
+
     def _deliver(self, frame: Frame, distance: float) -> None:
-        duty = self._scan_config.duty
+        duty = self._scan_duty
         if duty < 1.0 and not self._scan_rng.bernoulli(duty):
             return  # advertisement fell outside the scan window
         self.frames_heard += 1
         handler = self._scan_handler
         if handler is not None:
             handler(frame.payload, frame.sender.address, distance)
+
+    @classmethod
+    def deliver_batch(cls, radios, frame: Frame, distances) -> None:
+        if cls._deliver is not BleRadio._deliver:
+            # Scalar override without a batch twin: delegate elementwise
+            # so the batch path can never diverge from the subclass.
+            Radio.deliver_batch.__func__(cls, radios, frame, distances)
+            return
+        # The _deliver body, hoisted out of half a million call frames.
+        # Effects and their order are byte-identical: duty roll first
+        # (one draw per duty-cycled radio, ascending attach order),
+        # frames_heard before the handler test, and the handler re-read
+        # per radio — an earlier handler in this batch may have stopped a
+        # later radio's scanning.
+        payload = frame.payload
+        sender_address = frame.sender.address
+        if frame.sender.medium._duty_cycled_scanners == 0:
+            # No actively-scanning radio on this medium is duty-cycled,
+            # and _deliver only ever runs on actively-scanning radios
+            # (acceptance requires a handler), so every duty test below
+            # would be False and no scan-window RNG would roll: the same
+            # loop minus the dead branch.
+            for radio, distance in zip(radios, distances):
+                radio.frames_heard += 1
+                handler = radio._scan_handler
+                if handler is not None:
+                    handler(payload, sender_address, distance)
+            return
+        for radio, distance in zip(radios, distances):
+            if radio._scan_duty < 1.0 and not radio._scan_rng.bernoulli(
+                radio._scan_duty
+            ):
+                continue
+            radio.frames_heard += 1
+            handler = radio._scan_handler
+            if handler is not None:
+                handler(payload, sender_address, distance)
+
+
+#: BleRadio's acceptance formula reads ``enabled``, the frame kind, and the
+#: scan handler — fields whose every mutation routes through enable/disable
+#: or start/stop_scanning, all of which bump ``Medium._accept_version`` —
+#: so the medium may elide the delivery-time re-check while the version
+#: holds (see :attr:`repro.radio.base.Radio._accepts_versioned_ref`).
+BleRadio._accepts_versioned_ref = BleRadio._accepts_frame

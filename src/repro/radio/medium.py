@@ -17,21 +17,34 @@ consumes randomness — so indexed and linear scans produce bit-identical
 simulations.  Epoch rebucketing is driven lazily off kernel time inside
 the query, adding no event-queue traffic.
 
-Vectorized broadcast
---------------------
+Vectorized broadcast and the batch delivery pipeline
+----------------------------------------------------
 
-By default (``vectorized=True``) the broadcast pipeline runs in batch
-form: one ``query_arrays`` call returns every candidate with its position
-as struct-packed parallel arrays, distances and delivery probabilities
-are computed in one numpy pass (or a pure-Python twin when numpy is
-absent — bit-identical by the :mod:`repro.util.array` contract), and all
-of a transmission's arrivals are scheduled as a single
-:class:`_BatchDelivery` event.  Candidate batches are cached per
-(technology, grid cell) within one (timestamp, attach/move version), so a
-beacon round's many same-cell senders share one gather + attach-order
-sort.  The cache's candidate set is slightly larger than a per-origin
-query (it covers the whole cell); by the exactness invariant above the
-extra candidates have delivery probability 0 and change nothing.
+By default (``vectorized=True``) a broadcast runs in four batch stages,
+each a separately overridable seam:
+
+1. **query** — :meth:`Medium._cell_batch` returns every candidate with
+   its position as struct-packed parallel arrays, cached per (technology,
+   grid cell) within one (timestamp, attach/move version) so a beacon
+   round's many same-cell senders share one gather + attach-order sort
+   (hit/miss counts in ``batch_cache_hits``/``batch_cache_misses``).
+2. **probability** — :meth:`Medium._delivery_mask` computes distances,
+   delivery probabilities, and the RNG delivery rolls in one numpy pass
+   (or a pure-Python twin when numpy is absent — bit-identical by the
+   :mod:`repro.util.array` contract).
+3. **acceptance** — :meth:`Medium._acceptance_mask` asks each concrete
+   radio class for one ``accepts_mask`` over its receivers instead of N
+   virtual ``_accepts_frame`` calls; acceptance draws no RNG, so the
+   mask order is free and only the delivery side effects below are
+   order-sensitive.
+4. **delivery** — all of a transmission's arrivals are scheduled as a
+   single pooled :class:`_BatchDelivery` event whose delivery-time
+   re-check is the same acceptance mask, with ``_deliver`` side effects
+   running in ascending attach order over it.
+
+The cache's candidate set is slightly larger than a per-origin query (it
+covers the whole cell); by the exactness invariant above the extra
+candidates have delivery probability 0 and change nothing.
 
 The RNG draw-order contract (see :mod:`repro.phy.propagation`) is what
 keeps all of this byte-identical to the scalar loop: one uniform draw per
@@ -43,7 +56,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.phy.geometry import Position
 from repro.phy.index import TimeAwareGridIndex
@@ -66,14 +79,31 @@ DEFAULT_RANGES = {
 #: Propagation delay is negligible at D2D ranges; modeled as a constant.
 PROPAGATION_DELAY_S = 5e-6
 
+#: Packs a (cell_x, cell_y) pair into one int64 cell id for the per-stamp
+#: binned gather (see Medium._kind_arrays): ids of one x-column are
+#: contiguous, so a column's y-range is a single sorted-array slice.
+_CELL_STRIDE = 1 << 32
+
+
+class _MIXED:
+    """Sentinel marking a RadioKind with more than one concrete class.
+
+    A class (not an instance) so the ``Medium._mono_class`` values stay
+    type-annotated; it can never equal ``type(radio)`` for any radio.
+    """
+
 
 class _Delivery:
-    """One scheduled frame arrival: a preallocated callable.
+    """One scheduled frame arrival: a pooled, preallocated callable.
 
     Replaces the per-delivery closure ``broadcast`` used to build; a slotted
     instance binds the receiver and frame with less allocation and keeps the
     delivery-time re-check (the receiver may have been disabled, or stopped
-    scanning, during the frame's airtime).
+    scanning, during the frame's airtime).  Instances are recycled through
+    ``Medium._delivery_pool``: on firing, the payload moves to locals, the
+    slots are cleared, and the shell returns to the pool *before* the
+    delivery side effects run — kernel events are one-shot, so a nested
+    broadcast inside ``_deliver`` may safely repopulate the shell.
     """
 
     __slots__ = ("medium", "receiver", "frame", "distance")
@@ -86,49 +116,54 @@ class _Delivery:
         self.distance = distance
 
     def __call__(self) -> None:
-        if self.receiver._accepts_frame(self.frame):
-            self.medium.frames_delivered += 1
-            if self.receiver.is_mirror:
-                # A halo mirror heard it: under sharded execution this
-                # delivery belongs to the receiver's owning shard and is
-                # routed there at the next horizon.
-                self.medium.frames_cross_shard += 1
-            self.receiver._deliver(self.frame, self.distance)
-        else:
-            self.medium.frames_dropped += 1
+        medium = self.medium
+        receiver = self.receiver
+        frame = self.frame
+        distance = self.distance
+        self.receiver = None
+        self.frame = None
+        medium._delivery_pool.append(self)
+        medium._execute_delivery(receiver, frame, distance)
 
 
 class _BatchDelivery:
-    """All of one broadcast's arrivals as a single scheduled event.
+    """All of one broadcast's arrivals as a single pooled scheduled event.
 
     The vectorized broadcast schedules one kernel event per transmission
     instead of one per receiver.  Arrival semantics are unchanged: the
-    same per-receiver re-check runs at the same instant, in ascending
-    attach order — exactly the order the scalar path's per-receiver
-    events (scheduled back-to-back, hence contiguous in the kernel's
-    same-timestamp FIFO) would run in.
+    same per-receiver re-check runs at the same instant — as one
+    acceptance mask per batch — and ``_deliver`` side effects run in
+    ascending attach order, exactly the order the scalar path's
+    per-receiver events (scheduled back-to-back, hence contiguous in the
+    kernel's same-timestamp FIFO) would run in.  Shells recycle through
+    ``Medium._batch_pool`` the same way :class:`_Delivery` does.
     """
 
-    __slots__ = ("medium", "receivers", "frame", "distances")
+    __slots__ = ("medium", "receivers", "frame", "distances", "accept_version")
 
     def __init__(self, medium: "Medium", receivers: List[Radio], frame: Frame,
-                 distances: List[float]) -> None:
+                 distances: List[float], accept_version: int) -> None:
         self.medium = medium
         self.receivers = receivers
         self.frame = frame
         self.distances = distances
+        #: The medium's acceptance-state version captured at scheduling,
+        #: or -1 when the batch is not exempt from the delivery re-check
+        #: (see Medium._execute_batch_delivery).
+        self.accept_version = accept_version
 
     def __call__(self) -> None:
         medium = self.medium
+        receivers = self.receivers
         frame = self.frame
-        for receiver, distance in zip(self.receivers, self.distances):
-            if receiver._accepts_frame(frame):
-                medium.frames_delivered += 1
-                if receiver.is_mirror:
-                    medium.frames_cross_shard += 1
-                receiver._deliver(frame, distance)
-            else:
-                medium.frames_dropped += 1
+        distances = self.distances
+        accept_version = self.accept_version
+        self.receivers = None
+        self.frame = None
+        self.distances = None
+        medium._batch_pool.append(self)
+        medium._execute_batch_delivery(receivers, frame, distances,
+                                       accept_version)
 
 
 class _CellBatch:
@@ -137,16 +172,45 @@ class _CellBatch:
     ``radios`` is attach-order sorted; ``xs``/``ys`` are the matching
     coordinates (ndarray under numpy, lists otherwise) and ``seqs`` the
     matching ascending ``_medium_seq`` list used to locate the sender by
-    binary search.
+    binary search.  ``accept_cache`` memoises the batch-wide acceptance
+    pre-filter for version-covered radio classes as ``(accept_version,
+    frame_kind, mask, all_true)`` — every same-cell sender at one stamp
+    shares one mask instead of recomputing it per broadcast.
     """
 
-    __slots__ = ("radios", "xs", "ys", "seqs")
+    __slots__ = (
+        "radios", "xs", "ys", "seqs", "robj", "accept_cache", "scratch",
+        "rowmap", "rows", "dmat", "posmap",
+    )
 
     def __init__(self, radios, xs, ys, seqs) -> None:
         self.radios = radios
         self.xs = xs
         self.ys = ys
         self.seqs = seqs
+        # Under numpy, the same radios as a 1-D object ndarray: lets the
+        # broadcast path gather one transmission's receivers with a
+        # boolean fancy-index + tolist (both C loops) instead of a
+        # per-position Python list comprehension.
+        self.robj = None
+        self.accept_cache = None
+        # Lazily-allocated ndarray work buffers for _delivery_mask (two
+        # float64 + one bool, batch-sized): every same-cell sender reuses
+        # them, so the per-broadcast array pass allocates nothing.
+        self.scratch = None
+        # In-cell sender rows (numpy path only): ``rowmap`` maps a batch
+        # position whose radio sits inside this batch's cell to a row of
+        # ``dmat``, the lazily-built (in-cell × batch) distance matrix.
+        # Every same-cell sender's distance pass then collapses to one
+        # row lookup; ``dmat`` entries use the exact scalar formula
+        # elementwise, so the row is bit-identical to a direct compute.
+        self.rowmap = None
+        self.rows = None
+        self.dmat = None
+        # Global array index → batch position, for the in-cell members
+        # only — the radios that can *send* through this batch.  Lets a
+        # broadcast locate its sender in O(1) instead of a binary search.
+        self.posmap = None
 
 
 class Medium:
@@ -178,6 +242,10 @@ class Medium:
         # Deliveries heard by halo mirror receivers (sharded execution):
         # counted within frames_delivered too, broken out for shard stats.
         self.frames_cross_shard = 0
+        #: Candidate-batch cache outcomes, alongside the frame counters: a
+        #: hit means a same-cell sender reused another's gather this stamp.
+        self.batch_cache_hits = 0
+        self.batch_cache_misses = 0
         # Spatial index: one grid per technology with a hard range cutoff.
         # A technology whose model has no cutoff (max_range() is None) keeps
         # the exhaustive scan — pruning there would skip RNG draws the
@@ -190,6 +258,36 @@ class Medium:
         self._batch_cache: Dict[Tuple[RadioKind, Tuple[int, int]], _CellBatch] = {}
         self._batch_stamp: Tuple[float, int] = (-1.0, -1)
         self._batch_version = 0
+        # Per-stamp, per-kind position arrays over every attached radio,
+        # cell-binned for the batch gather — see _kind_arrays.  Shares
+        # the batch cache's (timestamp, version) validity.
+        self._stamp_arrays: Dict[RadioKind, tuple] = {}
+        # Recycled delivery-event shells (see _Delivery/_BatchDelivery):
+        # bounded by the peak number of in-flight arrivals.
+        self._delivery_pool: List[_Delivery] = []
+        self._batch_pool: List[_BatchDelivery] = []
+        # Whether any attached radio is a halo mirror: lets the batch
+        # delivery loop skip the per-receiver is_mirror test entirely in
+        # unsharded runs (the overwhelming majority).
+        self._has_mirrors = False
+        # The single concrete radio class attached per kind, or _MIXED
+        # once a second class shows up (never un-mixed; detach keeps it
+        # conservative).  A mono-kind batch is provably homogeneous, so
+        # the acceptance and delivery stages skip their per-call type
+        # scans and dispatch one class-level batch call directly.
+        self._mono_class: Dict[RadioKind, type] = {}
+        # Bumped by every mutation of acceptance-relevant radio state
+        # (enable/disable, scan start/stop).  A scheduled batch whose
+        # every receiver's class vouches for this coverage (see
+        # Radio._accepts_versioned_ref) skips the delivery-time re-check
+        # while the version is unchanged: all receivers accepted at
+        # scheduling, and nothing that _accepts_frame reads has moved.
+        self._accept_version = 0
+        # Actively-scanning radios whose delivery is duty-cycled (rolls a
+        # scan-window RNG per frame), maintained by radio classes at scan
+        # start/stop.  Zero lets a class's deliver_batch drop the dead
+        # duty branch from its per-receiver loop.
+        self._duty_cycled_scanners = 0
         if use_spatial_index:
             for kind, model in self.propagation.items():
                 cutoff = model.max_range()
@@ -218,6 +316,14 @@ class Medium:
         radio._medium_seq = self._attach_seq
         self._attach_seq += 1
         self._batch_version += 1
+        if radio.is_mirror:
+            self._has_mirrors = True
+        cls = type(radio)
+        known = self._mono_class.get(radio.kind)
+        if known is None:
+            self._mono_class[radio.kind] = cls
+        elif known is not cls:
+            self._mono_class[radio.kind] = _MIXED
         self._radios[radio.kind].append(radio)
         grid = self._grids.get(radio.kind)
         if grid is not None:
@@ -278,6 +384,69 @@ class Medium:
         candidates.sort(key=_attach_order)
         return candidates
 
+    def _ensure_stamp(self) -> float:
+        """Roll the per-stamp caches to the current (clock, version) tick.
+
+        The candidate-batch cache and the per-kind position arrays share
+        one validity stamp: any clock advance or attach/detach/move
+        invalidates both wholesale.  Returns the current clock.
+        """
+        now = self.kernel.now
+        stamp = self._batch_stamp
+        if stamp[0] != now or stamp[1] != self._batch_version:
+            self._batch_cache.clear()
+            self._stamp_arrays.clear()
+            self._batch_stamp = (now, self._batch_version)
+        return now
+
+    def _kind_arrays(self, kind: RadioKind, size: float, now: float):
+        """Per-stamp struct-of-arrays over every attached radio of ``kind``.
+
+        One position pass per stamp (``position_at(now)`` — the same pure
+        function, hence the same float64s, the scalar path reads through
+        ``node.position``) feeds every cell batch of the stamp.  Radios
+        are listed in attach order, so index order *is* ascending
+        ``_medium_seq`` order.  Returns ``(radios, xs, ys, robj, seqs,
+        order, sorted_cid, index_of)`` where ``order`` sorts radios by
+        packed cell id (stable, so attach order survives within a cell),
+        ``sorted_cid`` is the matching sorted id array — together they
+        make one cell-column gather a pair of binary searches — and
+        ``index_of`` maps ``_medium_seq`` back to array index.  Numpy
+        path only; call through :meth:`_ensure_stamp` first.
+        """
+        entry = self._stamp_arrays.get(kind)
+        if entry is not None:
+            return entry
+        np = array.numpy
+        radios = self._radios[kind]
+        xs_list: List[float] = []
+        ys_list: List[float] = []
+        append_x = xs_list.append
+        append_y = ys_list.append
+        for radio in radios:
+            point = radio.node.mobility.position_at(now)
+            append_x(point.x)
+            append_y(point.y)
+        xs = np.asarray(xs_list, dtype=np.float64)
+        ys = np.asarray(ys_list, dtype=np.float64)
+        robj = np.empty(len(radios), dtype=object)
+        robj[:] = radios
+        seqs = np.asarray(
+            [radio._medium_seq for radio in radios], dtype=np.int64
+        )
+        index_of = {
+            radio._medium_seq: i for i, radio in enumerate(radios)
+        }
+        cid = (
+            np.floor(xs / size).astype(np.int64) * _CELL_STRIDE
+            + np.floor(ys / size).astype(np.int64)
+        )
+        order = np.argsort(cid, kind="stable")
+        sorted_cid = cid[order]
+        entry = (radios, xs, ys, robj, seqs, order, sorted_cid, index_of)
+        self._stamp_arrays[kind] = entry
+        return entry
+
     def _cell_batch(
         self,
         kind: RadioKind,
@@ -285,49 +454,127 @@ class Medium:
         origin: Position,
         cutoff: float,
     ) -> _CellBatch:
-        """The cached candidate batch covering ``origin``'s grid cell.
+        """Query stage: the cached candidate batch covering ``origin``'s cell.
 
-        One query serves every same-cell sender at this timestamp: the
-        query disk is centred on the cell and inflated by half a cell, so
-        its scan box covers the union of the per-origin boxes.  The batch
-        is therefore a superset of any per-origin candidate set — and by
-        the exactness invariant (candidates beyond ``cutoff`` have
-        delivery probability 0, no frame, no draw) the surplus is
-        unobservable in delivery logs.  Invalidated whenever the clock
-        advances or a radio attaches/detaches/moves.
+        One gather serves every same-cell sender at this timestamp.  The
+        batch must contain every radio within ``cutoff`` of *any* origin
+        in the cell — i.e. within Chebyshev ``cutoff + size/2`` of the
+        cell center — and is free to contain more: by the exactness
+        invariant (candidates beyond ``cutoff`` have delivery probability
+        0, no frame, no draw) the surplus is unobservable in delivery
+        logs, so the two backends may even gather differently.  Under
+        numpy the gather is a column-slice scan of the per-stamp binned
+        arrays (:meth:`_kind_arrays`); the fallback queries the
+        time-aware grid.  Both trim to the disk that provably covers
+        every origin in the cell — ``cutoff + 0.75·size``, a safe margin
+        over the cell half-diagonal (``size·√2/2``).  Invalidated
+        whenever the clock advances or a radio attaches/detaches/moves.
         """
-        stamp = (self.kernel.now, self._batch_version)
-        if stamp != self._batch_stamp:
-            self._batch_cache.clear()
-            self._batch_stamp = stamp
+        now = self._ensure_stamp()
         size = grid.cell_size
         cell = (math.floor(origin.x / size), math.floor(origin.y / size))
         key = (kind, cell)
         batch = self._batch_cache.get(key)
-        if batch is None:
-            center = Position((cell[0] + 0.5) * size, (cell[1] + 0.5) * size)
-            arrays = grid.query_arrays(center, cutoff + 0.5 * size, stamp[0])
-            items = arrays.items
-            xs = arrays.xs
-            ys = arrays.ys
-            for item in arrays.unpositioned:  # pragma: no cover - time-aware
-                position = item.node.position  # grids resolve every mover
-                items.append(item)
-                xs.append(position.x)
-                ys.append(position.y)
-            order = array.argsort([radio._medium_seq for radio in items])
-            radios = [items[i] for i in order]
-            np = array.numpy
-            if np is not None:
-                take = np.asarray(order, dtype=np.intp)
-                xs = np.asarray(xs, dtype=np.float64)[take]
-                ys = np.asarray(ys, dtype=np.float64)[take]
+        if batch is not None:
+            self.batch_cache_hits += 1
+            return batch
+        self.batch_cache_misses += 1
+        center = Position((cell[0] + 0.5) * size, (cell[1] + 0.5) * size)
+        reach = cutoff + 0.75 * size
+        np = array.numpy
+        if np is not None:
+            entry = self._kind_arrays(kind, size, now)
+            xs_all = entry[1]
+            ys_all = entry[2]
+            robj_all = entry[3]
+            seqs_all = entry[4]
+            order = entry[5]
+            sorted_cid = entry[6]
+            # Every cell whose box meets the required Chebyshev disk:
+            # offset d qualifies iff (d - 0.5)·size ≤ cutoff + 0.5·size.
+            span = math.floor(cutoff / size + 1.0)
+            pieces = []
+            lo_id = cell[1] - span
+            hi_id = cell[1] + span
+            for cx in range(cell[0] - span, cell[0] + span + 1):
+                base = cx * _CELL_STRIDE
+                lo = np.searchsorted(sorted_cid, base + lo_id)
+                hi = np.searchsorted(sorted_cid, base + hi_id, side="right")
+                if lo != hi:
+                    pieces.append(order[lo:hi])
+            if pieces:
+                idx = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
+                idx = np.sort(idx)  # index order == ascending attach order
+                xs = xs_all[idx]
+                ys = ys_all[idx]
+                dxc = xs - center.x
+                dyc = ys - center.y
+                near = (dxc * dxc + dyc * dyc) <= reach * reach
+                if not near.all():
+                    idx = idx[near]
+                    xs = xs[near]
+                    ys = ys[near]
+                robj = robj_all[idx]
+                radios = robj.tolist()
+                seqs = seqs_all[idx]
             else:
-                xs = [xs[i] for i in order]
-                ys = [ys[i] for i in order]
-            seqs = [radio._medium_seq for radio in radios]
+                robj = robj_all[:0]
+                radios = []
+                seqs = seqs_all[:0]
+                xs = xs_all[:0]
+                ys = ys_all[:0]
             batch = _CellBatch(radios, xs, ys, seqs)
+            batch.robj = robj
+            if radios:
+                # Mark the batch members that sit inside this cell —
+                # exactly the radios that can broadcast *from* this
+                # batch.  Their distance rows are precomputed in one
+                # pairwise pass on first use (_delivery_mask);
+                # misclassification here only routes a sender to the
+                # direct per-broadcast compute, never changes a value.
+                in_cell = (np.floor(xs / size) == cell[0]) & (
+                    np.floor(ys / size) == cell[1]
+                )
+                rows = np.nonzero(in_cell)[0]
+                if rows.size:
+                    batch.rows = rows
+                    batch.rowmap = {
+                        int(pos): row for row, pos in enumerate(rows)
+                    }
+                    in_cell_global = idx[rows].tolist()
+                    batch.posmap = {
+                        g: int(pos)
+                        for g, pos in zip(in_cell_global, rows.tolist())
+                    }
             self._batch_cache[key] = batch
+            return batch
+        arrays = grid.query_arrays(center, cutoff + 0.5 * size, now)
+        items = arrays.items
+        xs = arrays.xs
+        ys = arrays.ys
+        for item in arrays.unpositioned:  # pragma: no cover - time-aware
+            position = item.node.position  # grids resolve every mover
+            items.append(item)
+            xs.append(position.x)
+            ys.append(position.y)
+        reach_sq = reach * reach
+        keep = []
+        for i in range(len(items)):
+            dx = xs[i] - center.x
+            dy = ys[i] - center.y
+            if dx * dx + dy * dy <= reach_sq:
+                keep.append(i)
+        if len(keep) != len(items):
+            items = [items[i] for i in keep]
+            xs = [xs[i] for i in keep]
+            ys = [ys[i] for i in keep]
+        order = array.argsort([radio._medium_seq for radio in items])
+        radios = [items[i] for i in order]
+        xs = [xs[i] for i in order]
+        ys = [ys[i] for i in order]
+        seqs = [radio._medium_seq for radio in radios]
+        batch = _CellBatch(radios, xs, ys, seqs)
+        self._batch_cache[key] = batch
         return batch
 
     def in_range(self, a: Radio, b: Radio) -> bool:
@@ -402,7 +649,7 @@ class Medium:
                 continue
             if not receiver._accepts_frame(frame):
                 continue
-            self.kernel.call_in(delay, _Delivery(self, receiver, frame, distance))
+            self._schedule_delivery(receiver, frame, distance, delay)
             scheduled += 1
         return scheduled
 
@@ -414,7 +661,7 @@ class Medium:
         grid: TimeAwareGridIndex,
         cutoff: float,
     ) -> int:
-        """Vectorized broadcast: distances, probabilities, draws in one pass.
+        """Vectorized broadcast: one batch pass per pipeline stage.
 
         Byte-identical to :meth:`_broadcast_scalar`: the candidate surplus
         from the cell-aligned batch is provably silent (p == 0 beyond
@@ -422,6 +669,101 @@ class Medium:
         RNG draws are spent per the draw-order contract — ascending attach
         order over candidates with 0 < p < 1, sender excluded.
         """
+        np = array.numpy
+        if np is not None:
+            # The sender's position comes from the same per-stamp array
+            # pass that positioned the batch: position_at(now) is pure, so
+            # these are the very float64s ``sender.node.position`` would
+            # produce, without re-walking the mobility model.
+            now = self._ensure_stamp()
+            entry = self._kind_arrays(sender.kind, grid.cell_size, now)
+            xs_all = entry[1]
+            ys_all = entry[2]
+            gpos = entry[7].get(sender._medium_seq, -1)
+            if gpos >= 0:
+                origin = Position(float(xs_all[gpos]), float(ys_all[gpos]))
+            else:  # pragma: no cover - detached sender
+                origin = sender.node.position
+            batch = self._cell_batch(sender.kind, grid, origin, cutoff)
+            radios = batch.radios
+            if not radios:
+                return 0
+            posmap = batch.posmap
+            sender_pos = (
+                posmap.get(gpos, -1)
+                if posmap is not None and gpos >= 0
+                else -1
+            )
+            if sender_pos < 0:
+                # The O(1) map only covers in-cell members; a sender the
+                # batch holds but the map missed must still be excluded
+                # (RNG parity), so fall back to the binary search.
+                seqs = batch.seqs
+                sender_pos = int(np.searchsorted(seqs, sender._medium_seq))
+                if (
+                    sender_pos == len(seqs)
+                    or seqs[sender_pos] != sender._medium_seq
+                ):
+                    sender_pos = -1
+            delivered, distances = self._delivery_mask(
+                model, origin, batch, sender_pos
+            )
+            mono = self._mono_class.get(sender.kind)
+            ref = getattr(mono, "_accepts_versioned_ref", None)
+            if ref is not None and ref is getattr(mono, "_accepts_frame", None):
+                # Version-covered mono-class kind (the common case): one
+                # batch-wide pre-filter mask per (cell, stamp, version,
+                # frame kind) is shared by every same-cell sender, and the
+                # delivery-time re-check is elided while the version holds
+                # (see _execute_batch_delivery).
+                version = self._accept_version
+                cache = batch.accept_cache
+                if (
+                    cache is None
+                    or cache[0] != version
+                    or cache[1] is not frame.kind
+                ):
+                    full = np.asarray(
+                        self._acceptance_mask(
+                            radios, frame, self.kernel.now, mono
+                        ),
+                        dtype=bool,
+                    )
+                    cache = (version, frame.kind, full, bool(full.all()))
+                    batch.accept_cache = cache
+                sel = delivered if cache[3] else delivered & cache[2]
+                # Boolean fancy-index + tolist: both C loops, replacing
+                # the per-position Python gather.
+                receivers = batch.robj[sel].tolist()
+                if not receivers:
+                    return 0
+                distances_out = distances[sel].tolist()
+                accept_version = version
+            else:
+                candidates = batch.robj[delivered].tolist()
+                if not candidates:
+                    return 0
+                dists = distances[delivered].tolist()
+                mask = self._acceptance_mask(
+                    candidates, frame, self.kernel.now, mono
+                )
+                if all(mask):
+                    # Every candidate accepted — skip the filtered rebuild.
+                    receivers = candidates
+                    distances_out = dists
+                else:
+                    receivers = [c for c, hit in zip(candidates, mask) if hit]
+                    distances_out = [
+                        d for d, hit in zip(dists, mask) if hit
+                    ]
+                if not receivers:
+                    return 0
+                accept_version = -1
+            self._schedule_batch(
+                receivers, frame, distances_out,
+                frame.airtime + PROPAGATION_DELAY_S, accept_version,
+            )
+            return len(receivers)
         origin = sender.node.position
         batch = self._cell_batch(sender.kind, grid, origin, cutoff)
         radios = batch.radios
@@ -431,20 +773,138 @@ class Medium:
         sender_pos = bisect_left(seqs, sender._medium_seq)
         if sender_pos == len(seqs) or seqs[sender_pos] != sender._medium_seq:
             sender_pos = -1
-        receivers: List[Radio] = []
-        distances_out: List[float] = []
+        positions, dists = self._delivery_mask(model, origin, batch, sender_pos)
+        if not positions:
+            return 0
+        mono = self._mono_class.get(sender.kind)
+        ref = getattr(mono, "_accepts_versioned_ref", None)
+        if ref is not None and ref is getattr(mono, "_accepts_frame", None):
+            # Same versioned pre-filter as the numpy branch, in list form.
+            version = self._accept_version
+            cache = batch.accept_cache
+            if (
+                cache is None
+                or cache[0] != version
+                or cache[1] is not frame.kind
+            ):
+                full = self._acceptance_mask(
+                    radios, frame, self.kernel.now, mono
+                )
+                cache = (version, frame.kind, full, all(full))
+                batch.accept_cache = cache
+            if cache[3]:
+                # Everyone in the cell is listening (dense beacon
+                # rounds): the delivered positions are the receivers.
+                receivers = [radios[pos] for pos in positions]
+                distances_out = dists
+            else:
+                full = cache[2]
+                receivers = []
+                distances_out = []
+                for pos, dist in zip(positions, dists):
+                    if full[pos]:
+                        receivers.append(radios[pos])
+                        distances_out.append(dist)
+            accept_version = version
+        else:
+            candidates = [radios[pos] for pos in positions]
+            mask = self._acceptance_mask(
+                candidates, frame, self.kernel.now, mono
+            )
+            if all(mask):
+                # Every candidate accepted — skip the filtered rebuild.
+                receivers = candidates
+                distances_out = dists
+            else:
+                receivers = [c for c, hit in zip(candidates, mask) if hit]
+                distances_out = [d for d, hit in zip(dists, mask) if hit]
+            accept_version = -1
+        if not receivers:
+            return 0
+        self._schedule_batch(
+            receivers, frame, distances_out,
+            frame.airtime + PROPAGATION_DELAY_S, accept_version,
+        )
+        return len(receivers)
+
+    def _delivery_mask(
+        self,
+        model: PropagationModel,
+        origin: Position,
+        batch: _CellBatch,
+        sender_pos: int,
+    ):
+        """Probability stage: distances, probabilities, and delivery rolls.
+
+        Decides which candidates the model (and, for ``0 < p < 1``, the
+        RNG) delivered the frame to, sender excluded.  RNG draws follow
+        the contract: ascending attach order (batch order *is* attach
+        order), one draw per candidate with fractional probability, none
+        for the sender.  Under numpy the result is ``(delivered,
+        distances)`` — a boolean mask and the full distance array, both
+        batch-parallel and both backed by per-batch scratch the caller
+        must consume before the next broadcast; the fallback returns the
+        delivered batch positions and their distances as lists.
+        """
         np = array.numpy
         if np is not None:
-            dx = batch.xs - origin.x
-            dy = batch.ys - origin.y
-            distances = np.sqrt(dx * dx + dy * dy)
+            # Reuse per-batch scratch buffers: every ufunc below is the
+            # same correctly-rounded operation as its allocating form
+            # (out= changes where bits land, never which bits), and no
+            # buffer escapes — results leave only via .tolist() / fancy
+            # indexing, both of which copy.
+            scratch = batch.scratch
+            if scratch is None:
+                scratch = (
+                    np.empty_like(batch.xs),
+                    np.empty_like(batch.xs),
+                    np.empty(len(batch.xs), dtype=bool),
+                )
+                batch.scratch = scratch
+            dx, dy, delivered = scratch
+            rowmap = batch.rowmap
+            row = (
+                rowmap.get(sender_pos, -1)
+                if rowmap is not None and sender_pos >= 0
+                else -1
+            )
+            if row >= 0 and (
+                batch.xs[sender_pos] != origin.x
+                or batch.ys[sender_pos] != origin.y
+            ):
+                # The batch's stored position disagrees with the sender's
+                # live one (shouldn't happen under the stamp invariants,
+                # but routing is cheap to prove): use the direct compute.
+                row = -1
+            if row >= 0:
+                # In-cell sender: its distance row was (or is now)
+                # computed in the one pairwise pass shared by every
+                # sender in this cell.  Element [i, j] applies the exact
+                # scalar formula to the same float64 pair the direct
+                # compute below would read, so the row is bit-identical.
+                dmat = batch.dmat
+                if dmat is None:
+                    rxs = batch.xs[batch.rows]
+                    rys = batch.ys[batch.rows]
+                    ddx = rxs[:, None] - batch.xs[None, :]
+                    ddy = rys[:, None] - batch.ys[None, :]
+                    dmat = np.sqrt(ddx * ddx + ddy * ddy)
+                    batch.dmat = dmat
+                distances = dmat[row]
+            else:
+                np.subtract(batch.xs, origin.x, out=dx)
+                np.subtract(batch.ys, origin.y, out=dy)
+                np.multiply(dx, dx, out=dx)
+                np.multiply(dy, dy, out=dy)
+                np.add(dx, dy, out=dx)
+                distances = np.sqrt(dx, out=dx)
             if type(model) is UnitDisk:
-                delivered = distances <= model.radius
+                np.less_equal(distances, model.radius, out=delivered)
             else:
                 ps = np.asarray(
                     model.delivery_probabilities(distances), dtype=np.float64
                 )
-                delivered = ps >= 1.0
+                np.greater_equal(ps, 1.0, out=delivered)
                 need_draw = (ps > 0.0) & ~delivered
                 if sender_pos >= 0:
                     # Exclude the sender *before* drawing: a model may give
@@ -463,39 +923,213 @@ class Medium:
                     delivered[draw_at] = draws < ps[draw_at]
             if sender_pos >= 0:
                 delivered[sender_pos] = False
-            for pos in np.nonzero(delivered)[0].tolist():
-                receiver = radios[pos]
-                if receiver._accepts_frame(frame):
-                    receivers.append(receiver)
-                    distances_out.append(float(distances[pos]))
+            return delivered, distances
+        xs = batch.xs
+        ys = batch.ys
+        sqrt = math.sqrt
+        is_unit_disk = type(model) is UnitDisk
+        radius = model.radius if is_unit_disk else None
+        rng = self.rng
+        positions: List[int] = []
+        dists: List[float] = []
+        for pos in range(len(xs)):
+            if pos == sender_pos:
+                continue
+            dx = xs[pos] - origin.x
+            dy = ys[pos] - origin.y
+            distance = sqrt(dx * dx + dy * dy)
+            if is_unit_disk:
+                if distance > radius:
+                    continue
+            elif not frame_delivered(model, distance, rng):
+                continue
+            positions.append(pos)
+            dists.append(distance)
+        return positions, dists
+
+    def _acceptance_mask(
+        self, radios: Sequence[Radio], frame: Frame, now: float,
+        mono: Optional[type] = None,
+    ) -> List[bool]:
+        """Acceptance stage: one ``accepts_mask`` call per concrete class.
+
+        Groups ``radios`` by type and asks each class for its batch mask
+        (``Radio.accepts_mask``), scattering the submasks back into radio
+        order.  Duck-typed receivers without an ``accepts_mask`` surface
+        fall back to the scalar ``_accepts_frame`` loop — as do Radio
+        subclasses that override the scalar reference without a batch
+        twin (their ``accepts_mask`` delegates elementwise).  Acceptance
+        draws no RNG, so grouping cannot perturb any seed stream; the
+        mask is elementwise identical to per-receiver ``_accepts_frame``.
+
+        ``mono`` is a caller-provided homogeneity proof: the mono-class
+        registry entry for the one kind every radio in ``radios`` is
+        known to belong to (broadcast candidates come from a single
+        technology's grid).  When it matches ``type(radios[0])`` the
+        per-call type scan is skipped; callers with mixed or unknown
+        kinds must leave it None.
+        """
+        if not radios:
+            return []
+        # Homogeneous batches (one radio class — the overwhelmingly common
+        # shape) take a single mask call with no grouping dict on the hot
+        # path.
+        cls = type(radios[0])
+        homogeneous = mono is cls
+        if not homogeneous:
+            for radio in radios:
+                if type(radio) is not cls:
+                    break
+            else:
+                homogeneous = True
+        if homogeneous:
+            batch = getattr(cls, "accepts_mask", None)
+            if batch is None:
+                return [radio._accepts_frame(frame) for radio in radios]
+            mask = batch(radios, frame, now)
+            return mask if type(mask) is list else [bool(hit) for hit in mask]
+        groups: Dict[type, List[int]] = {}
+        for pos, radio in enumerate(radios):
+            groups.setdefault(type(radio), []).append(pos)
+        mask = [False] * len(radios)
+        for cls, positions in groups.items():
+            group = [radios[pos] for pos in positions]
+            batch = getattr(cls, "accepts_mask", None)
+            if batch is None:
+                submask = [radio._accepts_frame(frame) for radio in group]
+            else:
+                submask = batch(group, frame, now)
+            for pos, hit in zip(positions, submask):
+                mask[pos] = bool(hit)
+        return mask
+
+    # -- delivery stage (pooled events + their execution seams) ---------------
+
+    def _schedule_delivery(
+        self, receiver: Radio, frame: Frame, distance: float, delay: float
+    ) -> None:
+        """Schedule one arrival, recycling a pooled event shell if available."""
+        pool = self._delivery_pool
+        if pool:
+            event = pool.pop()
+            event.receiver = receiver
+            event.frame = frame
+            event.distance = distance
         else:
-            xs = batch.xs
-            ys = batch.ys
-            sqrt = math.sqrt
-            is_unit_disk = type(model) is UnitDisk
-            radius = model.radius if is_unit_disk else None
-            rng = self.rng
-            for pos, receiver in enumerate(radios):
-                if pos == sender_pos:
-                    continue
-                dx = xs[pos] - origin.x
-                dy = ys[pos] - origin.y
-                distance = sqrt(dx * dx + dy * dy)
-                if is_unit_disk:
-                    if distance > radius:
-                        continue
-                elif not frame_delivered(model, distance, rng):
-                    continue
-                if receiver._accepts_frame(frame):
-                    receivers.append(receiver)
-                    distances_out.append(distance)
-        if not receivers:
-            return 0
-        self.kernel.call_in(
-            frame.airtime + PROPAGATION_DELAY_S,
-            _BatchDelivery(self, receivers, frame, distances_out),
+            event = _Delivery(self, receiver, frame, distance)
+        self.kernel.call_in(delay, event)
+
+    def _schedule_batch(
+        self,
+        receivers: List[Radio],
+        frame: Frame,
+        distances: List[float],
+        delay: float,
+        accept_version: int = -1,
+    ) -> None:
+        """Schedule one broadcast's arrivals as a single pooled batch event."""
+        pool = self._batch_pool
+        if pool:
+            event = pool.pop()
+            event.receivers = receivers
+            event.frame = frame
+            event.distances = distances
+            event.accept_version = accept_version
+        else:
+            event = _BatchDelivery(self, receivers, frame, distances,
+                                   accept_version)
+        self.kernel.call_in(delay, event)
+
+    def _execute_delivery(self, receiver: Radio, frame: Frame,
+                          distance: float) -> None:
+        """Deliver one arrival after its airtime, re-checking acceptance."""
+        if receiver._accepts_frame(frame):
+            self.frames_delivered += 1
+            if receiver.is_mirror:
+                # A halo mirror heard it: under sharded execution this
+                # delivery belongs to the receiver's owning shard and is
+                # routed there at the next horizon.
+                self.frames_cross_shard += 1
+            receiver._deliver(frame, distance)
+        else:
+            self.frames_dropped += 1
+
+    def _execute_batch_delivery(
+        self, receivers: List[Radio], frame: Frame, distances: List[float],
+        accept_version: int = -1,
+    ) -> None:
+        """Deliver one broadcast's arrivals: batch re-check, ordered effects.
+
+        ``accept_version >= 0`` certifies that every receiver accepted at
+        scheduling time and that its class vouches acceptance state is
+        version-covered; if the medium's version still matches, the
+        re-check is provably all-True and is skipped (``mask=None``).
+        Any enable/disable or scan start/stop since scheduling bumps the
+        version, forcing the full mask — same bytes as the scalar path's
+        per-receiver re-check, minus the redundant reads.
+        """
+        if accept_version >= 0 and accept_version == self._accept_version:
+            self._deliver_masked(receivers, frame, distances, None)
+            return
+        # One broadcast's receivers share the sender's kind, so the
+        # mono-class registry entry for that kind is a homogeneity proof.
+        mono = (
+            self._mono_class.get(getattr(receivers[0], "kind", None))
+            if receivers
+            else None
         )
-        return len(receivers)
+        mask = self._acceptance_mask(receivers, frame, self.kernel.now, mono)
+        self._deliver_masked(receivers, frame, distances, mask)
+
+    def _deliver_masked(
+        self,
+        receivers: List[Radio],
+        frame: Frame,
+        distances: List[float],
+        mask: Optional[List[bool]],
+    ) -> None:
+        """Run ``_deliver`` side effects over ``mask`` in ascending attach order.
+
+        ``mask=None`` means every receiver is known-accepted (the re-check
+        was elided under acceptance-state versioning) — equivalent to an
+        all-True mask without materialising one.  ``receivers`` are one
+        broadcast's arrivals and therefore share a single kind, which is
+        what lets the mono-class registry prove batch homogeneity.
+        """
+        if not receivers:
+            return
+        delivered = 0
+        if not self._has_mirrors:
+            if mask is None or all(mask):
+                # Dense beacon rounds: every receiver still accepts at
+                # delivery time — no per-item branch, no mirror test, and
+                # a mono-class registry dispatches the class's batch
+                # delivery loop (one call instead of one per receiver).
+                cls = type(receivers[0])
+                if self._mono_class.get(getattr(receivers[0], "kind", None)) is cls:
+                    cls.deliver_batch(receivers, frame, distances)
+                else:
+                    for receiver, distance in zip(receivers, distances):
+                        receiver._deliver(frame, distance)
+                self.frames_delivered += len(receivers)
+                return
+            for receiver, distance, accepted in zip(receivers, distances, mask):
+                if accepted:
+                    delivered += 1
+                    receiver._deliver(frame, distance)
+        else:
+            if mask is None:
+                mask = [True] * len(receivers)
+            cross_shard = 0
+            for receiver, distance, accepted in zip(receivers, distances, mask):
+                if accepted:
+                    delivered += 1
+                    if receiver.is_mirror:
+                        cross_shard += 1
+                    receiver._deliver(frame, distance)
+            self.frames_cross_shard += cross_shard
+        self.frames_delivered += delivered
+        self.frames_dropped += len(receivers) - delivered
 
 
 def _attach_order(radio: Radio) -> int:

@@ -408,6 +408,29 @@ class WifiRadio(Radio):
             return False
         return self.mesh is not None and self.mesh.name == frame.meta.get("mesh")
 
+    @classmethod
+    def accepts_mask(cls, radios, frame: Frame, now: float):
+        if cls._accepts_frame is not WifiRadio._accepts_frame:
+            # Scalar override without a batch twin: delegate elementwise.
+            return Radio.accepts_mask.__func__(cls, radios, frame, now)
+        if frame.kind is not FrameKind.WIFI_MULTICAST:
+            return [False] * len(radios)
+        mesh_name = frame.meta.get("mesh")
+        # `now` is the batch's time authority for the monitor-window bound
+        # (strict <, matching the `monitoring` property at the same time).
+        return [
+            radio.enabled
+            and (
+                (radio._monitor_handler is not None and now < radio._monitor_until)
+                or (
+                    radio._multicast_handler is not None
+                    and radio.mesh is not None
+                    and radio.mesh.name == mesh_name
+                )
+            )
+            for radio in radios
+        ]
+
     def _deliver(self, frame: Frame, distance: float) -> None:
         in_group = (
             self._multicast_handler is not None

@@ -77,6 +77,15 @@ class MirrorRadio:
     def _accepts_frame(self, frame: Frame) -> bool:
         return frame.kind is FrameKind.BLE_ADVERTISEMENT
 
+    @classmethod
+    def accepts_mask(cls, radios, frame: Frame, now: float):
+        # Batch twin of the constant predicate above: mirrors are always
+        # enabled and always scanning, so the mask depends only on the
+        # frame kind (same contract as Radio.accepts_mask).
+        if cls._accepts_frame is not MirrorRadio._accepts_frame:
+            return [radio._accepts_frame(frame) for radio in radios]
+        return [frame.kind is FrameKind.BLE_ADVERTISEMENT] * len(radios)
+
     def _deliver(self, frame: Frame, distance: float) -> None:
         self._sink(frame, distance, self.node_index)
 

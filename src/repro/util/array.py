@@ -102,3 +102,41 @@ def argsort(keys: Sequence[int]) -> List[int]:
     if np is not None:
         return np.argsort(np.asarray(keys, dtype=np.int64), kind="stable").tolist()
     return sorted(range(len(keys)), key=keys.__getitem__)
+
+
+def grid_cells(
+    xs: Sequence[float], ys: Sequence[float], cell_size: float
+):
+    """Grid-cell coordinates ``floor(v / cell_size)`` for each point.
+
+    Bit-identical to per-point ``math.floor(x / size)`` under either
+    backend: the division is correctly rounded in both, ``np.floor`` is
+    exact, and the int64 cast is lossless for any coordinate a simulation
+    arena can hold.  Returns a pair of parallel integer lists — the bulk
+    rebucketing path keys cells by plain ``(int, int)`` tuples either way.
+    Mismatched lengths raise ``ValueError`` under both backends, same as
+    :func:`euclidean_distances`.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(
+            "grid_cells: xs and ys must have equal length "
+            f"(got {len(xs)} and {len(ys)})"
+        )
+    np = numpy
+    if np is not None:
+        cxs = (
+            np.floor(np.asarray(xs, dtype=np.float64) / cell_size)
+            .astype(np.int64)
+            .tolist()
+        )
+        cys = (
+            np.floor(np.asarray(ys, dtype=np.float64) / cell_size)
+            .astype(np.int64)
+            .tolist()
+        )
+        return cxs, cys
+    floor = math.floor
+    return (
+        [floor(x / cell_size) for x in xs],
+        [floor(y / cell_size) for y in ys],
+    )

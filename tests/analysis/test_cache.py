@@ -56,6 +56,27 @@ def test_ruleset_version_change_busts_everything(tmp_path, monkeypatch):
     assert stats.analyzed == 2 and stats.cached == 0
 
 
+def test_analysis_version_bump_busts_everything(tmp_path, monkeypatch):
+    # The version was bumped (to 7) when the batch-pipeline surfaces
+    # joined the VEC parity roots; RULESET_VERSION embeds it, so a bump
+    # alone — same rules digest, same sources — must invalidate every
+    # cached entry, or stale findings from the narrower root set would
+    # survive the rule change.
+    from repro.analysis import rules
+
+    assert rules.ANALYSIS_VERSION >= 7
+    tree = write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache")
+    analyze_paths_incremental([tree], cache=cache)
+    digest = rules.RULESET_VERSION.split(":", 1)[1]
+    monkeypatch.setattr(
+        rules, "RULESET_VERSION", f"{rules.ANALYSIS_VERSION + 1}:{digest}"
+    )
+    findings, stats = analyze_paths_incremental([tree], cache=cache)
+    assert stats.analyzed == 2 and stats.cached == 0
+    assert findings == analyze_paths([tree])
+
+
 def test_corrupt_entry_is_a_cache_miss(tmp_path):
     tree = write_tree(tmp_path)
     cache = AnalysisCache(tmp_path / "cache")

@@ -31,15 +31,20 @@ def entries(tree):
 def test_xvec_project_findings_are_exact():
     findings = analyze_project([XVEC])
     assert keys(findings) == [
+        ("VEC001", "acceptance.py", 15),   # np.exp in accepts_mask
+        ("VEC004", "acceptance.py", 19),   # bulk draw in _acceptance_mask
         ("VEC004", "bulk_draw.py", 10),    # rng.random(n) bulk draw
         ("VEC004", "bulk_draw.py", 14),    # draw inside set iteration
         ("VEC001", "direct_ban.py", 12),   # np.hypot via per-call shim read
         ("VEC001", "mathops.py", 10),      # np.power two calls from broadcast
+        ("VEC001", "rebucket.py", 19),     # np.power below the _rebucket root
         ("VEC005", "reduction.py", 11),    # np.sum feeding a parity root
     ]
     # clean_vec.py (np.sqrt, arithmetic, stable argsort, per-call backend
-    # read, ordered scalar draws) and offline.py (np.power off the
-    # delivery path) stay silent — asserted by the exactness above.
+    # read, ordered scalar draws), rebucket_clean.py (elementwise
+    # acceptance reads, maximum/multiply/add epoch positions, grid_cells
+    # bucketing), and offline.py (np.power off the delivery path) stay
+    # silent — asserted by the exactness above.
 
 
 def test_vec001_interprocedural_chain_names_every_hop():
@@ -56,9 +61,28 @@ def test_vec001_interprocedural_chain_names_every_hop():
 
 def test_vec004_messages_distinguish_bulk_from_unordered():
     bulk, unordered = [f for f in analyze_project([XVEC])
-                       if f.code == "VEC004"]
+                       if f.code == "VEC004"
+                       and f.path.endswith("bulk_draw.py")]
     assert "bulk RNG draw" in bulk.message
     assert "unordered (set) iteration" in unordered.message
+
+
+def test_vec001_chain_reaches_below_the_rebucket_root():
+    findings = [f for f in analyze_project([XVEC])
+                if f.path.endswith("rebucket.py")]
+    message = findings[0].message
+    # The root and the non-root helper hop both appear in the chain.
+    assert "rebucket:_rebucket" in message
+    assert "rebucket:_epoch_coords" in message
+    assert "np.power()" in message
+    assert "chain:" in message
+
+
+def test_acceptance_draws_no_rng_even_in_bulk():
+    findings = [f for f in analyze_project([XVEC])
+                if f.path.endswith("acceptance.py") and f.code == "VEC004"]
+    assert len(findings) == 1
+    assert "bulk RNG draw" in findings[0].message
 
 
 def test_vec002_and_vec003_fire_per_file():
@@ -101,6 +125,26 @@ def test_parity_closure_covers_transitive_callees_only():
     assert "helpers:attenuate" in names          # one call away
     assert "mathops:raw_loss" in names           # two calls away
     assert "offline:summarize" not in names      # never reached
+
+
+def test_batch_pipeline_surfaces_are_parity_roots(tmp_path):
+    # The PR 10 acceptance/rebucket surfaces joined PARITY_ROOT_NAMES:
+    # defining any of them makes the function (and its callees) part of
+    # the parity closure without a call from an older root.
+    names = [
+        "accepts_mask", "_acceptance_mask", "_delivery_mask",
+        "positions_at", "positions_for", "_rebucket", "insert_batch",
+    ]
+    source = "".join(
+        f"def {name}():\n    return None\n\n\n" for name in names
+    ) + "def bystander():\n    return None\n"
+    path = tmp_path / "surfaces.py"
+    path.write_text(source, encoding="utf-8")
+    graph = build_project_graph([(str(path), str(tmp_path), source)])
+    info = graph.modules["surfaces"]
+    for name in names:
+        assert is_parity_root(info.functions[name]), name
+    assert not is_parity_root(info.functions["bystander"])
 
 
 def test_parity_roots_include_record_writer_classes(tmp_path):
